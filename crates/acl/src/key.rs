@@ -1,0 +1,107 @@
+//! The 12-byte classification key.
+//!
+//! §IV.C.1 design (3): "A key of the trie structure consists of three
+//! parts: the source address (4 bytes), the destination address
+//! (4 bytes), and a combination of the source and the destination ports
+//! (2 + 2 = 4 bytes) of the TCP header."
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of bytes in the trie key.
+pub const KEY_BYTES: usize = 12;
+
+/// The fields of a packet that the ACL inspects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PacketKey {
+    /// IPv4 source address (host byte order).
+    pub src_ip: u32,
+    /// IPv4 destination address (host byte order).
+    pub dst_ip: u32,
+    /// TCP source port.
+    pub src_port: u16,
+    /// TCP destination port.
+    pub dst_port: u16,
+}
+
+impl PacketKey {
+    /// Construct from dotted-quad parts.
+    pub fn new(src_ip: [u8; 4], dst_ip: [u8; 4], src_port: u16, dst_port: u16) -> Self {
+        PacketKey {
+            src_ip: u32::from_be_bytes(src_ip),
+            dst_ip: u32::from_be_bytes(dst_ip),
+            src_port,
+            dst_port,
+        }
+    }
+
+    /// The `depth`-th byte of the trie key (big-endian field order:
+    /// src addr, dst addr, src port, dst port).
+    #[inline]
+    pub fn byte(&self, depth: usize) -> u8 {
+        debug_assert!(depth < KEY_BYTES);
+        match depth {
+            0..=3 => self.src_ip.to_be_bytes()[depth],
+            4..=7 => self.dst_ip.to_be_bytes()[depth - 4],
+            8..=9 => self.src_port.to_be_bytes()[depth - 8],
+            _ => self.dst_port.to_be_bytes()[depth - 10],
+        }
+    }
+
+    /// All twelve key bytes in trie order.
+    pub fn bytes(&self) -> [u8; KEY_BYTES] {
+        let mut out = [0u8; KEY_BYTES];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.byte(i);
+        }
+        out
+    }
+}
+
+impl fmt::Display for PacketKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.src_ip.to_be_bytes();
+        let d = self.dst_ip.to_be_bytes();
+        write!(
+            f,
+            "{}.{}.{}.{}:{} -> {}.{}.{}.{}:{}",
+            s[0], s[1], s[2], s[3], self.src_port, d[0], d[1], d[2], d[3], self.dst_port
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_order_matches_paper_layout() {
+        let k = PacketKey::new([192, 168, 10, 4], [192, 168, 11, 5], 10001, 10002);
+        assert_eq!(k.byte(0), 192);
+        assert_eq!(k.byte(3), 4);
+        assert_eq!(k.byte(4), 192);
+        assert_eq!(k.byte(7), 5);
+        // 10001 = 0x2711.
+        assert_eq!(k.byte(8), 0x27);
+        assert_eq!(k.byte(9), 0x11);
+        // 10002 = 0x2712.
+        assert_eq!(k.byte(10), 0x27);
+        assert_eq!(k.byte(11), 0x12);
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let k = PacketKey::new([10, 0, 0, 1], [10, 0, 0, 2], 80, 443);
+        let b = k.bytes();
+        assert_eq!(b.len(), KEY_BYTES);
+        for (i, &byte) in b.iter().enumerate() {
+            assert_eq!(byte, k.byte(i));
+        }
+    }
+
+    #[test]
+    fn display() {
+        let k = PacketKey::new([1, 2, 3, 4], [5, 6, 7, 8], 9, 10);
+        assert_eq!(k.to_string(), "1.2.3.4:9 -> 5.6.7.8:10");
+    }
+}

@@ -1,0 +1,94 @@
+//! Work metering: the hook through which the simulation layer observes
+//! how much work a classification performed.
+//!
+//! The paper's fluctuation comes from *data-dependent* traversal cost;
+//! the meter records exactly the quantities that determine it — tries
+//! consulted, key bytes examined per trie — so `fluctrace-apps` can
+//! convert them into simulated µops without the classifier knowing
+//! anything about the simulator.
+
+/// Observer of classification work.
+pub trait WorkMeter {
+    /// A new trie is about to be walked.
+    fn on_trie_start(&mut self);
+    /// One trie node was visited (one key byte examined).
+    fn on_node_visit(&mut self, depth: usize);
+    /// A terminal match entry was evaluated.
+    fn on_match(&mut self);
+}
+
+/// A meter that ignores everything (zero-cost classification).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullMeter;
+
+impl WorkMeter for NullMeter {
+    #[inline]
+    fn on_trie_start(&mut self) {}
+    #[inline]
+    fn on_node_visit(&mut self, _depth: usize) {}
+    #[inline]
+    fn on_match(&mut self) {}
+}
+
+/// A meter that counts work quantities.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountingMeter {
+    /// Tries walked.
+    pub tries: u64,
+    /// Total node visits (key bytes examined, summed over tries).
+    pub node_visits: u64,
+    /// Terminal match entries evaluated.
+    pub matches: u64,
+    /// Deepest key byte index examined in any trie.
+    pub max_depth: usize,
+}
+
+impl CountingMeter {
+    /// Fresh zeroed meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reset all counters.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+impl WorkMeter for CountingMeter {
+    #[inline]
+    fn on_trie_start(&mut self) {
+        self.tries += 1;
+    }
+    #[inline]
+    fn on_node_visit(&mut self, depth: usize) {
+        self.node_visits += 1;
+        self.max_depth = self.max_depth.max(depth + 1);
+    }
+    #[inline]
+    fn on_match(&mut self) {
+        self.matches += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_meter_accumulates() {
+        let mut m = CountingMeter::new();
+        m.on_trie_start();
+        m.on_node_visit(0);
+        m.on_node_visit(1);
+        m.on_trie_start();
+        m.on_node_visit(0);
+        m.on_match();
+        assert_eq!(m.tries, 2);
+        assert_eq!(m.node_visits, 3);
+        assert_eq!(m.matches, 1);
+        assert_eq!(m.max_depth, 2);
+        m.reset();
+        assert_eq!(m, CountingMeter::new());
+    }
+}

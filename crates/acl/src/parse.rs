@@ -1,0 +1,241 @@
+//! Text format for ACL rule sets.
+//!
+//! One rule per line, DPDK-`rule_ipv4.db`-flavoured but readable:
+//!
+//! ```text
+//! # comment
+//! 192.168.10.0/24 192.168.11.0/24 1 1-750 drop
+//! 0.0.0.0/0       10.0.0.0/8      any 80  permit prio=7
+//! ```
+//!
+//! Fields: source prefix, destination prefix, source port (exact,
+//! `lo-hi` range, or `any`), destination port, action (`permit`/`drop`),
+//! optional `prio=N`. Priorities default to the line number from the
+//! bottom, so earlier lines win ties — the common firewall convention.
+
+use crate::rule::{AclRule, Action, Ipv4Prefix, PortRange};
+use std::fmt;
+
+/// A parse failure with its line number (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn parse_ports(s: &str) -> Result<PortRange, String> {
+    if s.eq_ignore_ascii_case("any") {
+        return Ok(PortRange::any());
+    }
+    match s.split_once('-') {
+        Some((lo, hi)) => {
+            let lo: u16 = lo.parse().map_err(|e| format!("bad port: {e}"))?;
+            let hi: u16 = hi.parse().map_err(|e| format!("bad port: {e}"))?;
+            if lo > hi {
+                return Err(format!("inverted port range {lo}-{hi}"));
+            }
+            Ok(PortRange::new(lo, hi))
+        }
+        None => Ok(PortRange::exact(
+            s.parse().map_err(|e| format!("bad port: {e}"))?,
+        )),
+    }
+}
+
+/// Parse one rule line (no comments); `default_priority` is used when no
+/// `prio=` field is present.
+pub fn parse_rule(line: &str, default_priority: u32) -> Result<AclRule, String> {
+    let mut fields = line.split_whitespace();
+    let src: Ipv4Prefix = fields
+        .next()
+        .ok_or("missing source prefix")?
+        .parse()
+        .map_err(|e| format!("source prefix: {e}"))?;
+    let dst: Ipv4Prefix = fields
+        .next()
+        .ok_or("missing destination prefix")?
+        .parse()
+        .map_err(|e| format!("destination prefix: {e}"))?;
+    let src_port = parse_ports(fields.next().ok_or("missing source port")?)?;
+    let dst_port = parse_ports(fields.next().ok_or("missing destination port")?)?;
+    let action = match fields.next().ok_or("missing action")? {
+        a if a.eq_ignore_ascii_case("permit") => Action::Permit,
+        a if a.eq_ignore_ascii_case("drop") => Action::Drop,
+        other => return Err(format!("unknown action {other:?}")),
+    };
+    let mut priority = default_priority;
+    for extra in fields {
+        match extra.strip_prefix("prio=") {
+            Some(p) => priority = p.parse().map_err(|e| format!("bad priority: {e}"))?,
+            None => return Err(format!("unexpected field {extra:?}")),
+        }
+    }
+    Ok(AclRule {
+        priority,
+        src,
+        dst,
+        src_port,
+        dst_port,
+        action,
+    })
+}
+
+/// Parse a whole rule file. Blank lines and `#` comments are skipped.
+/// Rules without an explicit priority get descending defaults so that
+/// earlier lines win ties.
+pub fn parse_ruleset(text: &str) -> Result<Vec<AclRule>, ParseError> {
+    let logical: Vec<(usize, &str)> = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.split('#').next().unwrap_or("").trim()))
+        .filter(|(_, l)| !l.is_empty())
+        .collect();
+    let n = logical.len() as u32;
+    logical
+        .into_iter()
+        .enumerate()
+        .map(|(idx, (line_no, line))| {
+            parse_rule(line, n - idx as u32).map_err(|message| ParseError {
+                line: line_no,
+                message,
+            })
+        })
+        .collect()
+}
+
+/// Render a rule in the same text format (round-trips through
+/// [`parse_rule`]).
+pub fn format_rule(rule: &AclRule) -> String {
+    let ports = |p: &PortRange| {
+        if *p == PortRange::any() {
+            "any".to_string()
+        } else if p.lo == p.hi {
+            p.lo.to_string()
+        } else {
+            format!("{}-{}", p.lo, p.hi)
+        }
+    };
+    format!(
+        "{} {} {} {} {} prio={}",
+        rule.src,
+        rule.dst,
+        ports(&rule.src_port),
+        ports(&rule.dst_port),
+        match rule.action {
+            Action::Permit => "permit",
+            Action::Drop => "drop",
+        },
+        rule.priority
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parses_basic_rules() {
+        let text = "\
+# firewall rules
+192.168.10.0/24 192.168.11.0/24 1 1-750 drop
+
+0.0.0.0/0 10.0.0.0/8 any 80 permit prio=7   # web
+";
+        let rules = parse_ruleset(text).unwrap();
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[0].action, Action::Drop);
+        assert_eq!(rules[0].src_port, PortRange::exact(1));
+        assert_eq!(rules[0].dst_port, PortRange::new(1, 750));
+        assert_eq!(rules[0].priority, 2, "earlier line wins by default");
+        assert_eq!(rules[1].priority, 7, "explicit priority respected");
+        assert_eq!(rules[1].src_port, PortRange::any());
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let text = "0.0.0.0/0 0.0.0.0/0 any any permit\nnot a rule";
+        let err = parse_ruleset(text).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn rejects_bad_fields() {
+        assert!(parse_rule("1.2.3.4/33 0.0.0.0/0 1 1 drop", 0).is_err());
+        assert!(parse_rule("0.0.0.0/0 0.0.0.0/0 99999 1 drop", 0).is_err());
+        assert!(parse_rule("0.0.0.0/0 0.0.0.0/0 9-1 1 drop", 0).is_err());
+        assert!(parse_rule("0.0.0.0/0 0.0.0.0/0 1 1 reject", 0).is_err());
+        assert!(parse_rule("0.0.0.0/0 0.0.0.0/0 1 1 drop bogus", 0).is_err());
+        assert!(parse_rule("", 0).is_err());
+    }
+
+    #[test]
+    fn parsed_rules_classify_correctly() {
+        use crate::builder::{AclBuildConfig, MultiTrieAcl};
+        use crate::key::PacketKey;
+        use crate::meter::NullMeter;
+        let rules = parse_ruleset(
+            "192.168.10.0/24 192.168.11.0/24 any any drop prio=9\n\
+             0.0.0.0/0 0.0.0.0/0 any any permit prio=1",
+        )
+        .unwrap();
+        let acl = MultiTrieAcl::build(&rules, AclBuildConfig::paper_patched());
+        let blocked = PacketKey::new([192, 168, 10, 1], [192, 168, 11, 1], 5, 5);
+        let ok = PacketKey::new([1, 2, 3, 4], [5, 6, 7, 8], 5, 5);
+        assert_eq!(acl.decide(&blocked, &mut NullMeter), Action::Drop);
+        assert_eq!(acl.decide(&ok, &mut NullMeter), Action::Permit);
+    }
+
+    fn arb_rule() -> impl Strategy<Value = AclRule> {
+        (
+            0u32..1000,
+            any::<u32>(),
+            0u8..=32,
+            any::<u32>(),
+            0u8..=32,
+            any::<u16>(),
+            any::<u16>(),
+            any::<u16>(),
+            any::<u16>(),
+            any::<bool>(),
+        )
+            .prop_map(
+                |(priority, sa, sl, da, dl, a, b, c, d, drop)| AclRule {
+                    priority,
+                    src: Ipv4Prefix { addr: sa, len: sl },
+                    dst: Ipv4Prefix { addr: da, len: dl },
+                    src_port: PortRange::new(a.min(b), a.max(b)),
+                    dst_port: PortRange::new(c.min(d), c.max(d)),
+                    action: if drop { Action::Drop } else { Action::Permit },
+                },
+            )
+    }
+
+    proptest! {
+        #[test]
+        fn prop_format_parse_round_trip(rule in arb_rule()) {
+            let text = format_rule(&rule);
+            let parsed = parse_rule(&text, 0).unwrap();
+            prop_assert_eq!(parsed.priority, rule.priority);
+            prop_assert_eq!(parsed.src_port, rule.src_port);
+            prop_assert_eq!(parsed.dst_port, rule.dst_port);
+            prop_assert_eq!(parsed.action, rule.action);
+            // Prefixes compare by the bits the length covers.
+            prop_assert_eq!(parsed.src.len, rule.src.len);
+            prop_assert!(rule.src.len == 0 ||
+                (parsed.src.addr >> (32 - rule.src.len as u32)) ==
+                (rule.src.addr >> (32 - rule.src.len as u32)));
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Linear-scan reference classifier: the correctness oracle the trie
+//! implementation is validated against.
+
+use crate::key::PacketKey;
+use crate::rule::{AclRule, Action};
+
+/// A classifier that checks every rule directly. O(rules) per packet —
+//  far too slow for a firewall, but trivially correct.
+#[derive(Debug, Clone, Default)]
+pub struct LinearAcl {
+    rules: Vec<AclRule>,
+}
+
+impl LinearAcl {
+    /// Build from a rule list.
+    pub fn new(rules: Vec<AclRule>) -> Self {
+        LinearAcl { rules }
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True if no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Highest-priority matching rule's `(priority, action)`, or `None`
+    /// if nothing matches. Among equal priorities the first-installed
+    /// rule wins.
+    pub fn classify(&self, key: &PacketKey) -> Option<(u32, Action)> {
+        self.rules
+            .iter()
+            .filter(|r| r.matches(key))
+            .max_by(|a, b| a.priority.cmp(&b.priority))
+            .map(|r| (r.priority, r.action))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::{Ipv4Prefix, PortRange};
+
+    fn rule(priority: u32, src: &str, action: Action) -> AclRule {
+        AclRule {
+            priority,
+            src: src.parse().unwrap(),
+            dst: Ipv4Prefix::any(),
+            src_port: PortRange::any(),
+            dst_port: PortRange::any(),
+            action,
+        }
+    }
+
+    #[test]
+    fn highest_priority_wins() {
+        let acl = LinearAcl::new(vec![
+            rule(1, "10.0.0.0/8", Action::Permit),
+            rule(5, "10.1.0.0/16", Action::Drop),
+        ]);
+        let narrow = PacketKey::new([10, 1, 2, 3], [1, 1, 1, 1], 1, 1);
+        let broad = PacketKey::new([10, 9, 2, 3], [1, 1, 1, 1], 1, 1);
+        let none = PacketKey::new([11, 0, 0, 1], [1, 1, 1, 1], 1, 1);
+        assert_eq!(acl.classify(&narrow), Some((5, Action::Drop)));
+        assert_eq!(acl.classify(&broad), Some((1, Action::Permit)));
+        assert_eq!(acl.classify(&none), None);
+    }
+
+    #[test]
+    fn empty_acl_matches_nothing() {
+        let acl = LinearAcl::default();
+        assert!(acl.is_empty());
+        assert_eq!(
+            acl.classify(&PacketKey::new([1, 2, 3, 4], [5, 6, 7, 8], 1, 1)),
+            None
+        );
+    }
+}

@@ -1,0 +1,312 @@
+//! ACL rules: IPv4 prefixes, port ranges, actions, and direct matching.
+
+use crate::key::PacketKey;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// An IPv4 prefix such as `192.168.10.0/24`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Ipv4Prefix {
+    /// Network address (host byte order); bits past `len` are ignored.
+    pub addr: u32,
+    /// Prefix length, `0..=32`.
+    pub len: u8,
+}
+
+impl Ipv4Prefix {
+    /// Construct from a dotted quad and length. Panics if `len > 32`.
+    pub fn new(octets: [u8; 4], len: u8) -> Self {
+        assert!(len <= 32, "prefix length {len} > 32");
+        Ipv4Prefix {
+            addr: u32::from_be_bytes(octets),
+            len,
+        }
+    }
+
+    /// The match-all prefix `0.0.0.0/0`.
+    pub fn any() -> Self {
+        Ipv4Prefix { addr: 0, len: 0 }
+    }
+
+    /// True if `ip` falls inside the prefix.
+    #[inline]
+    pub fn contains(&self, ip: u32) -> bool {
+        if self.len == 0 {
+            return true;
+        }
+        let shift = 32 - self.len as u32;
+        (ip >> shift) == (self.addr >> shift)
+    }
+
+    /// The inclusive `(low, high)` byte range this prefix allows for key
+    /// byte `i` (0..4). Used by the trie builder.
+    pub fn byte_range(&self, i: usize) -> (u8, u8) {
+        debug_assert!(i < 4);
+        let byte = self.addr.to_be_bytes()[i];
+        let covered_bits = (self.len as usize).saturating_sub(i * 8).min(8);
+        if covered_bits == 8 {
+            (byte, byte)
+        } else if covered_bits == 0 {
+            (0, 255)
+        } else {
+            let mask = !((1u16 << (8 - covered_bits)) - 1) as u8;
+            let lo = byte & mask;
+            (lo, lo | !mask)
+        }
+    }
+}
+
+impl FromStr for Ipv4Prefix {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (ip, len) = match s.split_once('/') {
+            Some((ip, len)) => (
+                ip,
+                len.parse::<u8>().map_err(|e| format!("bad length: {e}"))?,
+            ),
+            None => (s, 32),
+        };
+        if len > 32 {
+            return Err(format!("prefix length {len} > 32"));
+        }
+        let mut octets = [0u8; 4];
+        let mut parts = ip.split('.');
+        for slot in &mut octets {
+            *slot = parts
+                .next()
+                .ok_or("too few octets")?
+                .parse::<u8>()
+                .map_err(|e| format!("bad octet: {e}"))?;
+        }
+        if parts.next().is_some() {
+            return Err("too many octets".into());
+        }
+        Ok(Ipv4Prefix::new(octets, len))
+    }
+}
+
+impl fmt::Display for Ipv4Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.addr.to_be_bytes();
+        write!(f, "{}.{}.{}.{}/{}", o[0], o[1], o[2], o[3], self.len)
+    }
+}
+
+/// An inclusive port range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PortRange {
+    /// Low end (inclusive).
+    pub lo: u16,
+    /// High end (inclusive).
+    pub hi: u16,
+}
+
+impl PortRange {
+    /// A single exact port.
+    pub fn exact(port: u16) -> Self {
+        PortRange { lo: port, hi: port }
+    }
+
+    /// A proper range. Panics if `lo > hi`.
+    pub fn new(lo: u16, hi: u16) -> Self {
+        assert!(lo <= hi, "inverted port range");
+        PortRange { lo, hi }
+    }
+
+    /// The match-all range.
+    pub fn any() -> Self {
+        PortRange { lo: 0, hi: u16::MAX }
+    }
+
+    /// Membership.
+    #[inline]
+    pub fn contains(&self, port: u16) -> bool {
+        self.lo <= port && port <= self.hi
+    }
+
+    /// Decompose into byte-level segments `((hi_lo, hi_hi), (lo_lo, lo_hi))`
+    /// such that a 16-bit value is in the range iff it satisfies one
+    /// segment: its high byte is in the segment's first range and its low
+    /// byte in the second. At most three segments are produced — exact
+    /// high byte at each end plus a full-low-byte middle. This is how a
+    /// range becomes trie edges.
+    pub fn byte_segments(&self) -> Vec<((u8, u8), (u8, u8))> {
+        let [lh, ll] = self.lo.to_be_bytes();
+        let [hh, hl] = self.hi.to_be_bytes();
+        if lh == hh {
+            return vec![((lh, lh), (ll, hl))];
+        }
+        let mut segs = Vec::with_capacity(3);
+        // Head: high byte exact = lh, low byte ll..=255.
+        segs.push(((lh, lh), (ll, 255)));
+        // Middle: full low byte for high bytes strictly between.
+        if hh - lh >= 2 {
+            segs.push(((lh + 1, hh - 1), (0, 255)));
+        }
+        // Tail: high byte exact = hh, low byte 0..=hl.
+        segs.push(((hh, hh), (0, hl)));
+        segs
+    }
+}
+
+impl fmt::Display for PortRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.lo == self.hi {
+            write!(f, "{}", self.lo)
+        } else {
+            write!(f, "{}-{}", self.lo, self.hi)
+        }
+    }
+}
+
+/// What to do with a matching packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Action {
+    /// Forward the packet.
+    Permit,
+    /// Discard the packet.
+    Drop,
+}
+
+/// One ACL rule. Higher `priority` wins when several rules match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AclRule {
+    /// Tie-break priority; higher value wins.
+    pub priority: u32,
+    /// Source address constraint.
+    pub src: Ipv4Prefix,
+    /// Destination address constraint.
+    pub dst: Ipv4Prefix,
+    /// Source port constraint.
+    pub src_port: PortRange,
+    /// Destination port constraint.
+    pub dst_port: PortRange,
+    /// Action on match.
+    pub action: Action,
+}
+
+impl AclRule {
+    /// Direct (trie-free) match test; the correctness oracle.
+    pub fn matches(&self, key: &PacketKey) -> bool {
+        self.src.contains(key.src_ip)
+            && self.dst.contains(key.dst_ip)
+            && self.src_port.contains(key.src_port)
+            && self.dst_port.contains(key.dst_port)
+    }
+}
+
+impl fmt::Display for AclRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[p{}] {} {} sport {} dport {} => {:?}",
+            self.priority, self.src, self.dst, self.src_port, self.dst_port, self.action
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_contains() {
+        let p: Ipv4Prefix = "192.168.10.0/24".parse().unwrap();
+        assert!(p.contains(u32::from_be_bytes([192, 168, 10, 4])));
+        assert!(!p.contains(u32::from_be_bytes([192, 168, 11, 4])));
+        assert!(Ipv4Prefix::any().contains(12345));
+        let host: Ipv4Prefix = "10.0.0.1".parse().unwrap();
+        assert_eq!(host.len, 32);
+        assert!(host.contains(u32::from_be_bytes([10, 0, 0, 1])));
+        assert!(!host.contains(u32::from_be_bytes([10, 0, 0, 2])));
+    }
+
+    #[test]
+    fn prefix_parse_errors() {
+        assert!("1.2.3".parse::<Ipv4Prefix>().is_err());
+        assert!("1.2.3.4.5".parse::<Ipv4Prefix>().is_err());
+        assert!("1.2.3.4/33".parse::<Ipv4Prefix>().is_err());
+        assert!("1.2.3.x/8".parse::<Ipv4Prefix>().is_err());
+    }
+
+    #[test]
+    fn prefix_byte_ranges() {
+        let p: Ipv4Prefix = "192.168.10.0/24".parse().unwrap();
+        assert_eq!(p.byte_range(0), (192, 192));
+        assert_eq!(p.byte_range(2), (10, 10));
+        assert_eq!(p.byte_range(3), (0, 255));
+        // Partial byte: /20 → third byte keeps top 4 bits.
+        let p20: Ipv4Prefix = "10.20.48.0/20".parse().unwrap();
+        assert_eq!(p20.byte_range(2), (48, 63));
+        assert_eq!(Ipv4Prefix::any().byte_range(0), (0, 255));
+    }
+
+    #[test]
+    fn port_segments_single_high_byte() {
+        // 1..=200: one segment.
+        assert_eq!(
+            PortRange::new(1, 200).byte_segments(),
+            vec![((0, 0), (1, 200))]
+        );
+    }
+
+    #[test]
+    fn port_segments_span() {
+        // 1..=750: 750 = 0x02EE → head (0,0)(1,255), middle (1,1)(0,255),
+        // tail (2,2)(0,238).
+        assert_eq!(
+            PortRange::new(1, 750).byte_segments(),
+            vec![
+                ((0, 0), (1, 255)),
+                ((1, 1), (0, 255)),
+                ((2, 2), (0, 0xEE)),
+            ]
+        );
+        // Adjacent high bytes: no middle.
+        assert_eq!(
+            PortRange::new(200, 300).byte_segments(),
+            vec![((0, 0), (200, 255)), ((1, 1), (0, 44))]
+        );
+    }
+
+    #[test]
+    fn port_segments_cover_exactly_the_range() {
+        for (lo, hi) in [(0u16, 0u16), (5, 5), (1, 750), (250, 260), (0, 65535), (65530, 65535)] {
+            let segs = PortRange::new(lo, hi).byte_segments();
+            for v in 0..=u16::MAX {
+                let [h, l] = v.to_be_bytes();
+                let in_segs = segs
+                    .iter()
+                    .any(|((hlo, hhi), (llo, lhi))| *hlo <= h && h <= *hhi && *llo <= l && l <= *lhi);
+                assert_eq!(in_segs, lo <= v && v <= hi, "v={v} range={lo}-{hi}");
+            }
+        }
+    }
+
+    #[test]
+    fn rule_matches_oracle() {
+        let rule = AclRule {
+            priority: 1,
+            src: "192.168.10.0/24".parse().unwrap(),
+            dst: "192.168.11.0/24".parse().unwrap(),
+            src_port: PortRange::exact(1),
+            dst_port: PortRange::new(1, 750),
+            action: Action::Drop,
+        };
+        let hit = PacketKey::new([192, 168, 10, 9], [192, 168, 11, 1], 1, 700);
+        let miss_port = PacketKey::new([192, 168, 10, 9], [192, 168, 11, 1], 1, 751);
+        let miss_dst = PacketKey::new([192, 168, 10, 9], [192, 168, 22, 1], 1, 700);
+        assert!(rule.matches(&hit));
+        assert!(!rule.matches(&miss_port));
+        assert!(!rule.matches(&miss_dst));
+    }
+
+    #[test]
+    fn displays() {
+        let p: Ipv4Prefix = "1.2.3.0/24".parse().unwrap();
+        assert_eq!(p.to_string(), "1.2.3.0/24");
+        assert_eq!(PortRange::exact(80).to_string(), "80");
+        assert_eq!(PortRange::new(1, 9).to_string(), "1-9");
+    }
+}

@@ -1,0 +1,202 @@
+//! Terminal charts: horizontal stacked bars (Fig. 8's per-query
+//! breakdown) and simple XY scatter rows (Fig. 4/9/10 series), so each
+//! reproduction binary can show the figure's *shape* directly in the
+//! terminal next to its numeric table.
+
+use std::fmt::Write as _;
+
+/// A horizontal stacked-bar chart: one row per item, one glyph-run per
+/// segment.
+#[derive(Debug, Clone)]
+pub struct StackedBars {
+    width: usize,
+    segments: Vec<(String, char)>,
+    rows: Vec<(String, Vec<f64>)>,
+}
+
+impl StackedBars {
+    /// Create a chart `width` characters wide with named segments, each
+    /// drawn with its glyph.
+    pub fn new(width: usize, segments: Vec<(&str, char)>) -> Self {
+        assert!(width >= 10, "chart too narrow");
+        assert!(!segments.is_empty(), "no segments");
+        StackedBars {
+            width,
+            segments: segments
+                .into_iter()
+                .map(|(n, g)| (n.to_string(), g))
+                .collect(),
+        rows: Vec::new(),
+        }
+    }
+
+    /// Add one bar; `values` must match the segment arity.
+    pub fn row(&mut self, label: impl Into<String>, values: Vec<f64>) -> &mut Self {
+        assert_eq!(values.len(), self.segments.len(), "segment arity mismatch");
+        assert!(values.iter().all(|v| *v >= 0.0), "negative segment");
+        self.rows.push((label.into(), values));
+        self
+    }
+
+    /// Render: bars scaled so the longest total fills the width.
+    pub fn render(&self) -> String {
+        let max_total: f64 = self
+            .rows
+            .iter()
+            .map(|(_, v)| v.iter().sum::<f64>())
+            .fold(0.0, f64::max);
+        let label_w = self.rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        // Legend.
+        let _ = write!(out, "{:label_w$}  ", "");
+        for (i, (name, glyph)) in self.segments.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let _ = write!(out, "{glyph}={name}");
+        }
+        out.push('\n');
+        for (label, values) in &self.rows {
+            let _ = write!(out, "{label:label_w$}  ");
+            let total: f64 = values.iter().sum();
+            if max_total > 0.0 {
+                for ((_, glyph), &v) in self.segments.iter().zip(values) {
+                    let chars = (v / max_total * self.width as f64).round() as usize;
+                    for _ in 0..chars {
+                        out.push(*glyph);
+                    }
+                }
+            }
+            let _ = write!(out, " {total:.1}");
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for StackedBars {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// A one-line-per-point dot plot for an XY series (log-ish visual
+/// comparison of a few series at shared x positions).
+#[derive(Debug, Clone)]
+pub struct DotRows {
+    width: usize,
+    series: Vec<(String, char)>,
+    rows: Vec<(String, Vec<f64>)>,
+}
+
+impl DotRows {
+    /// Chart with one glyph per series.
+    pub fn new(width: usize, series: Vec<(&str, char)>) -> Self {
+        assert!(width >= 10);
+        DotRows {
+            width,
+            series: series.into_iter().map(|(n, g)| (n.to_string(), g)).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Add a row: the x label plus one value per series.
+    pub fn row(&mut self, label: impl Into<String>, values: Vec<f64>) -> &mut Self {
+        assert_eq!(values.len(), self.series.len());
+        self.rows.push((label.into(), values));
+        self
+    }
+
+    /// Render with all series on a shared linear scale.
+    pub fn render(&self) -> String {
+        let max = self
+            .rows
+            .iter()
+            .flat_map(|(_, v)| v.iter().copied())
+            .fold(0.0f64, f64::max);
+        let label_w = self.rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        let _ = write!(out, "{:label_w$}  ", "");
+        for (i, (name, glyph)) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let _ = write!(out, "{glyph}={name}");
+        }
+        out.push('\n');
+        for (label, values) in &self.rows {
+            let mut line = vec![' '; self.width + 1];
+            for ((_, glyph), &v) in self.series.iter().zip(values) {
+                if max > 0.0 {
+                    let pos = (v / max * self.width as f64).round() as usize;
+                    let pos = pos.min(self.width);
+                    line[pos] = if line[pos] == ' ' { *glyph } else { '*' };
+                }
+            }
+            let _ = write!(out, "{label:label_w$} |");
+            out.extend(line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for DotRows {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stacked_bars_scale_to_longest() {
+        let mut c = StackedBars::new(40, vec![("f1", '#'), ("f3", '~')]);
+        c.row("q1", vec![10.0, 30.0]);
+        c.row("q2", vec![10.0, 0.0]);
+        let s = c.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].contains("#=f1"));
+        let q1_hashes = lines[1].matches('#').count();
+        let q1_tildes = lines[1].matches('~').count();
+        let q2_hashes = lines[2].matches('#').count();
+        assert_eq!(q1_hashes + q1_tildes, 40, "longest bar fills the width");
+        assert_eq!(q1_hashes, 10);
+        assert_eq!(q2_hashes, 10, "same value → same length across rows");
+        assert!(lines[1].trim_end().ends_with("40.0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "segment arity")]
+    fn arity_checked() {
+        StackedBars::new(20, vec![("a", '#')]).row("x", vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn dot_rows_positions() {
+        let mut c = DotRows::new(50, vec![("pebs", 'o'), ("perf", 'x')]);
+        c.row("R=1k", vec![1.0, 10.0]);
+        c.row("R=8k", vec![5.0, 10.0]);
+        let s = c.render();
+        let lines: Vec<&str> = s.lines().collect();
+        // perf sits at the right edge on both rows.
+        assert_eq!(lines[1].rfind('x'), lines[2].rfind('x'));
+        // pebs moved right as R grew.
+        assert!(lines[1].find('o').unwrap() < lines[2].find('o').unwrap());
+    }
+
+    #[test]
+    fn overlapping_points_merge() {
+        let mut c = DotRows::new(20, vec![("a", 'o'), ("b", 'x')]);
+        c.row("same", vec![5.0, 5.0]);
+        assert!(c.render().contains('*'));
+    }
+
+    #[test]
+    fn empty_rows_render() {
+        let c = StackedBars::new(20, vec![("a", '#')]);
+        assert!(c.render().contains("#=a"));
+    }
+}

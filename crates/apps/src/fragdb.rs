@@ -1,0 +1,302 @@
+//! The paper's §I motivating example, as a runnable app: "if
+//! performance of a database engine fluctuates only when its on-memory
+//! cache is fragmented and the fragmentation is fixed after processing
+//! few queries, then reproducing the phenomenon is a hard task."
+//!
+//! `FragDb` is a tiny in-memory record store whose allocator fragments
+//! under churn (deletes punch holes; inserts must scan the free list,
+//! at a cost proportional to the hole count). When fragmentation
+//! crosses a threshold, the *next* insert triggers a compaction that
+//! fixes it — so exactly one unlucky query absorbs a large latency, and
+//! identical queries before and after are fast. Offline reproduction
+//! would require recreating the precise hole structure; the hybrid
+//! tracer instead catches the single occurrence online and attributes
+//! it to `db_compact`.
+
+use fluctrace_cpu::{Core, Exec, FuncId, SymbolTable, SymbolTableBuilder};
+use std::collections::BTreeMap;
+
+/// Function handles of the store.
+#[derive(Debug, Clone, Copy)]
+pub struct FragDbFuncs {
+    /// Worker loop (poll function).
+    pub db_loop: FuncId,
+    /// Query parsing.
+    pub db_parse: FuncId,
+    /// Record lookup.
+    pub db_lookup: FuncId,
+    /// Allocation inside insert (fragmentation-sensitive).
+    pub db_alloc: FuncId,
+    /// Record write.
+    pub db_write: FuncId,
+    /// Compaction (the rare, heavy fix).
+    pub db_compact: FuncId,
+}
+
+/// One query against the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DbQuery {
+    /// Insert a record of `size` bytes under `key`.
+    Insert {
+        /// Record key.
+        key: u64,
+        /// Record payload size in bytes.
+        size: u32,
+    },
+    /// Delete the record under `key` (punches a hole).
+    Delete {
+        /// Record key.
+        key: u64,
+    },
+    /// Look up `key`.
+    Lookup {
+        /// Record key.
+        key: u64,
+    },
+}
+
+/// Per-query cost constants (µops).
+const PARSE_UOPS: u64 = 1_500;
+const LOOKUP_BASE_UOPS: u64 = 2_500;
+const WRITE_UOPS_PER_BYTE: u64 = 2;
+const ALLOC_BASE_UOPS: u64 = 800;
+/// Free-list scan: cost per hole currently in the allocator.
+const ALLOC_UOPS_PER_HOLE: u64 = 60;
+/// Compaction: cost per live record moved.
+const COMPACT_UOPS_PER_RECORD: u64 = 900;
+
+/// The fragmenting in-memory store.
+pub struct FragDb {
+    funcs: FragDbFuncs,
+    records: BTreeMap<u64, u32>,
+    /// Free-list holes by size. Deletes push a record-sized hole;
+    /// inserts reuse the first hole that fits, leaving the residual as a
+    /// smaller hole — so churn accumulates fragments too small to fit
+    /// anything, exactly how real allocators fragment. Compaction
+    /// clears the list.
+    holes: Vec<u32>,
+    /// Compaction trigger.
+    compact_threshold: u32,
+    compactions: u64,
+}
+
+impl FragDb {
+    /// Build the store's symbol table.
+    pub fn symtab() -> (SymbolTable, FragDbFuncs) {
+        let mut b = SymbolTableBuilder::new();
+        let funcs = FragDbFuncs {
+            db_loop: b.add("db_loop", 512),
+            db_parse: b.add("db_parse", 1024),
+            db_lookup: b.add("db_lookup", 2048),
+            db_alloc: b.add("db_alloc", 2048),
+            db_write: b.add("db_write", 2048),
+            db_compact: b.add("db_compact", 8192),
+        };
+        (b.build(), funcs)
+    }
+
+    /// Fresh, unfragmented store that compacts at `compact_threshold`
+    /// holes.
+    pub fn new(funcs: FragDbFuncs, compact_threshold: u32) -> Self {
+        assert!(compact_threshold > 0);
+        FragDb {
+            funcs,
+            records: BTreeMap::new(),
+            holes: Vec::new(),
+            compact_threshold,
+            compactions: 0,
+        }
+    }
+
+    /// Current fragmentation (holes in the free list).
+    pub fn fragmentation(&self) -> u32 {
+        self.holes.len() as u32
+    }
+
+    /// Live records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Compactions performed so far.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Execute one query on `core` (the caller brackets it with marks).
+    pub fn process(&mut self, core: &mut Core, query: DbQuery) {
+        core.exec(Exec::new(self.funcs.db_parse, PARSE_UOPS));
+        match query {
+            DbQuery::Lookup { key } => {
+                // BTree-ish lookup: log cost in the record count.
+                let depth = (self.records.len().max(2) as f64).log2() as u64;
+                core.exec(Exec::new(
+                    self.funcs.db_lookup,
+                    LOOKUP_BASE_UOPS + 400 * depth,
+                ));
+                let _ = self.records.get(&key);
+            }
+            DbQuery::Delete { key } => {
+                let depth = (self.records.len().max(2) as f64).log2() as u64;
+                core.exec(Exec::new(
+                    self.funcs.db_lookup,
+                    LOOKUP_BASE_UOPS + 400 * depth,
+                ));
+                if let Some(size) = self.records.remove(&key) {
+                    self.holes.push(size);
+                }
+            }
+            DbQuery::Insert { key, size } => {
+                // Fragmentation fix: one unlucky insert compacts first.
+                if self.holes.len() as u32 >= self.compact_threshold {
+                    core.exec(Exec::new(
+                        self.funcs.db_compact,
+                        COMPACT_UOPS_PER_RECORD * self.records.len().max(1) as u64,
+                    ));
+                    self.holes.clear();
+                    self.compactions += 1;
+                }
+                // First-fit free-list scan; cost grows with fragmentation.
+                core.exec(Exec::new(
+                    self.funcs.db_alloc,
+                    ALLOC_BASE_UOPS + ALLOC_UOPS_PER_HOLE * self.holes.len() as u64,
+                ));
+                if let Some(pos) = self.holes.iter().position(|&h| h >= size) {
+                    let residual = self.holes.swap_remove(pos) - size;
+                    // A residual too small to hold a record head stays a
+                    // dead fragment.
+                    if residual > 32 {
+                        self.holes.push(residual);
+                    }
+                }
+                core.exec(Exec::new(
+                    self.funcs.db_write,
+                    WRITE_UOPS_PER_BYTE * size as u64,
+                ));
+                self.records.insert(key, size);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fluctrace_cpu::{CoreConfig, ItemId, Machine, MachineConfig, PebsConfig};
+    use fluctrace_sim::{Freq, SimDuration};
+
+    fn machine(pebs: bool) -> (Machine, FragDbFuncs) {
+        let (symtab, funcs) = FragDb::symtab();
+        let mut cfg = CoreConfig::bare().with_ground_truth();
+        if pebs {
+            cfg.pebs = Some(PebsConfig::new(2_000));
+        }
+        (Machine::new(MachineConfig::new(1, cfg), symtab), funcs)
+    }
+
+    #[test]
+    fn deletes_fragment_inserts_defragment() {
+        let (mut m, funcs) = machine(false);
+        let core = m.core_mut(0);
+        let mut db = FragDb::new(funcs, 1000);
+        for k in 0..10 {
+            db.process(core, DbQuery::Insert { key: k, size: 64 });
+        }
+        assert_eq!(db.len(), 10);
+        for k in 0..5 {
+            db.process(core, DbQuery::Delete { key: k });
+        }
+        assert_eq!(db.fragmentation(), 5);
+        db.process(core, DbQuery::Insert { key: 100, size: 64 });
+        assert_eq!(db.fragmentation(), 4, "insert reuses a hole");
+        // Deleting a missing key punches no hole.
+        db.process(core, DbQuery::Delete { key: 9999 });
+        assert_eq!(db.fragmentation(), 4);
+    }
+
+    #[test]
+    fn exactly_one_query_absorbs_the_compaction() {
+        let (mut m, funcs) = machine(false);
+        let core = m.core_mut(0);
+        let mut db = FragDb::new(funcs, 8);
+        // Build up records, then churn to cross the threshold.
+        for k in 0..50 {
+            db.process(core, DbQuery::Insert { key: k, size: 64 });
+        }
+        for k in 0..8 {
+            db.process(core, DbQuery::Delete { key: k });
+        }
+        assert_eq!(db.compactions(), 0);
+        // Time three identical inserts around the compaction.
+        let mut times = Vec::new();
+        for k in 100..103 {
+            let t0 = core.now();
+            db.process(core, DbQuery::Insert { key: k, size: 64 });
+            times.push(core.now().since(t0));
+        }
+        assert_eq!(db.compactions(), 1);
+        // First insert compacted: much slower than the identical next two.
+        assert!(
+            times[0] > times[1] * 4,
+            "compacting {} vs clean {}",
+            times[0],
+            times[1]
+        );
+        assert!(times[1] < times[2] * 2 && times[2] < times[1] * 2);
+    }
+
+    #[test]
+    fn tracer_attributes_the_spike_to_compaction() {
+        let (mut m, funcs) = machine(true);
+        let core = m.core_mut(0);
+        let mut db = FragDb::new(funcs, 8);
+        let mut item = 0u64;
+        fn run(
+            item: &mut u64,
+            core: &mut fluctrace_cpu::Core,
+            db: &mut FragDb,
+            q: DbQuery,
+        ) {
+            core.mark_item_start(ItemId(*item));
+            db.process(core, q);
+            core.mark_item_end(ItemId(*item));
+            core.idle(SimDuration::from_us(2));
+            *item += 1;
+        }
+        for k in 0..60 {
+            run(&mut item, core, &mut db, DbQuery::Insert { key: k, size: 256 });
+        }
+        for k in 0..8 {
+            run(&mut item, core, &mut db, DbQuery::Delete { key: k });
+        }
+        let victim = item;
+        for k in 100..110 {
+            run(&mut item, core, &mut db, DbQuery::Insert { key: k, size: 256 });
+        }
+        let (bundle, _) = m.collect();
+        let it = fluctrace_core::integrate(
+            &bundle,
+            m.symtab(),
+            Freq::ghz(3),
+            fluctrace_core::MappingMode::Intervals,
+        );
+        let table = fluctrace_core::EstimateTable::from_integrated(&it);
+        // The victim insert shows db_compact; its neighbours do not.
+        let victim_compact = table
+            .get(ItemId(victim), funcs.db_compact)
+            .expect("compaction sampled");
+        assert!(victim_compact.is_estimable());
+        assert!(
+            victim_compact.elapsed > SimDuration::from_us(8),
+            "{}",
+            victim_compact.elapsed
+        );
+        assert!(table.get(ItemId(victim + 1), funcs.db_compact).is_none());
+        assert!(table.get(ItemId(victim - 1), funcs.db_compact).is_none());
+    }
+}

@@ -1,0 +1,245 @@
+//! SPEC-CPU-2006-like synthetic kernels (astar, bzip2, gcc analogues)
+//! for the sample-interval experiment (Fig. 4).
+//!
+//! Fig. 4's point needs workloads whose **average µop throughput
+//! differs** — "the sample intervals for the same reset value are
+//! different across benchmarks because the average instructions per
+//! cycle are different for each benchmark". Each kernel therefore has a
+//! characteristic IPC band and phase behaviour:
+//!
+//! * `astar` — irregular pointer-chasing search: low IPC (0.6–0.9);
+//! * `bzip2` — tight compression loops: high IPC (1.2–1.6);
+//! * `gcc`  — many small functions, medium IPC (0.9–1.3) with bursty
+//!   phase changes.
+
+use fluctrace_cpu::{Core, Exec, FuncId, SymbolTable, SymbolTableBuilder};
+use fluctrace_sim::Rng;
+
+/// The three kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// Pathfinding-like pointer chasing (low IPC).
+    Astar,
+    /// Compression-like tight loops (high IPC).
+    Bzip2,
+    /// Compiler-like many-function workload (medium IPC).
+    Gcc,
+}
+
+impl Kernel {
+    /// All kernels.
+    pub const ALL: [Kernel; 3] = [Kernel::Astar, Kernel::Bzip2, Kernel::Gcc];
+
+    /// Label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Kernel::Astar => "astar",
+            Kernel::Bzip2 => "bzip2",
+            Kernel::Gcc => "gcc",
+        }
+    }
+
+    /// The kernel's IPC band (µops per 1000 cycles, low..=high).
+    pub fn ipc_band(self) -> (u32, u32) {
+        match self {
+            Kernel::Astar => (600, 900),
+            Kernel::Bzip2 => (1200, 1600),
+            Kernel::Gcc => (900, 1300),
+        }
+    }
+
+    /// Nominal mean IPC (µops per 1000 cycles).
+    pub fn mean_ipc_milli(self) -> u32 {
+        let (lo, hi) = self.ipc_band();
+        (lo + hi) / 2
+    }
+
+    /// Average µop rate per second on a core of frequency `hz`.
+    pub fn uops_per_sec(self, hz: u64) -> f64 {
+        hz as f64 * self.mean_ipc_milli() as f64 / 1000.0
+    }
+}
+
+/// Per-kernel function handles.
+#[derive(Debug, Clone)]
+pub struct KernelFuncs {
+    /// Functions of each kernel, indexed by [`Kernel::ALL`] position.
+    funcs: [Vec<FuncId>; 3],
+}
+
+impl KernelFuncs {
+    /// Build a symbol table containing all three kernels' functions.
+    pub fn symtab() -> (SymbolTable, KernelFuncs) {
+        let mut b = SymbolTableBuilder::new();
+        let astar = vec![
+            b.add("astar_search", 8192),
+            b.add("astar_expand_node", 4096),
+            b.add("astar_heap_up", 1024),
+        ];
+        let bzip2 = vec![
+            b.add("bzip2_compress_block", 16384),
+            b.add("bzip2_sort_suffixes", 8192),
+            b.add("bzip2_huffman", 4096),
+        ];
+        let gcc = vec![
+            b.add("gcc_parse", 8192),
+            b.add("gcc_gimplify", 4096),
+            b.add("gcc_regalloc", 8192),
+            b.add("gcc_schedule", 4096),
+            b.add("gcc_emit", 2048),
+        ];
+        (
+            b.build(),
+            KernelFuncs {
+                funcs: [astar, bzip2, gcc],
+            },
+        )
+    }
+
+    /// The functions of `kernel`.
+    pub fn of(&self, kernel: Kernel) -> &[FuncId] {
+        let idx = Kernel::ALL.iter().position(|&k| k == kernel).unwrap();
+        &self.funcs[idx]
+    }
+}
+
+impl Kernel {
+    /// Execute roughly `total_uops` µops of this kernel on `core`,
+    /// switching functions and IPC phases with kernel-characteristic
+    /// granularity. Deterministic given `seed`.
+    pub fn run(self, core: &mut Core, funcs: &KernelFuncs, total_uops: u64, seed: u64) {
+        let mut rng = Rng::new(seed ^ (self as u64).wrapping_mul(0x9E37_79B9));
+        let fns = funcs.of(self);
+        let (lo, hi) = self.ipc_band();
+        // Phase length: gcc switches often, bzip2 stays in loops long.
+        let (seg_lo, seg_hi) = match self {
+            Kernel::Astar => (5_000u64, 30_000),
+            Kernel::Bzip2 => (40_000, 120_000),
+            Kernel::Gcc => (3_000, 20_000),
+        };
+        let mut executed = 0u64;
+        let mut phase_ipc = rng.gen_range(lo as u64, hi as u64) as u32;
+        let mut phase_left = rng.gen_range(3, 10);
+        while executed < total_uops {
+            if phase_left == 0 {
+                phase_ipc = rng.gen_range(lo as u64, hi as u64) as u32;
+                phase_left = rng.gen_range(3, 10);
+            }
+            phase_left -= 1;
+            let func = *rng.choose(fns);
+            let uops = rng.gen_range(seg_lo, seg_hi).min(total_uops - executed).max(1);
+            core.exec(Exec::new(func, uops).ipc_milli(phase_ipc));
+            executed += uops;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fluctrace_cpu::{CoreConfig, CoreId, HwEvent, Machine, MachineConfig, PebsConfig};
+    use fluctrace_sim::SimDuration;
+
+    fn run_kernel(k: Kernel, pebs: Option<PebsConfig>) -> (Core, KernelFuncs) {
+        let (symtab, funcs) = KernelFuncs::symtab();
+        let mut cfg = CoreConfig::bare();
+        cfg.pebs = pebs;
+        let mut machine = Machine::new(MachineConfig::new(1, cfg), symtab);
+        let mut core = machine.take_core(0);
+        k.run(&mut core, &funcs, 3_000_000, 42);
+        (core, funcs)
+    }
+
+    #[test]
+    fn kernels_retire_requested_uops() {
+        for k in Kernel::ALL {
+            let (core, _) = run_kernel(k, None);
+            assert_eq!(core.event_count(HwEvent::UopsRetired), 3_000_000);
+        }
+    }
+
+    #[test]
+    fn throughput_ordering_bzip2_fastest_astar_slowest() {
+        let times: Vec<SimDuration> = Kernel::ALL
+            .iter()
+            .map(|&k| {
+                let (core, _) = run_kernel(k, None);
+                core.now().since(fluctrace_sim::SimTime::ZERO)
+            })
+            .collect();
+        // Same uops: astar takes longest (low IPC), bzip2 shortest.
+        let (astar, bzip2, gcc) = (times[0], times[1], times[2]);
+        assert!(astar > gcc, "astar {astar} vs gcc {gcc}");
+        assert!(gcc > bzip2, "gcc {gcc} vs bzip2 {bzip2}");
+    }
+
+    #[test]
+    fn mean_ipc_within_band() {
+        for k in Kernel::ALL {
+            let (core, _) = run_kernel(k, None);
+            let cycles = core.freq().dur_to_cycles(core.now().since(fluctrace_sim::SimTime::ZERO));
+            let ipc_milli = 3_000_000u64 * 1000 / cycles;
+            let (lo, hi) = k.ipc_band();
+            assert!(
+                (lo as u64..=hi as u64).contains(&ipc_milli),
+                "{}: achieved IPC {} outside [{lo}, {hi}]",
+                k.label(),
+                ipc_milli
+            );
+        }
+    }
+
+    #[test]
+    fn sample_interval_differs_across_kernels_at_same_reset() {
+        // The Fig. 4 premise.
+        let mut intervals = Vec::new();
+        for k in Kernel::ALL {
+            let (mut core, _) = run_kernel(k, Some(PebsConfig::new(8000)));
+            core.finish();
+            let b = core.take_bundle();
+            let tscs: Vec<u64> = b.samples.iter().map(|s| s.tsc).collect();
+            let mean_gap_cycles = (tscs.last().unwrap() - tscs[0]) as f64 / (tscs.len() - 1) as f64;
+            intervals.push(mean_gap_cycles);
+        }
+        let (astar, bzip2, _) = (intervals[0], intervals[1], intervals[2]);
+        assert!(
+            astar > bzip2 * 1.3,
+            "astar interval {astar} vs bzip2 {bzip2} cycles"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (symtab, funcs) = KernelFuncs::symtab();
+        let run = |seed| {
+            let mut machine =
+                Machine::new(MachineConfig::new(1, CoreConfig::bare()), symtab.clone());
+            let mut core = machine.take_core(0);
+            Kernel::Gcc.run(&mut core, &funcs, 500_000, seed);
+            core.now()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn uses_multiple_functions() {
+        let (mut core, funcs) = run_kernel(Kernel::Gcc, Some(PebsConfig::new(2000)));
+        core.finish();
+        let b = core.take_bundle();
+        let symtab = core.symtab().clone();
+        let mut seen = std::collections::HashSet::new();
+        for s in &b.samples {
+            if let Some(f) = symtab.resolve(s.ip) {
+                seen.insert(f);
+            }
+        }
+        assert!(
+            seen.len() >= 4,
+            "gcc kernel should spread over its functions, saw {}",
+            seen.len()
+        );
+        let _ = CoreId(0);
+        let _ = funcs;
+    }
+}

@@ -1,0 +1,35 @@
+//! # fluctrace-apps
+//!
+//! The workload applications of the paper's evaluation, rebuilt on the
+//! `fluctrace` substrate:
+//!
+//! * [`query_app`] — the §IV.B proof-of-concept: a two-thread query
+//!   answering app (Fig. 7) whose in-memory cache makes identical
+//!   queries take different times (Fig. 8);
+//! * [`firewall`] — the §IV.C realistic case study: a DPDK-style
+//!   RX → ACL → TX firewall over the multi-trie classifier, with the
+//!   Table III rule set and Table IV packet types (Figs. 9, 10);
+//! * [`packets`] — packet definitions, type A/B/C generators and the
+//!   GNET-like hardware tester that measures per-packet latency;
+//! * [`webserver`] — an NGINX-like request-processing model used to
+//!   motivate the problem (Fig. 2: most functions take < 4 µs);
+//! * [`kernels`] — three SPEC-CPU-like synthetic kernels with distinct
+//!   µop-throughput profiles, the workloads behind the sample-interval
+//!   experiment (Fig. 4).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod firewall;
+pub mod fragdb;
+pub mod kernels;
+pub mod packets;
+pub mod query_app;
+pub mod webserver;
+
+pub use firewall::{AclCostModel, Firewall, FirewallFuncs, FirewallRun};
+pub use fragdb::{DbQuery, FragDb, FragDbFuncs};
+pub use kernels::{Kernel, KernelFuncs};
+pub use packets::{PacketType, TestPacket, Tester, TesterReport};
+pub use query_app::{Query, QueryApp, QueryFuncs};
+pub use webserver::{WebServer, WebServerFuncs};

@@ -1,0 +1,319 @@
+//! The §IV.B proof-of-concept application (Fig. 7).
+//!
+//! Two threads, each pinned to a core. Thread 0 receives queries and
+//! passes them one by one to Thread 1. A query is `(id, n)`; Thread 1
+//! applies linear transformations to `N = n × 1000` points and returns
+//! the results. An in-memory cache of already-transformed points makes
+//! the app's performance fluctuate: a query whose points were computed
+//! by earlier queries is fast, a query that extends the cached range is
+//! slow — even for the same `n` (Fig. 8).
+//!
+//! Thread 1's while loop contains three functions, but only the loop
+//! itself is instrumented (`log(d.id, timestamp)` at the top and
+//! bottom): per-function times come from sampling.
+//!
+//! * `f1` — receive/parse the query;
+//! * `f2` — look up which of the `N` points are cached;
+//! * `f3` — transform the uncached points and insert them.
+
+use fluctrace_cpu::{Core, Exec, FuncId, ItemId, Machine, SymbolTable, SymbolTableBuilder};
+use fluctrace_rt::{run_stage, Timed};
+use fluctrace_rt::stage::StageOpts;
+use fluctrace_rt::timed::arrival_schedule;
+use fluctrace_sim::{SimDuration, SimTime};
+
+/// One query: a unique id and the size parameter `n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Query {
+    /// Unique query id (becomes the data-item id).
+    pub id: u64,
+    /// Size parameter; the query touches `n × 1000` points.
+    pub n: u64,
+}
+
+/// Function handles of the query app.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryFuncs {
+    /// Thread 0's receive loop.
+    pub rx_loop: FuncId,
+    /// Thread 1's worker loop (poll + marks live here).
+    pub worker_loop: FuncId,
+    /// Receive/parse.
+    pub f1: FuncId,
+    /// Cache lookup.
+    pub f2: FuncId,
+    /// Transform + cache insert.
+    pub f3: FuncId,
+}
+
+/// The proof-of-concept application.
+pub struct QueryApp {
+    funcs: QueryFuncs,
+    /// Points 1..=cached_upto have cached results.
+    cached_upto: u64,
+}
+
+/// µop costs of the app (per query / per point), sized so that at the
+/// paper's reset value of 8000 even warm queries collect a few samples
+/// per function while cold queries dominate by ≥3×.
+const F1_UOPS: u64 = 12_000;
+const F2_UOPS_PER_POINT: u64 = 10;
+const F3_UOPS_PER_NEW_POINT: u64 = 80;
+const F3_UOPS_PER_CACHED_POINT: u64 = 8;
+const IPC_MILLI: u32 = 2_000;
+
+impl QueryApp {
+    /// Build the app's symbol table; returns it with the function
+    /// handles.
+    pub fn symtab() -> (SymbolTable, QueryFuncs) {
+        let mut b = SymbolTableBuilder::new();
+        let rx_loop = b.add("rx_loop", 512);
+        let worker_loop = b.add("worker_loop", 768);
+        let f1 = b.add("f1", 1024);
+        let f2 = b.add("f2", 2048);
+        let f3 = b.add("f3", 4096);
+        (
+            b.build(),
+            QueryFuncs {
+                rx_loop,
+                worker_loop,
+                f1,
+                f2,
+                f3,
+            },
+        )
+    }
+
+    /// Create the app with a cold cache.
+    pub fn new(funcs: QueryFuncs) -> Self {
+        QueryApp {
+            funcs,
+            cached_upto: 0,
+        }
+    }
+
+    /// Process one query on `core` (Thread 1's loop body, between the
+    /// two `log` calls). Returns the number of newly computed points.
+    pub fn process(&mut self, core: &mut Core, q: Query) -> u64 {
+        let n_points = q.n * 1000;
+        // f1: receive and parse.
+        core.exec(Exec::new(self.funcs.f1, F1_UOPS).ipc_milli(IPC_MILLI));
+        // f2: cache lookup over all requested points.
+        core.exec(
+            Exec::new(self.funcs.f2, F2_UOPS_PER_POINT * n_points).ipc_milli(IPC_MILLI),
+        );
+        // f3: compute the uncached tail, reuse the cached head.
+        let new_points = n_points.saturating_sub(self.cached_upto);
+        let cached_points = n_points - new_points;
+        let f3_uops =
+            F3_UOPS_PER_NEW_POINT * new_points + F3_UOPS_PER_CACHED_POINT * cached_points;
+        core.exec(Exec::new(self.funcs.f3, f3_uops.max(1)).ipc_milli(IPC_MILLI));
+        self.cached_upto = self.cached_upto.max(n_points);
+        new_points
+    }
+
+    /// Run the whole two-thread app over `queries`, arriving
+    /// `interval` apart starting at t = `start`. Thread 0 runs on
+    /// machine core 0, Thread 1 on core 1. Returns the egress schedule.
+    pub fn run(
+        machine: &mut Machine,
+        funcs: QueryFuncs,
+        queries: &[Query],
+        start: SimTime,
+        interval: SimDuration,
+    ) -> Vec<Timed<Query>> {
+        let input = arrival_schedule(start, interval, queries.len(), |i| queries[i]);
+        // Thread 0: receive and forward.
+        let mut core0 = machine.take_core(0);
+        let forwarded = run_stage(
+            &mut core0,
+            input,
+            StageOpts::new(funcs.rx_loop),
+            |core, q| {
+                core.exec(Exec::new(funcs.rx_loop, 400).ipc_milli(IPC_MILLI));
+                Some(q)
+            },
+        );
+        machine.return_core(core0);
+        // Thread 1: the instrumented worker.
+        let mut app = QueryApp::new(funcs);
+        let mut core1 = machine.take_core(1);
+        let out = run_stage(
+            &mut core1,
+            forwarded,
+            StageOpts::new(funcs.worker_loop),
+            |core, q: Query| {
+                core.mark_item_start(ItemId(q.id));
+                app.process(core, q);
+                core.mark_item_end(ItemId(q.id));
+                Some(q)
+            },
+        );
+        machine.return_core(core1);
+        out
+    }
+
+    /// The query sequence used for Fig. 8: queries 1, 2, 4, 8 share
+    /// n = 3 (the 1st is slow: cold cache); queries 5, 7, 9 share n = 5
+    /// (the 5th is slow: 2000 of its 5000 points are new).
+    pub fn fig8_queries() -> Vec<Query> {
+        let ns = [3u64, 3, 2, 3, 5, 4, 5, 3, 5, 4];
+        ns.iter()
+            .enumerate()
+            .map(|(i, &n)| Query {
+                id: (i + 1) as u64,
+                n,
+            })
+            .collect()
+    }
+
+    /// Points currently cached (diagnostic).
+    pub fn cached_upto(&self) -> u64 {
+        self.cached_upto
+    }
+
+    /// Invalidate the cache (models eviction/fragmentation events that
+    /// production systems suffer — the non-functional state changes the
+    /// paper says "change every time a new data-item is processed").
+    pub fn flush_cache(&mut self) {
+        self.cached_upto = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fluctrace_cpu::{CoreConfig, MachineConfig, PebsConfig};
+    use fluctrace_sim::Freq;
+
+    fn machine(pebs: Option<PebsConfig>) -> (Machine, QueryFuncs) {
+        let (symtab, funcs) = QueryApp::symtab();
+        let mut cfg = CoreConfig::bare().with_ground_truth();
+        cfg.pebs = pebs;
+        (Machine::new(MachineConfig::new(2, cfg), symtab), funcs)
+    }
+
+    #[test]
+    fn cold_query_computes_all_points() {
+        let (mut m, funcs) = machine(None);
+        let mut app = QueryApp::new(funcs);
+        let mut core = m.take_core(1);
+        let new = app.process(&mut core, Query { id: 1, n: 3 });
+        assert_eq!(new, 3000);
+        assert_eq!(app.cached_upto(), 3000);
+        // Same query again: nothing new.
+        let again = app.process(&mut core, Query { id: 2, n: 3 });
+        assert_eq!(again, 0);
+        // n=5 extends by 2000 (the paper's 5th-query situation).
+        let extend = app.process(&mut core, Query { id: 3, n: 5 });
+        assert_eq!(extend, 2000);
+    }
+
+    #[test]
+    fn warm_query_is_much_faster() {
+        let (mut m, funcs) = machine(None);
+        let mut app = QueryApp::new(funcs);
+        let mut core = m.take_core(1);
+        let t0 = core.now();
+        app.process(&mut core, Query { id: 1, n: 3 });
+        let cold = core.now().since(t0);
+        let t1 = core.now();
+        app.process(&mut core, Query { id: 2, n: 3 });
+        let warm = core.now().since(t1);
+        assert!(
+            cold.as_ns_f64() > 3.0 * warm.as_ns_f64(),
+            "cold {cold} vs warm {warm}"
+        );
+    }
+
+    #[test]
+    fn full_pipeline_produces_all_queries_in_order() {
+        let (mut m, funcs) = machine(None);
+        let queries = QueryApp::fig8_queries();
+        let out = QueryApp::run(
+            &mut m,
+            funcs,
+            &queries,
+            SimTime::from_us(5),
+            SimDuration::from_us(200),
+        );
+        assert_eq!(out.len(), 10);
+        for (o, q) in out.iter().zip(&queries) {
+            assert_eq!(o.value.id, q.id);
+        }
+        let (bundle, reports) = m.collect();
+        assert_eq!(bundle.marks.len(), 20, "two marks per query");
+        assert_eq!(reports[1].marks, 20);
+        assert_eq!(reports[0].marks, 0, "thread 0 is not instrumented");
+    }
+
+    #[test]
+    fn fig8_ground_truth_shape() {
+        // Queries 1 and 5 are the slow ones within their n-groups.
+        let (mut m, funcs) = machine(None);
+        let queries = QueryApp::fig8_queries();
+        QueryApp::run(
+            &mut m,
+            funcs,
+            &queries,
+            SimTime::from_us(5),
+            SimDuration::from_us(200),
+        );
+        let core1 = m.core_mut(1);
+        let gt = core1.take_ground_truth();
+        // Total wall per item.
+        let mut per_item = std::collections::BTreeMap::new();
+        for g in &gt {
+            if let Some(item) = g.item {
+                *per_item.entry(item.0).or_insert(SimDuration::ZERO) += g.wall;
+            }
+        }
+        let t = |id: u64| per_item[&id].as_us_f64();
+        // n=3 group: query 1 much slower than 2, 4, 8.
+        assert!(t(1) > 2.0 * t(2), "q1 {} vs q2 {}", t(1), t(2));
+        assert!(t(1) > 2.0 * t(4));
+        assert!(t(1) > 2.0 * t(8));
+        // n=5 group: query 5 slower than 7 and 9.
+        assert!(t(5) > 1.5 * t(7), "q5 {} vs q7 {}", t(5), t(7));
+        assert!(t(5) > 1.5 * t(9));
+        // Warm queries of the same n are mutually similar (within 20%).
+        assert!((t(2) - t(4)).abs() / t(2) < 0.2);
+        assert!((t(7) - t(9)).abs() / t(7) < 0.2);
+    }
+
+    #[test]
+    fn traced_run_attributes_f3_as_the_cold_query_bottleneck() {
+        // End-to-end: with PEBS on, the hybrid estimates show f3
+        // dominating query 1 (the paper's "richer information than
+        // service level logging").
+        let (mut m, funcs) = machine(Some(PebsConfig::new(2000)));
+        let queries = QueryApp::fig8_queries();
+        QueryApp::run(
+            &mut m,
+            funcs,
+            &queries,
+            SimTime::from_us(5),
+            SimDuration::from_us(200),
+        );
+        let (bundle, _) = m.collect();
+        let it = fluctrace_core::integrate(
+            &bundle,
+            m.symtab(),
+            Freq::ghz(3),
+            fluctrace_core::MappingMode::Intervals,
+        );
+        let table = fluctrace_core::EstimateTable::from_integrated(&it);
+        let q1_f3 = table.get(ItemId(1), funcs.f3).expect("q1 f3 sampled");
+        let q2_f3 = table.get(ItemId(2), funcs.f3);
+        assert!(q1_f3.is_estimable());
+        assert!(q1_f3.elapsed > SimDuration::from_us(20), "{}", q1_f3.elapsed);
+        // Warm q2's f3 is tiny — often too few samples to even estimate.
+        if let Some(e) = q2_f3 {
+            assert!(e.elapsed < q1_f3.elapsed / 4);
+        }
+        // f3 dominates f1 for the cold query.
+        if let Some(f1e) = table.get(ItemId(1), funcs.f1) {
+            assert!(q1_f3.elapsed > f1e.elapsed);
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Ablation benchmarks of the design choices DESIGN.md calls out:
+//!
+//! 1. **drain mode** — synchronous SSD drain (paper's prototype) vs
+//!    double buffering (§III.E's suggested optimisation): simulated
+//!    packet-latency overhead of each;
+//! 2. **mapping mode** — interval mapping vs register tagging on the
+//!    same trace: integration wall-clock and identical estimates;
+//! 3. **online filtering** — volume kept with divergence-triggered
+//!    dumping vs dump-everything;
+//! 4. **trie partitioning** — simulated classification work at 8 vs 247
+//!    tries.
+//!
+//! These are Criterion benches so the numbers land in bench output, but
+//! each also asserts the qualitative outcome so a regression fails the
+//! run rather than silently changing a conclusion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fluctrace_acl::{table3_rules, AclBuildConfig, CountingMeter, MultiTrieAcl, WorkMeter as _};
+use fluctrace_apps::PacketType;
+use fluctrace_bench::acl_experiment::{run_acl, AclRunConfig};
+use fluctrace_core::{integrate, EstimateTable, MappingMode, OnlineConfig, OnlineTracer};
+use fluctrace_cpu::{DrainMode, ItemId};
+use fluctrace_sim::Freq;
+use std::hint::black_box;
+
+fn bench_drain_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_drain_mode");
+    g.sample_size(10);
+    for (label, drain) in [
+        ("synchronous_ssd", DrainMode::Synchronous),
+        ("double_buffered", DrainMode::DoubleBuffered),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut cfg = AclRunConfig::new(Some(8_000), 40, (200, 100, 0));
+                cfg.drain = drain;
+                black_box(run_acl(cfg).mean_latency_us)
+            })
+        });
+    }
+    g.finish();
+    // Qualitative assertion: synchronous drains produce (weakly) larger
+    // mean latency because 200 µs SSD stalls can land inside packets.
+    let mut sync_cfg = AclRunConfig::new(Some(8_000), 200, (200, 100, 0));
+    sync_cfg.drain = DrainMode::Synchronous;
+    let mut dbl_cfg = sync_cfg;
+    dbl_cfg.drain = DrainMode::DoubleBuffered;
+    let sync = run_acl(sync_cfg).mean_latency_us;
+    let dbl = run_acl(dbl_cfg).mean_latency_us;
+    assert!(
+        sync >= dbl,
+        "synchronous drain should not be faster: {sync} vs {dbl}"
+    );
+}
+
+fn bench_mapping_modes(c: &mut Criterion) {
+    // One traced ULT-free firewall run, integrated both ways.
+    use fluctrace_apps::{AclCostModel, Firewall, Tester};
+    use fluctrace_cpu::{CoreConfig, Machine, MachineConfig, PebsConfig};
+    use fluctrace_sim::{SimDuration, SimTime};
+
+    let (symtab, funcs) = Firewall::symtab();
+    let core_cfg = CoreConfig::bare()
+        .with_pebs(PebsConfig::new(8_000))
+        .with_reg_tagging();
+    let mut machine = Machine::new(MachineConfig::new(3, core_cfg), symtab);
+    let rules = table3_rules(200, 100, 0);
+    let fw = Firewall::new(
+        &rules,
+        AclBuildConfig::paper_patched(),
+        AclCostModel::default(),
+        funcs,
+    );
+    let (_, ingress) = Tester::send_round_robin(SimTime::from_us(10), SimDuration::from_us(60), 100);
+    fw.run(&mut machine, ingress);
+    let (bundle, _) = machine.collect();
+    let symtab = machine.symtab().clone();
+
+    let mut g = c.benchmark_group("ablation_mapping_mode");
+    for (label, mode) in [
+        ("intervals", MappingMode::Intervals),
+        ("register_tag", MappingMode::RegisterTag),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let it = integrate(black_box(&bundle), &symtab, Freq::ghz(3), mode);
+                black_box(EstimateTable::from_integrated(&it))
+            })
+        });
+    }
+    g.finish();
+
+    // Qualitative assertion: on a self-switching app both modes give the
+    // same per-item classify estimates.
+    let classify = funcs.rte_acl_classify;
+    let ti = integrate(&bundle, &symtab, Freq::ghz(3), MappingMode::Intervals);
+    let tr = integrate(&bundle, &symtab, Freq::ghz(3), MappingMode::RegisterTag);
+    let ei = EstimateTable::from_integrated(&ti);
+    let er = EstimateTable::from_integrated(&tr);
+    let mut checked = 0;
+    for item in 0..300u64 {
+        if let (Some(a), Some(b)) = (ei.get(ItemId(item), classify), er.get(ItemId(item), classify))
+        {
+            assert_eq!(a.elapsed, b.elapsed, "item {item}");
+            checked += 1;
+        }
+    }
+    assert!(checked > 50, "only {checked} items compared");
+}
+
+fn bench_online_filtering(c: &mut Criterion) {
+    use fluctrace_cpu::{
+        CoreId, HwEvent, MarkKind, MarkRecord, PebsRecord, SymbolTableBuilder, TraceBundle, NO_TAG,
+    };
+    let mut b = SymbolTableBuilder::new();
+    let f = b.add("f", 4096);
+    let symtab = b.build().into_shared();
+    let make_batch = |item: u64, cycles: u64| {
+        let base = item * 1_000_000;
+        let mut bundle = TraceBundle::default();
+        bundle.marks.push(MarkRecord {
+            core: CoreId(0),
+            tsc: base,
+            item: ItemId(item),
+            kind: MarkKind::Start,
+        });
+        for k in 0..20u64 {
+            bundle.samples.push(PebsRecord {
+                core: CoreId(0),
+                tsc: base + 10 + k * cycles / 20,
+                ip: symtab.range(f).start,
+                r13: NO_TAG,
+                event: HwEvent::UopsRetired,
+            });
+        }
+        bundle.marks.push(MarkRecord {
+            core: CoreId(0),
+            tsc: base + cycles + 100,
+            item: ItemId(item),
+            kind: MarkKind::End,
+        });
+        bundle
+    };
+    let mut g = c.benchmark_group("ablation_online_filtering");
+    g.sample_size(10);
+    g.bench_function("stream_2k_items", |b| {
+        b.iter(|| {
+            let tracer = OnlineTracer::spawn(symtab.clone(), OnlineConfig::new(Freq::ghz(3)));
+            for i in 0..2_000u64 {
+                let cycles = if i % 100 == 7 { 30_000 } else { 3_000 };
+                tracer.submit(make_batch(i, cycles));
+            }
+            black_box(tracer.finish())
+        })
+    });
+    g.finish();
+
+    // Qualitative assertion: the filter keeps ~1% of items → ≥ 50×
+    // volume reduction vs dump-everything.
+    let tracer = OnlineTracer::spawn(symtab.clone(), OnlineConfig::new(Freq::ghz(3)));
+    for i in 0..2_000u64 {
+        let cycles = if i % 100 == 7 { 30_000 } else { 3_000 };
+        tracer.submit(make_batch(i, cycles));
+    }
+    let report = tracer.finish();
+    assert!(
+        report.reduction_factor() > 20.0,
+        "reduction only {}x",
+        report.reduction_factor()
+    );
+}
+
+fn bench_trie_partitioning_work(c: &mut Criterion) {
+    // Simulated *work* (node visits), not wall time: the quantity the
+    // cost model converts to µops.
+    let rules = table3_rules(666, 75, 50);
+    let key = PacketType::A.key();
+    let mut g = c.benchmark_group("ablation_trie_partitioning");
+    for (label, cfg) in [
+        ("vanilla_8", AclBuildConfig::vanilla()),
+        ("patched_247", AclBuildConfig::paper_patched()),
+    ] {
+        let acl = MultiTrieAcl::build(&rules, cfg);
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut m = CountingMeter::new();
+                acl.classify(black_box(&key), &mut m);
+                black_box(m.node_visits)
+            })
+        });
+    }
+    g.finish();
+    // Qualitative assertion: 247 tries visit ~30x the nodes of 8 tries.
+    let mut m8 = CountingMeter::new();
+    let mut m247 = CountingMeter::new();
+    MultiTrieAcl::build(&rules, AclBuildConfig::vanilla()).classify(&key, &mut m8);
+    MultiTrieAcl::build(&rules, AclBuildConfig::paper_patched()).classify(&key, &mut m247);
+    m8.on_trie_start(); // silence unused-trait-import on some toolchains
+    assert!(m247.node_visits > 20 * m8.node_visits);
+}
+
+criterion_group!(
+    benches,
+    bench_drain_modes,
+    bench_mapping_modes,
+    bench_online_filtering,
+    bench_trie_partitioning_work
+);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Criterion benchmarks of the tracer's integration and estimation
+//! pipeline: how many samples per second can the offline integrator
+//! attribute, and how fast is fluctuation detection?
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fluctrace_core::{detect, integrate, EstimateTable, MappingMode};
+use fluctrace_cpu::{
+    CoreId, HwEvent, ItemId, MarkKind, MarkRecord, PebsRecord, SymbolTable, SymbolTableBuilder,
+    TraceBundle, NO_TAG,
+};
+use fluctrace_sim::{Freq, SimDuration};
+use std::hint::black_box;
+
+/// Build a synthetic bundle: `items` items, `samples_per_item` samples
+/// spread over `funcs` functions.
+fn synthetic_bundle(items: u64, samples_per_item: u64) -> (TraceBundle, SymbolTable) {
+    let mut b = SymbolTableBuilder::new();
+    let funcs: Vec<_> = (0..8).map(|i| b.add(&format!("fn{i}"), 4096)).collect();
+    let symtab = b.build();
+    let mut bundle = TraceBundle::default();
+    let mut tsc = 0u64;
+    for item in 0..items {
+        bundle.marks.push(MarkRecord {
+            core: CoreId(0),
+            tsc,
+            item: ItemId(item),
+            kind: MarkKind::Start,
+        });
+        for s in 0..samples_per_item {
+            tsc += 3000;
+            let f = funcs[(s % funcs.len() as u64) as usize];
+            bundle.samples.push(PebsRecord {
+                core: CoreId(0),
+                tsc,
+                ip: symtab.range(f).start,
+                r13: NO_TAG,
+                event: HwEvent::UopsRetired,
+            });
+        }
+        tsc += 3000;
+        bundle.marks.push(MarkRecord {
+            core: CoreId(0),
+            tsc,
+            item: ItemId(item),
+            kind: MarkKind::End,
+        });
+        tsc += 1000;
+    }
+    bundle.sort();
+    (bundle, symtab)
+}
+
+fn bench_integrate(c: &mut Criterion) {
+    let (bundle, symtab) = synthetic_bundle(1_000, 100);
+    let n = bundle.samples.len() as u64;
+    let mut g = c.benchmark_group("integrate");
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("interval_mode_100k_samples", |b| {
+        b.iter(|| {
+            integrate(
+                black_box(&bundle),
+                &symtab,
+                Freq::ghz(3),
+                MappingMode::Intervals,
+            )
+        })
+    });
+    g.bench_function("register_tag_mode_100k_samples", |b| {
+        b.iter(|| {
+            integrate(
+                black_box(&bundle),
+                &symtab,
+                Freq::ghz(3),
+                MappingMode::RegisterTag,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_estimate(c: &mut Criterion) {
+    let (bundle, symtab) = synthetic_bundle(1_000, 100);
+    let it = integrate(&bundle, &symtab, Freq::ghz(3), MappingMode::Intervals);
+    let mut g = c.benchmark_group("estimate");
+    g.throughput(Throughput::Elements(it.samples.len() as u64));
+    g.bench_function("estimate_table_100k_samples", |b| {
+        b.iter(|| EstimateTable::from_integrated(black_box(&it)))
+    });
+    let table = EstimateTable::from_integrated(&it);
+    g.bench_function("detect_1k_items", |b| {
+        b.iter(|| {
+            detect(
+                black_box(&table),
+                |_| Some("g".to_string()),
+                3.0,
+                SimDuration::from_ns(100),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_integrate, bench_estimate);
+criterion_main!(benches);

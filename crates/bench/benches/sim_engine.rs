@@ -1,0 +1,96 @@
+//! Criterion benchmarks of the simulation substrate: event queue
+//! operations, PRNG output, and core execution throughput with and
+//! without PEBS enabled (the simulator's own cost of modelling
+//! sampling).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fluctrace_cpu::{Core, CoreConfig, CoreId, Exec, PebsConfig, SymbolTableBuilder};
+use fluctrace_sim::{EventQueue, Rng, SimTime};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("push_pop", |b| {
+        let mut q = EventQueue::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 17;
+            q.push(SimTime::from_ns(t % 1_000_000), t);
+            black_box(q.pop());
+        })
+    });
+    g.bench_function("push_pop_1k_backlog", |b| {
+        let mut q = EventQueue::new();
+        for i in 0..1000u64 {
+            q.push(SimTime::from_ns(i * 37 % 100_000), i);
+        }
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 17;
+            q.push(SimTime::from_ns(t % 100_000), t);
+            black_box(q.pop());
+        })
+    });
+    g.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("next_u64", |b| {
+        let mut r = Rng::new(1);
+        b.iter(|| black_box(r.next_u64()))
+    });
+    g.bench_function("gen_below", |b| {
+        let mut r = Rng::new(1);
+        b.iter(|| black_box(r.gen_below(1_000_003)))
+    });
+    g.finish();
+}
+
+fn make_core(pebs: Option<PebsConfig>) -> (Core, fluctrace_cpu::FuncId) {
+    let mut b = SymbolTableBuilder::new();
+    let f = b.add("work", 4096);
+    let mut cfg = CoreConfig::bare();
+    cfg.pebs = pebs;
+    (
+        Core::new(CoreId(0), cfg, b.build().into_shared(), Rng::new(3)),
+        f,
+    )
+}
+
+fn bench_core_exec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("core_exec");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("segment_no_sampling", |b| {
+        let (mut core, f) = make_core(None);
+        b.iter(|| black_box(core.exec(Exec::new(f, 10_000))))
+    });
+    g.bench_function("segment_pebs_r8000", |b| {
+        let (mut core, f) = make_core(Some(PebsConfig::new(8_000)));
+        let mut n = 0u32;
+        b.iter(|| {
+            n += 1;
+            if n.is_multiple_of(50_000) {
+                black_box(core.drain_trace());
+            }
+            black_box(core.exec(Exec::new(f, 10_000)))
+        })
+    });
+    g.bench_function("segment_pebs_r500", |b| {
+        let (mut core, f) = make_core(Some(PebsConfig::new(500)));
+        let mut n = 0u32;
+        b.iter(|| {
+            n += 1;
+            if n.is_multiple_of(5_000) {
+                black_box(core.drain_trace());
+            }
+            black_box(core.exec(Exec::new(f, 10_000)))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_rng, bench_core_exec);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benchmarks of the real lock-free SPSC ring: single-thread
+//! round trips and cross-thread streaming throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fluctrace_rt::spsc_ring;
+use std::hint::black_box;
+use std::thread;
+
+fn bench_single_thread(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spsc_single_thread");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("push_pop_u64", |b| {
+        let (mut tx, mut rx) = spsc_ring::<u64>(1024);
+        b.iter(|| {
+            tx.push(black_box(42)).unwrap();
+            black_box(rx.pop().unwrap());
+        })
+    });
+    g.bench_function("push_pop_vec", |b| {
+        let (mut tx, mut rx) = spsc_ring::<Vec<u64>>(1024);
+        let payload = vec![1u64; 16];
+        b.iter(|| {
+            tx.push(black_box(payload.clone())).unwrap();
+            black_box(rx.pop().unwrap());
+        })
+    });
+    g.finish();
+}
+
+fn bench_cross_thread(c: &mut Criterion) {
+    const N: u64 = 100_000;
+    let mut g = c.benchmark_group("spsc_cross_thread");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("stream_100k_u64", |b| {
+        b.iter(|| {
+            let (mut tx, mut rx) = spsc_ring::<u64>(4096);
+            let producer = thread::spawn(move || {
+                for i in 0..N {
+                    while tx.push(i).is_err() {
+                        std::hint::spin_loop();
+                    }
+                }
+            });
+            let mut sum = 0u64;
+            let mut got = 0u64;
+            while got < N {
+                if let Some(v) = rx.pop() {
+                    sum = sum.wrapping_add(v);
+                    got += 1;
+                }
+            }
+            producer.join().unwrap();
+            black_box(sum)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_single_thread, bench_cross_thread);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! §IV.C.3 — PEBS data volume per reset value.
+//!
+//! Paper: 270 / 194 / 153 / 125 / 106 MB/s for reset values 8 K…24 K on
+//! the ACL core; ×16 cores = 4.3…1.7 GB/s per CPU, under 4% of a
+//! Xeon Platinum 8153 socket's 127.8 GB/s memory bandwidth. The
+//! absolute MB/s depends on the µop rate of the authors' core; the
+//! shape is `a + b/R`, which we verify by fitting.
+
+use fluctrace_analysis::{Figure, Series, Table};
+use fluctrace_bench::acl_experiment::{run_acl, AclRunConfig, PAPER_RESETS};
+use fluctrace_bench::{emit, Scale};
+use fluctrace_core::overhead::{fit_inverse_reset, r_squared_inverse_reset};
+
+const PAPER_MB_S: [f64; 5] = [270.0, 194.0, 153.0, 125.0, 106.0];
+const SOCKET_BW_GB_S: f64 = 127.8; // Xeon Platinum 8153, DDR4-2666 x6
+
+fn main() {
+    let scale = Scale::from_env();
+    let per_type = scale.packets_per_type();
+    let table3 = scale.table3_params();
+
+    println!("§IV.C.3 — PEBS sample data volume ({per_type} packets/type)\n");
+    let mut tbl = Table::new(vec![
+        "reset",
+        "measured (MB/s/core)",
+        "x16 cores (GB/s)",
+        "% of socket BW",
+        "paper (MB/s/core)",
+    ]);
+    let mut fig = Figure::new(
+        "data_volume",
+        "PEBS data volume vs reset value",
+        "reset value",
+        "MB/s per core",
+    );
+    let mut measured = Series::new("measured");
+    let mut paper = Series::new("paper");
+    let mut points = Vec::new();
+    for (i, &reset) in PAPER_RESETS.iter().enumerate() {
+        let r = run_acl(AclRunConfig::new(Some(reset), per_type, table3));
+        let mb_s = r.pebs_mb_per_s();
+        let cpu_gb_s = mb_s * 16.0 / 1000.0;
+        tbl.row(vec![
+            reset.to_string(),
+            format!("{mb_s:.0}"),
+            format!("{cpu_gb_s:.2}"),
+            format!("{:.1}%", cpu_gb_s / SOCKET_BW_GB_S * 100.0),
+            format!("{:.0}", PAPER_MB_S[i]),
+        ]);
+        measured.push(reset as f64, mb_s);
+        paper.push(reset as f64, PAPER_MB_S[i]);
+        points.push((reset, mb_s));
+    }
+    println!("{tbl}");
+
+    let (a, b) = fit_inverse_reset(&points);
+    let r2 = r_squared_inverse_reset(&points, a, b);
+    println!(
+        "volume(R) fits {a:.1} + {b:.3e}/R with R^2 = {r2:.4} (paper's own numbers \
+         fit the same 1/R law; absolute level scales with the core's uop rate)"
+    );
+    fig.add(measured);
+    fig.add(paper);
+    emit(&fig);
+}

@@ -1,0 +1,75 @@
+//! Fig. 1 — a trace (left) vs a profile (right).
+//!
+//! The paper's illustrative example: a server invoking functions per
+//! request. The profile shows only accumulated time per function; the
+//! trace shows that function A took 90 µs for request #1 but 10 µs for
+//! request #2 — the fluctuation a profile can never show.
+
+use fluctrace_analysis::Table;
+use fluctrace_core::{integrate, EstimateTable, FlatProfile, MappingMode};
+use fluctrace_cpu::{
+    CoreConfig, Exec, ItemId, Machine, MachineConfig, PebsConfig, SymbolTableBuilder,
+};
+use fluctrace_sim::Freq;
+
+fn main() {
+    let mut b = SymbolTableBuilder::new();
+    let funcs = [b.add("A", 1024), b.add("B", 1024), b.add("C", 1024)];
+    let core_cfg = CoreConfig::bare().with_pebs(PebsConfig::new(2000));
+    let mut machine = Machine::new(MachineConfig::new(1, core_cfg), b.build());
+    let core = machine.core_mut(0);
+
+    // 50 requests; request #1 hits function A cold, later ones are
+    // warm. B and C are constant.
+    for req in 1..=50u64 {
+        core.mark_item_start(ItemId(req));
+        let a_uops = if req == 1 { 270_000 } else { 30_000 };
+        core.exec(Exec::new(funcs[0], a_uops).ipc_milli(1000)); // A
+        core.exec(Exec::new(funcs[1], 24_000).ipc_milli(1000)); // B
+        core.exec(Exec::new(funcs[2], 12_000).ipc_milli(1000)); // C
+        core.mark_item_end(ItemId(req));
+    }
+    let (bundle, _) = machine.collect();
+    let it = integrate(&bundle, machine.symtab(), Freq::ghz(3), MappingMode::Intervals);
+    let estimates = EstimateTable::from_integrated(&it);
+    let profile = FlatProfile::from_integrated(&it);
+
+    println!("Fig. 1 — trace vs profile (imaginary web server)\n");
+    println!("TRACE (per-request, per-function elapsed time, first 3 requests):");
+    let mut trace_tbl = Table::new(vec!["request", "function", "elapsed (us)"]);
+    for req in 1..=3u64 {
+        if let Some(ie) = estimates.item(ItemId(req)) {
+            for fe in &ie.funcs {
+                trace_tbl.row(vec![
+                    format!("#{req}"),
+                    machine.symtab().name(fe.func).to_string(),
+                    format!("{:.1}", fe.elapsed.as_us_f64()),
+                ]);
+            }
+        }
+    }
+    println!("{trace_tbl}");
+    let a = |req| {
+        estimates
+            .item(ItemId(req))
+            .and_then(|ie| ie.func(funcs[0]))
+            .map(|fe| fe.elapsed.as_us_f64())
+            .unwrap_or(0.0)
+    };
+    println!(
+        "=> the trace shows A fluctuating: {:.0} us for request #1, {:.0} us afterwards.\n",
+        a(1),
+        a(2)
+    );
+
+    println!("PROFILE (accumulated over the whole run):");
+    let mut prof_tbl = Table::new(vec!["function", "total time (us)"]);
+    for entry in profile.hottest() {
+        prof_tbl.row(vec![
+            machine.symtab().name(entry.func).to_string(),
+            format!("{:.0}", entry.total_time.as_us_f64()),
+        ]);
+    }
+    println!("{prof_tbl}");
+    println!("=> the profile only shows averages; the request-#1 fluctuation is invisible.");
+}

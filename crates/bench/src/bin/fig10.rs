@@ -1,0 +1,66 @@
+//! Fig. 10 — overhead of the method vs reset value.
+//!
+//! Overhead for reset value `R` is `L_R − L*`: the mean packet latency
+//! with profiling at `R` minus the mean latency with no profiling,
+//! measured by the (simulated) hardware tester. Expected shape:
+//! monotonically decreasing in `R`, small relative to the 6–14 µs
+//! packet latencies at the paper's "proper" value (16 K).
+
+use fluctrace_analysis::{assert_decreasing, Figure, Series, Table};
+use fluctrace_bench::acl_experiment::{run_acl, AclRunConfig, PAPER_RESETS};
+use fluctrace_bench::{emit, Scale};
+use fluctrace_core::OverheadModel;
+
+fn main() {
+    let scale = Scale::from_env();
+    let per_type = scale.packets_per_type();
+    let table3 = scale.table3_params();
+
+    println!("Fig. 10 — latency overhead vs reset value ({per_type} packets/type)\n");
+    let baseline = run_acl(AclRunConfig::new(None, per_type, table3));
+    let l_star = baseline.mean_latency_us;
+
+    let mut tbl = Table::new(vec![
+        "reset",
+        "L_R (us)",
+        "overhead L_R - L* (us)",
+        "model prediction (us)",
+    ]);
+    let mut fig = Figure::new(
+        "fig10",
+        "Overhead (latency increase) vs reset value",
+        "reset value",
+        "latency increase (us)",
+    );
+    let mut measured = Series::new("measured");
+    let mut predicted = Series::new("model");
+
+    // Analytic prediction from the §V.C model: the ACL thread retires
+    // ~1.5 µops/cycle while classifying; overhead ≈ samples-in-packet ×
+    // assist.
+    let model = OverheadModel::new(1.5 * 3.0e9);
+    for &reset in &PAPER_RESETS {
+        let r = run_acl(AclRunConfig::new(Some(reset), per_type, table3));
+        let overhead = r.mean_latency_us - l_star;
+        let pred = model
+            .added_latency(reset, fluctrace_sim::SimDuration::from_ns_f64(l_star * 1000.0))
+            .as_us_f64();
+        tbl.row(vec![
+            reset.to_string(),
+            format!("{:.2}", r.mean_latency_us),
+            format!("{overhead:.2}"),
+            format!("{pred:.2}"),
+        ]);
+        measured.push(reset as f64, overhead);
+        predicted.push(reset as f64, pred);
+    }
+    println!("baseline L* = {l_star:.2} us\n{tbl}");
+
+    match assert_decreasing("overhead vs reset", &measured.ys()) {
+        Ok(()) => println!("shape: overhead strictly decreases with the reset value ✓"),
+        Err(e) => println!("shape: {e}"),
+    }
+    fig.add(measured);
+    fig.add(predicted);
+    emit(&fig);
+}

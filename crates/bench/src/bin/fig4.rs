@@ -1,0 +1,89 @@
+//! Fig. 4 — achieved sample interval vs configured reset value, for
+//! PEBS and a perf-like software sampler, on three SPEC-like kernels.
+//!
+//! Expected shape (paper): PEBS tracks the ideal line down to ~1 µs;
+//! the software sampler flattens near 10 µs no matter how small the
+//! reset value; kernels with different IPC sit on different lines.
+
+use fluctrace_analysis::{assert_flattens, Figure, Series, Table};
+use fluctrace_apps::Kernel;
+use fluctrace_bench::sampling_experiment::{fig4_resets, measure_interval, Sampler};
+use fluctrace_bench::{emit, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let uops = scale.kernel_uops();
+    let resets = fig4_resets();
+
+    println!("Fig. 4 — sample interval vs reset value (event: UOPS_RETIRED.ALL)\n");
+    let mut fig = Figure::new(
+        "fig4",
+        "Achieved sample interval vs reset value",
+        "reset value",
+        "sample interval (us)",
+    );
+    let mut tbl = Table::new(vec![
+        "reset", "sampler", "kernel", "interval (us)", "ideal (us)", "samples",
+    ]);
+    for sampler in [Sampler::Pebs, Sampler::Software] {
+        for kernel in Kernel::ALL {
+            let mut series = Series::new(format!("{}/{}", sampler.label(), kernel.label()));
+            let mut ideal = Series::new(format!("ideal/{}", kernel.label()));
+            for &reset in &resets {
+                let m = measure_interval(kernel, sampler, reset, uops, 7);
+                tbl.row(vec![
+                    reset.to_string(),
+                    sampler.label().to_string(),
+                    kernel.label().to_string(),
+                    format!("{:.3}", m.mean_interval_us),
+                    format!("{:.3}", m.ideal_us),
+                    m.samples.to_string(),
+                ]);
+                series.push(reset as f64, m.mean_interval_us);
+                if sampler == Sampler::Pebs {
+                    ideal.push(reset as f64, m.ideal_us);
+                }
+            }
+            if sampler == Sampler::Pebs {
+                fig.add(ideal);
+            }
+            fig.add(series);
+        }
+    }
+    println!("{tbl}");
+
+    // Shape checks mirroring the paper's claims.
+    let mut notes = Vec::new();
+    for kernel in Kernel::ALL {
+        let perf = fig
+            .series(&format!("perf/{}", kernel.label()))
+            .unwrap()
+            .ys();
+        // Software sampling floors: going from the smallest reset
+        // upward barely changes the interval at the low end.
+        let mut low_end: Vec<f64> = perf.iter().take(4).rev().cloned().collect();
+        low_end.reverse();
+        match assert_flattens("perf floor", &low_end, 0.15) {
+            Ok(()) => notes.push(format!(
+                "perf/{}: flat ~{:.1} us at high rates (paper: ~10 us)",
+                kernel.label(),
+                perf[0]
+            )),
+            Err(e) => notes.push(format!("perf/{}: NOT flat ({e})", kernel.label())),
+        }
+        let pebs = fig
+            .series(&format!("PEBS/{}", kernel.label()))
+            .unwrap()
+            .ys();
+        notes.push(format!(
+            "PEBS/{}: {:.2} us at the smallest reset (paper: \"almost 1 us\")",
+            kernel.label(),
+            pebs[0]
+        ));
+    }
+    println!();
+    for n in notes {
+        println!("  - {n}");
+    }
+    emit(&fig);
+}

@@ -1,0 +1,140 @@
+//! Fig. 8 — per-data-item elapsed time of each function of the sample
+//! query application, obtained by the hybrid approach.
+//!
+//! Setup per the paper: event `UOPS_RETIRED.ALL`, reset value 8000,
+//! the Fig. 7 two-thread app. Expected shape: the 1st and 5th queries
+//! take much longer than other queries with the same `n`, and the extra
+//! time is in `f3` (the transform-and-cache function) — information
+//! service-level logging cannot give.
+
+use fluctrace_analysis::{Figure, Series, Table};
+use fluctrace_bench::emit;
+use fluctrace_core::{detect, integrate, EstimateTable, MappingMode};
+use fluctrace_cpu::{CoreConfig, ItemId, Machine, MachineConfig, PebsConfig};
+use fluctrace_apps::{Query, QueryApp};
+use fluctrace_sim::{Freq, SimDuration, SimTime};
+
+fn main() {
+    let (symtab, funcs) = QueryApp::symtab();
+    let core_cfg = CoreConfig::bare().with_pebs(PebsConfig::new(8_000));
+    let mut machine = Machine::new(MachineConfig::new(2, core_cfg), symtab);
+    let queries = QueryApp::fig8_queries();
+    QueryApp::run(
+        &mut machine,
+        funcs,
+        &queries,
+        SimTime::from_us(5),
+        SimDuration::from_us(200),
+    );
+    let (bundle, _) = machine.collect();
+    let it = integrate(&bundle, machine.symtab(), Freq::ghz(3), MappingMode::Intervals);
+    let table = EstimateTable::from_integrated(&it);
+
+    println!("Fig. 8 — per-query elapsed time broken down by function (R = 8000)\n");
+    let mut tbl = Table::new(vec![
+        "query", "n", "f1 (us)", "f2 (us)", "f3 (us)", "total-marks (us)",
+    ]);
+    let mut fig = Figure::new(
+        "fig8",
+        "Per-data-item elapsed time of each function (query app)",
+        "query index",
+        "elapsed time (us)",
+    );
+    let mut s1 = Series::new("f1");
+    let mut s2 = Series::new("f2");
+    let mut s3 = Series::new("f3");
+    let mut stot = Series::new("total");
+    let fmt = |v: Option<f64>| v.map(|x| format!("{x:.2}")).unwrap_or_else(|| "<2 samples".into());
+    for q in &queries {
+        let ie = table.item(ItemId(q.id));
+        let of = |f| {
+            ie.and_then(|ie| ie.func(f))
+                .filter(|fe| fe.is_estimable())
+                .map(|fe| fe.elapsed.as_us_f64())
+        };
+        let (e1, e2, e3) = (of(funcs.f1), of(funcs.f2), of(funcs.f3));
+        let total = ie.and_then(|ie| ie.marked_total).map(|d| d.as_us_f64());
+        tbl.row(vec![
+            format!("#{}", q.id),
+            q.n.to_string(),
+            fmt(e1),
+            fmt(e2),
+            fmt(e3),
+            fmt(total),
+        ]);
+        let x = q.id as f64;
+        s1.push(x, e1.unwrap_or(0.0));
+        s2.push(x, e2.unwrap_or(0.0));
+        s3.push(x, e3.unwrap_or(0.0));
+        stot.push(x, total.unwrap_or(0.0));
+    }
+    println!("{tbl}");
+
+    // The stacked-bar view of the same data (the paper's actual figure).
+    let mut chart = fluctrace_analysis::StackedBars::new(
+        60,
+        vec![("f1", '.'), ("f2", 'o'), ("f3", '#')],
+    );
+    for q in &queries {
+        let ie = table.item(ItemId(q.id));
+        let val = |f| {
+            ie.and_then(|ie| ie.func(f))
+                .map(|fe| fe.elapsed.as_us_f64())
+                .unwrap_or(0.0)
+        };
+        chart.row(
+            format!("#{} (n={})", q.id, q.n),
+            vec![val(funcs.f1), val(funcs.f2), val(funcs.f3)],
+        );
+    }
+    println!("{chart}");
+
+    // The paper's reading of the figure.
+    let t = |id: u64| {
+        table
+            .item(ItemId(id))
+            .and_then(|ie| ie.marked_total)
+            .unwrap()
+            .as_us_f64()
+    };
+    println!(
+        "query #1 (n=3): {:.1} us vs warm #2/#4/#8 (n=3): {:.1}/{:.1}/{:.1} us",
+        t(1),
+        t(2),
+        t(4),
+        t(8)
+    );
+    println!(
+        "query #5 (n=5): {:.1} us vs warm #7/#9 (n=5): {:.1}/{:.1} us",
+        t(5),
+        t(7),
+        t(9)
+    );
+
+    // Run the detector with the content grouping "same n".
+    let by_n: std::collections::HashMap<u64, u64> =
+        queries.iter().map(|q: &Query| (q.id, q.n)).collect();
+    let report = detect(
+        &table,
+        |item| by_n.get(&item.0).map(|n| format!("n={n}")),
+        3.0,
+        SimDuration::from_us(2),
+    );
+    println!("\nfluctuation detector: {} outlier(s) flagged:", report.outliers.len());
+    for o in &report.outliers {
+        println!(
+            "  query {} in group {} — {} took {:.1} us (group median {:.1} us)",
+            o.item,
+            o.group,
+            machine.symtab().name(o.func),
+            o.elapsed.as_us_f64(),
+            o.median.as_us_f64()
+        );
+    }
+
+    fig.add(s1);
+    fig.add(s2);
+    fig.add(s3);
+    fig.add(stot);
+    emit(&fig);
+}

@@ -1,0 +1,74 @@
+//! §II.C motivation, quantified: what would it cost to get per-item,
+//! per-function times with *instrumentation alone* (gprof/Vampir-style
+//! marks at every function boundary), compared to the hybrid approach?
+//!
+//! The paper's argument: functions take single microseconds and hot
+//! functions are invoked many times per item (rte_acl_classify walks
+//! 247 tries), so marking every call is "too heavy", while selecting
+//! which functions to instrument cannot be done before the fluctuation
+//! is understood. Here both tracers run on the same ACL workload.
+
+use fluctrace_analysis::Table;
+use fluctrace_apps::{AclCostModel, Firewall, Tester};
+use fluctrace_bench::Scale;
+use fluctrace_cpu::{CoreConfig, Machine, MachineConfig, PebsConfig};
+use fluctrace_sim::{SimDuration, SimTime};
+
+fn run(core_cfg: CoreConfig, per_type: usize, table3: (u16, u16, u16)) -> (f64, u64) {
+    let (symtab, funcs) = Firewall::symtab();
+    let mut machine = Machine::new(MachineConfig::new(3, core_cfg), symtab);
+    let rules = fluctrace_acl::table3_rules(table3.0, table3.1, table3.2);
+    let fw = Firewall::new(
+        &rules,
+        fluctrace_acl::AclBuildConfig::paper_patched(),
+        AclCostModel::default(),
+        funcs,
+    );
+    let (tester, ingress) =
+        Tester::send_round_robin(SimTime::from_us(10), SimDuration::from_us(60), per_type);
+    let fwrun = fw.run(&mut machine, ingress);
+    let report = tester.receive(&fwrun.egress);
+    let (_, reports) = machine.collect();
+    (report.overall_mean_us(), reports[1].func_instr_events)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let per_type = scale.packets_per_type().min(2_000);
+    let table3 = scale.table3_params();
+
+    println!("§II.C — cost of per-function instrumentation vs the hybrid approach\n");
+    let (baseline, _) = run(CoreConfig::bare(), per_type, table3);
+    let (hybrid, _) = run(
+        CoreConfig::bare().with_pebs(PebsConfig::new(16_000)),
+        per_type,
+        table3,
+    );
+    // A cheap, memory-buffered marking call: 100 ns. rte_acl_classify
+    // represents one call per trie, so a packet pays ~2x247 marks in the
+    // classifier alone.
+    let (full, events) = run(
+        CoreConfig::bare().with_func_instrumentation(SimDuration::from_ns(100)),
+        per_type,
+        table3,
+    );
+
+    let mut t = Table::new(vec!["tracer", "mean latency (us)", "overhead (us)", "overhead %"]);
+    let mut row = |name: &str, lat: f64| {
+        t.row(vec![
+            name.to_string(),
+            format!("{lat:.2}"),
+            format!("{:.2}", lat - baseline),
+            format!("{:.0}%", (lat / baseline - 1.0) * 100.0),
+        ]);
+    };
+    row("none (baseline)", baseline);
+    row("hybrid (2 marks/item + PEBS R=16K)", hybrid);
+    row("full instrumentation (100 ns/boundary)", full);
+    println!("{t}");
+    println!(
+        "full instrumentation paid {events} marking calls on the ACL core alone; \
+         the hybrid tracer pays exactly 2 marks per packet and gets the same \
+         per-item per-function visibility from sampling."
+    );
+}

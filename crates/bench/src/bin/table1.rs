@@ -1,0 +1,36 @@
+//! Table I — characteristics of the two tracing mechanisms, emitted
+//! from the *actual configuration constants* of the implementation so
+//! the table cannot drift from the code.
+
+use fluctrace_analysis::Table;
+use fluctrace_cpu::{PebsConfig, SwSamplerConfig};
+
+fn main() {
+    let pebs = PebsConfig::new(8_000);
+    let sw = SwSamplerConfig::new(8_000);
+    println!("Table I — characteristics by each tracing mechanism\n");
+    let mut t = Table::new(vec!["", "Sampling (PEBS)", "Instrumentation (marks)"]);
+    t.row(vec!["implemented by", "hardware", "software"]);
+    t.row(vec![
+        "overhead",
+        &format!("low ({} per sample)", pebs.assist),
+        "high (per invocation, software)",
+    ]);
+    t.row(vec!["timing", "periodic", "per each data-item"]);
+    t.row(vec!["adjustable", "yes (reset value)", "no"]);
+    t.row(vec![
+        "what to trace",
+        "pre-defined (event, IP, regs, TSC)",
+        "software-controlled",
+    ]);
+    t.row(vec![
+        "traced data includes",
+        "timestamp, instruction pointer",
+        "timestamp, data-item ID",
+    ]);
+    println!("{t}");
+    println!(
+        "(for contrast, software sampling pays {} of handler per sample — Fig. 4)",
+        sw.handler
+    );
+}

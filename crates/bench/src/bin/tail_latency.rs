@@ -1,0 +1,97 @@
+//! §I/§II.A background, reproduced: tail latency of a query-serving
+//! system under cache-warmth fluctuations.
+//!
+//! Huang et al. (the paper's motivating citation \[1\]) measured TPC-C on
+//! MySQL/Postgres/VoltDB and found "the standard deviation was twice the
+//! mean" and "the 99th percentile was an order of magnitude greater than
+//! the mean". This harness drives the query-cache app with a realistic
+//! mixture — mostly-warm queries plus rare cache-invalidation events —
+//! and shows (a) the same headline tail statistics and (b) that the
+//! hybrid tracer pins the tail on `f3` (the recompute function).
+
+use fluctrace_analysis::{tail_report, Table};
+use fluctrace_apps::QueryApp;
+use fluctrace_bench::Scale;
+use fluctrace_core::{detect, integrate, EstimateTable, MappingMode};
+use fluctrace_cpu::{CoreConfig, ItemId, Machine, MachineConfig, PebsConfig};
+use fluctrace_sim::{Freq, Rng, SimDuration};
+
+fn main() {
+    let n_queries: u64 = match Scale::from_env() {
+        Scale::Quick => 3_000,
+        Scale::Paper => 50_000,
+    };
+    let (symtab, funcs) = QueryApp::symtab();
+    let core_cfg = CoreConfig::bare().with_pebs(PebsConfig::new(8_000));
+    let mut machine = Machine::new(MachineConfig::new(1, core_cfg), symtab);
+    let core = machine.core_mut(0);
+
+    let mut app = QueryApp::new(funcs);
+    let mut rng = Rng::new(0xDB);
+    let mut latencies_us = Vec::with_capacity(n_queries as usize);
+    let mut sizes = std::collections::HashMap::new();
+    for id in 0..n_queries {
+        // Occasional invalidation events (evictions, fragmentation
+        // fixes); the cache then re-warms over the following queries.
+        if rng.gen_bool(0.02) {
+            app.flush_cache();
+        }
+        // Mostly small queries, occasionally large ones (skewed low).
+        let n = 1 + rng.gen_below(10).min(rng.gen_below(10));
+        sizes.insert(id, n);
+        let t0 = core.now();
+        core.mark_item_start(ItemId(id));
+        app.process(core, fluctrace_apps::Query { id, n });
+        core.mark_item_end(ItemId(id));
+        latencies_us.push(core.now().since(t0).as_us_f64());
+        core.idle(SimDuration::from_us(5));
+    }
+
+    let report = tail_report(&latencies_us).expect("non-empty");
+    println!("tail latency of {} queries (cache-warmth fluctuations):\n", report.count);
+    let mut t = Table::new(vec!["metric", "value", "Huang et al. (TPC-C on real DBs)"]);
+    t.row(vec![
+        "mean".to_string(),
+        format!("{:.1} us", report.mean),
+        "-".into(),
+    ]);
+    t.row(vec![
+        "std/mean".to_string(),
+        format!("{:.2}", report.std_over_mean),
+        "\"the standard deviation was twice the mean\"".into(),
+    ]);
+    t.row(vec![
+        "p99/mean".to_string(),
+        format!("{:.1}", report.p99_over_mean),
+        "\"the 99th percentile was an order of magnitude greater\"".into(),
+    ]);
+    t.row(vec![
+        "p50 / p99 / p999".to_string(),
+        format!("{:.1} / {:.1} / {:.1} us", report.p50, report.p99, report.p999),
+        "-".into(),
+    ]);
+    println!("{t}");
+
+    // Diagnose: integrate and group by query size.
+    let (bundle, _) = machine.collect();
+    let it = integrate(&bundle, machine.symtab(), Freq::ghz(3), MappingMode::Intervals);
+    let table = EstimateTable::from_integrated(&it);
+    let fluct = detect(
+        &table,
+        |item| sizes.get(&item.0).map(|n| format!("n={n}")),
+        4.0,
+        SimDuration::from_us(5),
+    );
+    let f3_outliers = fluct.outliers_for(funcs.f3).count();
+    println!(
+        "detector: {} outliers flagged, {} of them on f3 (the recompute path) — \
+         the tail is cache-warmth, not query size.",
+        fluct.outliers.len(),
+        f3_outliers
+    );
+    println!(
+        "(direction matches Huang et al.; their magnitudes are larger because real \
+         DB engines stack many fluctuation sources — locks, I/O, GC — on top of \
+         cache warmth, while this app has exactly one.)"
+    );
+}

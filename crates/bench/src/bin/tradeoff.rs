@@ -1,0 +1,51 @@
+//! §V.C — the reset-value trade-off: (1) sample interval is linear in
+//! the reset value (strong linearity, small deviations), (2) overhead
+//! is predictable from the number of samples, so a reset value can be
+//! chosen for an overhead budget.
+
+use fluctrace_analysis::{linear_fit, Table};
+use fluctrace_apps::Kernel;
+use fluctrace_bench::sampling_experiment::{measure_interval, Sampler};
+use fluctrace_bench::Scale;
+use fluctrace_core::OverheadModel;
+
+fn main() {
+    let uops = Scale::from_env().kernel_uops();
+    println!("§V.C — choosing reset values\n");
+
+    // (1) Linearity of interval vs reset value, per kernel.
+    println!("(1) sample interval vs reset value is linear:");
+    let mut t = Table::new(vec!["kernel", "slope (us/reset)", "intercept (us)", "R^2"]);
+    for kernel in Kernel::ALL {
+        let points: Vec<(f64, f64)> = (10..=15)
+            .map(|p| {
+                let reset = 1u64 << p;
+                let m = measure_interval(kernel, Sampler::Pebs, reset, uops, 11);
+                (reset as f64, m.mean_interval_us)
+            })
+            .collect();
+        let fit = linear_fit(&points);
+        t.row(vec![
+            kernel.label().to_string(),
+            format!("{:.3e}", fit.slope),
+            format!("{:.3}", fit.intercept),
+            format!("{:.5}", fit.r_squared),
+        ]);
+    }
+    println!("{t}");
+    println!("(paper: \"the sample intervals have a strong linearity with the reset values\")\n");
+
+    // (2) Overhead predictability → pick a reset for a budget.
+    println!("(2) reset value for a given overhead budget (ACL-like core, 4.5 G uops/s):");
+    let model = OverheadModel::new(4.5e9);
+    let mut t2 = Table::new(vec!["overhead budget", "min reset value", "sample interval"]);
+    for budget in [0.20, 0.10, 0.05, 0.02, 0.01] {
+        let reset = model.min_reset_for_overhead(budget);
+        t2.row(vec![
+            format!("{:.0}%", budget * 100.0),
+            reset.to_string(),
+            format!("{}", model.sample_interval(reset)),
+        ]);
+    }
+    println!("{t2}");
+}

@@ -1,0 +1,116 @@
+//! # fluctrace-bench
+//!
+//! The reproduction harness. One binary per paper table/figure
+//! (`cargo run -p fluctrace-bench --release --bin fig9`), built on the
+//! shared experiment runners in this library, plus Criterion benchmarks
+//! of the real components (`cargo bench`).
+//!
+//! Scale: the paper averages Fig. 9 over 10 000 packets per type and
+//! sends 300 K requests at NGINX; the binaries default to a scale that
+//! finishes in seconds and accept `FLUCTRACE_SCALE=paper` for the full
+//! workload. Every binary prints its table *and* writes a JSON artifact
+//! under `artifacts/` (override with `FLUCTRACE_ARTIFACTS`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod acl_experiment;
+pub mod sampling_experiment;
+
+use std::path::PathBuf;
+
+/// Where figure artifacts are written.
+pub fn artifact_dir() -> PathBuf {
+    std::env::var_os("FLUCTRACE_ARTIFACTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("artifacts"))
+}
+
+/// Experiment scale selected via `FLUCTRACE_SCALE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Fast default: seconds per figure.
+    Quick,
+    /// The paper's workload sizes (minutes).
+    Paper,
+}
+
+impl Scale {
+    /// Read the scale from the environment (`FLUCTRACE_SCALE=paper`).
+    pub fn from_env() -> Scale {
+        match std::env::var("FLUCTRACE_SCALE").as_deref() {
+            Ok("paper") => Scale::Paper,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Packets per type for the ACL experiments (paper: 10 000).
+    pub fn packets_per_type(self) -> usize {
+        match self {
+            Scale::Quick => 500,
+            Scale::Paper => 10_000,
+        }
+    }
+
+    /// Rule-set parameters `(sports, dports, tail)` for Table III.
+    ///
+    /// The paper's caption says "666 × 750 + 500 = 50 000 rules", which
+    /// is arithmetically inconsistent (666·750+500 = 500 000); we honour
+    /// the *claimed totals* — 50 000 rules stored in 247 tries — by
+    /// keeping the 666(+1) distinct source ports and using 75
+    /// destination ports: 666 × 75 + 50 = 50 000. See EXPERIMENTS.md.
+    pub fn table3_params(self) -> (u16, u16, u16) {
+        // The 50 000-rule build takes < 0.5 s, so both scales use the
+        // full 247-trie set; scales differ only in packet/request counts.
+        let _ = self;
+        (666, 75, 50)
+    }
+
+    /// Requests for the web-server profile (paper: 300 000).
+    pub fn webserver_requests(self) -> usize {
+        match self {
+            Scale::Quick => 2_000,
+            Scale::Paper => 300_000,
+        }
+    }
+
+    /// µops per kernel run for the sampling experiment.
+    pub fn kernel_uops(self) -> u64 {
+        match self {
+            Scale::Quick => 20_000_000,
+            Scale::Paper => 400_000_000,
+        }
+    }
+}
+
+/// Print a figure's table header comment and write its artifact,
+/// reporting the path (shared tail of every binary).
+pub fn emit(figure: &fluctrace_analysis::Figure) {
+    match figure.write_artifact(&artifact_dir()) {
+        Ok(path) => println!("\n[artifact] {}", path.display()),
+        Err(e) => eprintln!("\n[artifact] write failed: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parameters_are_sane() {
+        assert!(Scale::Quick.packets_per_type() < Scale::Paper.packets_per_type());
+        let (s, d, t) = Scale::Paper.table3_params();
+        let _ = Scale::Quick.table3_params();
+        assert_eq!(s as u64 * d as u64 + t as u64, 50_000);
+        assert_eq!(50_000usize.div_ceil(203), 247, "rules land in 247 tries");
+        assert_eq!(Scale::Paper.webserver_requests(), 300_000);
+    }
+
+    #[test]
+    fn default_scale_is_quick() {
+        // Unless the env var is set in this test environment.
+        if std::env::var("FLUCTRACE_SCALE").is_err() {
+            assert_eq!(Scale::from_env(), Scale::Quick);
+        }
+    }
+}

@@ -1,0 +1,449 @@
+//! Step 3 of the paper's procedure: "The elapsed time of function `f_n`
+//! for data-item `#M` is calculated by the difference between the
+//! timestamps of the first and the last PEBS sample that belong to
+//! `{f_n, data-item #M}`."
+//!
+//! Refinement over the paper's single-interval case: if an item occupies
+//! several intervals (a preempted item under timer-switching with
+//! scheduler logging, or several tag runs in register mode), first/last
+//! differences are taken *per occupancy span* and summed, so time the
+//! item spent switched-out is not counted.
+
+use crate::integrate::{IntegratedTrace, MappingMode};
+use fluctrace_cpu::{FuncId, ItemId};
+use fluctrace_sim::{Freq, SimDuration};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Estimated elapsed time of one function for one data-item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FuncEstimate {
+    /// The data-item.
+    pub item: ItemId,
+    /// The function.
+    pub func: FuncId,
+    /// Number of samples attributed to `{func, item}`.
+    pub samples: u32,
+    /// Estimated elapsed time (sum of per-span first→last differences).
+    pub elapsed: SimDuration,
+}
+
+impl FuncEstimate {
+    /// True when enough samples existed to estimate a duration — the
+    /// paper's §V.B.1 limitation: one sample gives no elapsed time.
+    pub fn is_estimable(&self) -> bool {
+        self.samples >= 2
+    }
+}
+
+/// Everything estimated about one data-item.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ItemEstimate {
+    /// The data-item.
+    pub item: ItemId,
+    /// Exact processing time from the instrumentation marks (sum over
+    /// the item's intervals). `None` in register-tag mode, where no
+    /// marks exist.
+    pub marked_total: Option<SimDuration>,
+    /// Per-function estimates, ordered by function id.
+    pub funcs: Vec<FuncEstimate>,
+    /// Samples attributed to the item whose IP resolved to no function.
+    pub unknown_func_samples: u32,
+}
+
+impl ItemEstimate {
+    /// Estimate for one function, if any samples hit it.
+    pub fn func(&self, func: FuncId) -> Option<&FuncEstimate> {
+        self.funcs.iter().find(|f| f.func == func)
+    }
+
+    /// Sum of the per-function estimated elapsed times.
+    pub fn estimated_total(&self) -> SimDuration {
+        self.funcs
+            .iter()
+            .fold(SimDuration::ZERO, |acc, f| acc + f.elapsed)
+    }
+}
+
+/// Per-item per-function estimates for a whole trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EstimateTable {
+    items: BTreeMap<ItemId, ItemEstimate>,
+    /// TSC frequency the estimates were converted with.
+    pub freq: Freq,
+}
+
+impl EstimateTable {
+    /// Assemble a table from pre-built per-item estimates (used by the
+    /// batch-splitting extension).
+    pub(crate) fn from_items_map(
+        items: BTreeMap<ItemId, ItemEstimate>,
+        freq: Freq,
+    ) -> EstimateTable {
+        EstimateTable { items, freq }
+    }
+
+    /// Build the table from an integrated trace.
+    pub fn from_integrated(it: &IntegratedTrace) -> Self {
+        // Span key: interval index in interval mode; synthetic run id in
+        // register mode (increments whenever the attributed item changes
+        // on a core).
+        #[derive(PartialEq, Eq, PartialOrd, Ord)]
+        struct SpanKey {
+            item: ItemId,
+            func: FuncId,
+            span: u64,
+        }
+        let mut spans: BTreeMap<SpanKey, (u64, u64, u32)> = BTreeMap::new(); // (first, last, count)
+        let mut unknown: BTreeMap<ItemId, u32> = BTreeMap::new();
+
+        let mut run_id = 0u64;
+        let mut last: Option<(fluctrace_cpu::CoreId, Option<ItemId>)> = None;
+        for s in &it.samples {
+            // Track register-mode runs.
+            let cur = (s.core, s.item);
+            if last != Some(cur) {
+                run_id += 1;
+                last = Some(cur);
+            }
+            let Some(item) = s.item else { continue };
+            let Some(func) = s.func else {
+                *unknown.entry(item).or_insert(0) += 1;
+                continue;
+            };
+            let span = match it.mode {
+                MappingMode::Intervals => s.interval_idx.unwrap_or(0) as u64,
+                MappingMode::RegisterTag => run_id,
+            };
+            let key = SpanKey { item, func, span };
+            let entry = spans.entry(key).or_insert((s.tsc, s.tsc, 0));
+            entry.0 = entry.0.min(s.tsc);
+            entry.1 = entry.1.max(s.tsc);
+            entry.2 += 1;
+        }
+
+        // Fold spans into per-(item, func) cycle totals; convert to time
+        // once at the end so truncation does not accumulate per span.
+        let mut cycle_sums: BTreeMap<(ItemId, FuncId), (u32, u64)> = BTreeMap::new();
+        for (key, (first, last, count)) in spans {
+            let e = cycle_sums.entry((key.item, key.func)).or_insert((0, 0));
+            e.0 += count;
+            e.1 += last - first;
+        }
+        let funcs: BTreeMap<(ItemId, FuncId), FuncEstimate> = cycle_sums
+            .into_iter()
+            .map(|((item, func), (samples, cycles))| {
+                (
+                    (item, func),
+                    FuncEstimate {
+                        item,
+                        func,
+                        samples,
+                        elapsed: it.freq.cycles_to_dur(cycles),
+                    },
+                )
+            })
+            .collect();
+
+        // Exact totals from marks.
+        let mut totals: BTreeMap<ItemId, u64> = BTreeMap::new();
+        for iv in &it.intervals {
+            *totals.entry(iv.item).or_insert(0) += iv.cycles();
+        }
+
+        let mut items: BTreeMap<ItemId, ItemEstimate> = BTreeMap::new();
+        for ((item, _), fe) in funcs {
+            items
+                .entry(item)
+                .or_insert_with(|| ItemEstimate {
+                    item,
+                    marked_total: totals.get(&item).map(|&c| it.freq.cycles_to_dur(c)),
+                    funcs: Vec::new(),
+                    unknown_func_samples: 0,
+                })
+                .funcs
+                .push(fe);
+        }
+        // Items that have intervals but no attributable samples still
+        // appear (with empty func lists) so totals stay queryable.
+        for (&item, &cycles) in &totals {
+            items.entry(item).or_insert_with(|| ItemEstimate {
+                item,
+                marked_total: Some(it.freq.cycles_to_dur(cycles)),
+                funcs: Vec::new(),
+                unknown_func_samples: 0,
+            });
+        }
+        for (item, n) in unknown {
+            if let Some(ie) = items.get_mut(&item) {
+                ie.unknown_func_samples = n;
+            }
+        }
+        EstimateTable {
+            items,
+            freq: it.freq,
+        }
+    }
+
+    /// Estimate for `{item, func}`.
+    pub fn get(&self, item: ItemId, func: FuncId) -> Option<&FuncEstimate> {
+        self.items.get(&item).and_then(|ie| ie.func(func))
+    }
+
+    /// Everything about one item.
+    pub fn item(&self, item: ItemId) -> Option<&ItemEstimate> {
+        self.items.get(&item)
+    }
+
+    /// Iterate all items in id order.
+    pub fn items(&self) -> impl Iterator<Item = &ItemEstimate> {
+        self.items.values()
+    }
+
+    /// Number of items with any information.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Elapsed estimates of `func` across items that have ≥2 samples
+    /// for it, in item order (convenience for the evaluation harness).
+    pub fn series_for_func(&self, func: FuncId) -> Vec<(ItemId, SimDuration)> {
+        self.items()
+            .filter_map(|ie| {
+                ie.func(func)
+                    .filter(|fe| fe.is_estimable())
+                    .map(|fe| (ie.item, fe.elapsed))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+    use crate::integrate::integrate;
+    use fluctrace_cpu::{
+        encode_tag, CoreId, HwEvent, MarkKind, MarkRecord, PebsRecord, SymbolTable,
+        SymbolTableBuilder, TraceBundle, VirtAddr, NO_TAG,
+    };
+
+    fn setup() -> (SymbolTable, FuncId, FuncId) {
+        let mut b = SymbolTableBuilder::new();
+        let f = b.add("f", 100);
+        let g = b.add("g", 100);
+        (b.build(), f, g)
+    }
+
+    fn sample(core: u32, tsc: u64, ip: VirtAddr, r13: u64) -> PebsRecord {
+        PebsRecord {
+            core: CoreId(core),
+            tsc,
+            ip,
+            r13,
+            event: HwEvent::UopsRetired,
+        }
+    }
+
+    fn mark(core: u32, tsc: u64, item: u64, kind: MarkKind) -> MarkRecord {
+        MarkRecord {
+            core: CoreId(core),
+            tsc,
+            item: ItemId(item),
+            kind,
+        }
+    }
+
+    /// 3 GHz: 3000 cycles = 1 µs.
+    fn freq() -> Freq {
+        Freq::ghz(3)
+    }
+
+    #[test]
+    fn first_to_last_sample_difference() {
+        let (symtab, f, _) = setup();
+        let ip = symtab.range(f).start;
+        let mut bundle = TraceBundle::default();
+        bundle.marks = vec![
+            mark(0, 0, 1, MarkKind::Start),
+            mark(0, 10_000, 1, MarkKind::End),
+        ];
+        bundle.samples = vec![
+            sample(0, 1_000, ip, NO_TAG),
+            sample(0, 2_500, ip, NO_TAG),
+            sample(0, 4_000, ip, NO_TAG),
+        ];
+        bundle.sort();
+        let it = integrate(&bundle, &symtab, freq(), MappingMode::Intervals);
+        let table = EstimateTable::from_integrated(&it);
+        let fe = table.get(ItemId(1), f).unwrap();
+        assert_eq!(fe.samples, 3);
+        assert!(fe.is_estimable());
+        // 3000 cycles at 3 GHz = 1 µs.
+        assert_eq!(fe.elapsed, SimDuration::from_us(1));
+        let ie = table.item(ItemId(1)).unwrap();
+        assert_eq!(ie.marked_total, Some(freq().cycles_to_dur(10_000)));
+        assert_eq!(ie.estimated_total(), SimDuration::from_us(1));
+    }
+
+    #[test]
+    fn single_sample_gives_zero_elapsed_not_estimable() {
+        let (symtab, f, _) = setup();
+        let ip = symtab.range(f).start;
+        let mut bundle = TraceBundle::default();
+        bundle.marks = vec![
+            mark(0, 0, 1, MarkKind::Start),
+            mark(0, 1000, 1, MarkKind::End),
+        ];
+        bundle.samples = vec![sample(0, 500, ip, NO_TAG)];
+        bundle.sort();
+        let it = integrate(&bundle, &symtab, freq(), MappingMode::Intervals);
+        let table = EstimateTable::from_integrated(&it);
+        let fe = table.get(ItemId(1), f).unwrap();
+        assert_eq!(fe.samples, 1);
+        assert!(!fe.is_estimable());
+        assert_eq!(fe.elapsed, SimDuration::ZERO);
+        assert!(table.series_for_func(f).is_empty());
+    }
+
+    #[test]
+    fn per_function_separation_within_item() {
+        let (symtab, f, g) = setup();
+        let f_ip = symtab.range(f).start;
+        let g_ip = symtab.range(g).start;
+        let mut bundle = TraceBundle::default();
+        bundle.marks = vec![
+            mark(0, 0, 1, MarkKind::Start),
+            mark(0, 100_000, 1, MarkKind::End),
+        ];
+        // f: 0..30000 cycles; g: 40000..70000 cycles.
+        bundle.samples = vec![
+            sample(0, 10_000, f_ip, NO_TAG),
+            sample(0, 40_000, g_ip, NO_TAG),
+            sample(0, 25_000, f_ip, NO_TAG),
+            sample(0, 70_000, g_ip, NO_TAG),
+        ];
+        bundle.sort();
+        let it = integrate(&bundle, &symtab, freq(), MappingMode::Intervals);
+        let table = EstimateTable::from_integrated(&it);
+        assert_eq!(table.get(ItemId(1), f).unwrap().elapsed, freq().cycles_to_dur(15_000));
+        assert_eq!(table.get(ItemId(1), g).unwrap().elapsed, freq().cycles_to_dur(30_000));
+        let ie = table.item(ItemId(1)).unwrap();
+        assert_eq!(ie.funcs.len(), 2);
+    }
+
+    #[test]
+    fn preempted_item_sums_per_span_not_across_gap() {
+        let (symtab, f, _) = setup();
+        let ip = symtab.range(f).start;
+        let mut bundle = TraceBundle::default();
+        // Item 1 runs in two slices: [0, 10k] and [50k, 60k]; item 2 in
+        // between. Naive first→last would charge 59k cycles to item 1.
+        bundle.marks = vec![
+            mark(0, 0, 1, MarkKind::Start),
+            mark(0, 10_000, 1, MarkKind::End),
+            mark(0, 10_000, 2, MarkKind::Start),
+            mark(0, 50_000, 2, MarkKind::End),
+            mark(0, 50_000, 1, MarkKind::Start),
+            mark(0, 60_000, 1, MarkKind::End),
+        ];
+        bundle.samples = vec![
+            sample(0, 1_000, ip, NO_TAG),
+            sample(0, 9_000, ip, NO_TAG),
+            sample(0, 51_000, ip, NO_TAG),
+            sample(0, 59_000, ip, NO_TAG),
+        ];
+        bundle.sort();
+        let it = integrate(&bundle, &symtab, freq(), MappingMode::Intervals);
+        let table = EstimateTable::from_integrated(&it);
+        let fe = table.get(ItemId(1), f).unwrap();
+        // 8k + 8k cycles, not 58k.
+        assert_eq!(fe.elapsed, freq().cycles_to_dur(16_000));
+        assert_eq!(fe.samples, 4);
+    }
+
+    #[test]
+    fn register_tag_mode_runs_sum_per_run() {
+        let (symtab, f, _) = setup();
+        let ip = symtab.range(f).start;
+        let mut bundle = TraceBundle::default();
+        let t1 = encode_tag(ItemId(1));
+        let t2 = encode_tag(ItemId(2));
+        // Item 1 sampled in two runs separated by item 2.
+        bundle.samples = vec![
+            sample(0, 1_000, ip, t1),
+            sample(0, 4_000, ip, t1),
+            sample(0, 10_000, ip, t2),
+            sample(0, 13_000, ip, t2),
+            sample(0, 20_000, ip, t1),
+            sample(0, 23_000, ip, t1),
+        ];
+        bundle.sort();
+        let it = integrate(&bundle, &symtab, freq(), MappingMode::RegisterTag);
+        let table = EstimateTable::from_integrated(&it);
+        let fe1 = table.get(ItemId(1), f).unwrap();
+        // (4k-1k) + (23k-20k) = 6k cycles = 2 µs.
+        assert_eq!(fe1.elapsed, SimDuration::from_us(2));
+        assert_eq!(fe1.samples, 4);
+        // No marks → no exact total.
+        assert_eq!(table.item(ItemId(1)).unwrap().marked_total, None);
+    }
+
+    #[test]
+    fn item_without_samples_still_has_marked_total() {
+        let (symtab, _, _) = setup();
+        let mut bundle = TraceBundle::default();
+        bundle.marks = vec![
+            mark(0, 0, 9, MarkKind::Start),
+            mark(0, 3_000, 9, MarkKind::End),
+        ];
+        bundle.sort();
+        let it = integrate(&bundle, &symtab, freq(), MappingMode::Intervals);
+        let table = EstimateTable::from_integrated(&it);
+        let ie = table.item(ItemId(9)).unwrap();
+        assert_eq!(ie.marked_total, Some(SimDuration::from_us(1)));
+        assert!(ie.funcs.is_empty());
+        assert_eq!(ie.estimated_total(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn unknown_func_samples_counted() {
+        let (symtab, _, _) = setup();
+        let mut bundle = TraceBundle::default();
+        bundle.marks = vec![
+            mark(0, 0, 1, MarkKind::Start),
+            mark(0, 10_000, 1, MarkKind::End),
+        ];
+        bundle.samples = vec![sample(0, 500, VirtAddr(0x10), NO_TAG)];
+        bundle.sort();
+        let it = integrate(&bundle, &symtab, freq(), MappingMode::Intervals);
+        let table = EstimateTable::from_integrated(&it);
+        assert_eq!(table.item(ItemId(1)).unwrap().unknown_func_samples, 1);
+    }
+
+    #[test]
+    fn series_for_func_orders_by_item() {
+        let (symtab, f, _) = setup();
+        let ip = symtab.range(f).start;
+        let mut bundle = TraceBundle::default();
+        for (i, base) in [(2u64, 100_000u64), (1, 0)] {
+            bundle.marks.push(mark(0, base, i, MarkKind::Start));
+            bundle.marks.push(mark(0, base + 50_000, i, MarkKind::End));
+            bundle.samples.push(sample(0, base + 1_000, ip, NO_TAG));
+            bundle.samples.push(sample(0, base + 4_000, ip, NO_TAG));
+        }
+        bundle.sort();
+        let it = integrate(&bundle, &symtab, freq(), MappingMode::Intervals);
+        let table = EstimateTable::from_integrated(&it);
+        let series = table.series_for_func(f);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].0, ItemId(1));
+        assert_eq!(series[1].0, ItemId(2));
+        assert_eq!(series[0].1, SimDuration::from_us(1));
+    }
+}

@@ -1,0 +1,203 @@
+//! Export integrated traces to the Chrome trace-event format, viewable
+//! in `chrome://tracing` / Perfetto — the visualization a downstream
+//! user actually loads Fig. 3-style data into.
+//!
+//! Mapping:
+//! * each core becomes a thread track (`tid` = core id);
+//! * each data-item interval becomes a complete event (`ph:"X"`) named
+//!   `item #N` on its core's track;
+//! * per-item per-function estimates become nested complete events laid
+//!   end-to-end inside the item (start offsets from each function's
+//!   first sample);
+//! * individual samples can optionally be included as instant events
+//!   (`ph:"i"`), which Perfetto renders as the black dots of Fig. 3.
+
+use crate::estimate::EstimateTable;
+use crate::integrate::IntegratedTrace;
+use fluctrace_cpu::SymbolTable;
+use serde_json::{json, Value};
+
+/// Options for the export.
+#[derive(Debug, Clone, Copy)]
+pub struct ExportOptions {
+    /// Include one instant event per sample (large traces get big fast:
+    /// ~100 B of JSON per sample).
+    pub include_samples: bool,
+}
+
+impl Default for ExportOptions {
+    fn default() -> Self {
+        ExportOptions {
+            include_samples: false,
+        }
+    }
+}
+
+/// Build the trace-event JSON document.
+pub fn chrome_trace(
+    it: &IntegratedTrace,
+    table: &EstimateTable,
+    symtab: &SymbolTable,
+    options: ExportOptions,
+) -> Value {
+    let freq = it.freq;
+    let us = |tsc: u64| freq.cycles_to_dur(tsc).as_us_f64();
+    let mut events: Vec<Value> = Vec::new();
+    // Track names.
+    let mut cores: Vec<u32> = it.intervals.iter().map(|iv| iv.core.0).collect();
+    cores.extend(it.samples.iter().map(|s| s.core.0));
+    cores.sort_unstable();
+    cores.dedup();
+    for &core in &cores {
+        events.push(json!({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": core,
+            "args": {"name": format!("core{core}")},
+        }));
+    }
+    // Item intervals.
+    for iv in &it.intervals {
+        events.push(json!({
+            "name": format!("item {}", iv.item),
+            "cat": "item",
+            "ph": "X",
+            "pid": 1,
+            "tid": iv.core.0,
+            "ts": us(iv.start_tsc),
+            "dur": us(iv.end_tsc) - us(iv.start_tsc),
+            "args": {"item": iv.item.0},
+        }));
+    }
+    // Function estimates nested inside each item: anchor each function
+    // at its first attributed sample.
+    for ie in table.items() {
+        for fe in &ie.funcs {
+            if !fe.is_estimable() {
+                continue;
+            }
+            // First sample of {item, func}.
+            let first = it
+                .samples
+                .iter()
+                .find(|s| s.item == Some(ie.item) && s.func == Some(fe.func));
+            let Some(first) = first else { continue };
+            events.push(json!({
+                "name": symtab.name(fe.func),
+                "cat": "function",
+                "ph": "X",
+                "pid": 1,
+                "tid": first.core.0,
+                "ts": us(first.tsc),
+                "dur": fe.elapsed.as_us_f64(),
+                "args": {"item": ie.item.0, "samples": fe.samples},
+            }));
+        }
+    }
+    if options.include_samples {
+        for s in &it.samples {
+            events.push(json!({
+                "name": s.func.map(|f| symtab.name(f).to_string())
+                    .unwrap_or_else(|| "?".into()),
+                "cat": "sample",
+                "ph": "i",
+                "s": "t",
+                "pid": 1,
+                "tid": s.core.0,
+                "ts": us(s.tsc),
+            }));
+        }
+    }
+    json!({
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {"generator": "fluctrace"},
+    })
+}
+
+/// Serialize the trace-event document to a JSON string.
+pub fn chrome_trace_string(
+    it: &IntegratedTrace,
+    table: &EstimateTable,
+    symtab: &SymbolTable,
+    options: ExportOptions,
+) -> String {
+    serde_json::to_string(&chrome_trace(it, table, symtab, options)).expect("trace serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::integrate::{integrate, MappingMode};
+    use fluctrace_cpu::{
+        CoreId, HwEvent, ItemId, MarkKind, MarkRecord, PebsRecord, SymbolTableBuilder,
+        TraceBundle, NO_TAG,
+    };
+    use fluctrace_sim::Freq;
+
+    fn setup() -> (IntegratedTrace, EstimateTable, SymbolTable) {
+        let mut b = SymbolTableBuilder::new();
+        let f = b.add("handle", 100);
+        let symtab = b.build();
+        let ip = symtab.range(f).start;
+        let mut bundle = TraceBundle::default();
+        bundle.marks = vec![
+            MarkRecord { core: CoreId(0), tsc: 3_000, item: ItemId(1), kind: MarkKind::Start },
+            MarkRecord { core: CoreId(0), tsc: 33_000, item: ItemId(1), kind: MarkKind::End },
+        ];
+        bundle.samples = vec![
+            PebsRecord { core: CoreId(0), tsc: 6_000, ip, r13: NO_TAG, event: HwEvent::UopsRetired },
+            PebsRecord { core: CoreId(0), tsc: 30_000, ip, r13: NO_TAG, event: HwEvent::UopsRetired },
+        ];
+        bundle.sort();
+        let it = integrate(&bundle, &symtab, Freq::ghz(3), MappingMode::Intervals);
+        let table = EstimateTable::from_integrated(&it);
+        (it, table, symtab)
+    }
+
+    #[test]
+    fn emits_item_and_function_events() {
+        let (it, table, symtab) = setup();
+        let doc = chrome_trace(&it, &table, &symtab, ExportOptions::default());
+        let events = doc["traceEvents"].as_array().unwrap();
+        // thread_name + item + function.
+        assert_eq!(events.len(), 3);
+        let item = events.iter().find(|e| e["cat"] == "item").unwrap();
+        assert_eq!(item["ph"], "X");
+        assert_eq!(item["tid"], 0);
+        assert!((item["ts"].as_f64().unwrap() - 1.0).abs() < 1e-9, "3000 cycles = 1 us");
+        assert!((item["dur"].as_f64().unwrap() - 10.0).abs() < 1e-9);
+        let func = events.iter().find(|e| e["cat"] == "function").unwrap();
+        assert_eq!(func["name"], "handle");
+        assert!((func["ts"].as_f64().unwrap() - 2.0).abs() < 1e-9);
+        assert!((func["dur"].as_f64().unwrap() - 8.0).abs() < 1e-9);
+        assert_eq!(func["args"]["item"], 1);
+    }
+
+    #[test]
+    fn samples_included_on_request() {
+        let (it, table, symtab) = setup();
+        let doc = chrome_trace(
+            &it,
+            &table,
+            &symtab,
+            ExportOptions {
+                include_samples: true,
+            },
+        );
+        let events = doc["traceEvents"].as_array().unwrap();
+        let samples: Vec<_> = events.iter().filter(|e| e["cat"] == "sample").collect();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0]["ph"], "i");
+    }
+
+    #[test]
+    fn string_form_parses_back() {
+        let (it, table, symtab) = setup();
+        let s = chrome_trace_string(&it, &table, &symtab, ExportOptions::default());
+        let parsed: Value = serde_json::from_str(&s).unwrap();
+        assert!(parsed["traceEvents"].is_array());
+        assert_eq!(parsed["otherData"]["generator"], "fluctrace");
+    }
+}

@@ -1,0 +1,420 @@
+//! Fluctuation detection: the diagnosis step.
+//!
+//! A *fluctuation* is "different performance for similar or identical
+//! data-items". The caller therefore supplies a **content grouping** —
+//! a label under which items should behave identically (the query's `n`
+//! in the proof-of-concept app, the packet type in the ACL study) — and
+//! the detector flags, per `(group, function)`, the items whose
+//! estimated elapsed time deviates from their group.
+//!
+//! Robust statistics (median / MAD) are used so that the outliers being
+//! hunted do not mask themselves by inflating the group's mean.
+
+use crate::estimate::EstimateTable;
+use fluctrace_cpu::{FuncId, ItemId};
+use fluctrace_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Statistics of one `(group, function)` population.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroupFuncStats {
+    /// The content group label.
+    pub group: String,
+    /// The function.
+    pub func: FuncId,
+    /// Items contributing an estimable elapsed time.
+    pub count: usize,
+    /// Median elapsed time.
+    pub median: SimDuration,
+    /// Median absolute deviation (scaled by 1.4826 to be σ-comparable
+    /// for normal data).
+    pub mad: SimDuration,
+    /// Minimum / maximum observed.
+    pub min: SimDuration,
+    /// Maximum observed.
+    pub max: SimDuration,
+}
+
+/// One flagged item.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Outlier {
+    /// The content group label.
+    pub group: String,
+    /// The function whose time deviated.
+    pub func: FuncId,
+    /// The deviating item.
+    pub item: ItemId,
+    /// The item's estimated elapsed time for the function.
+    pub elapsed: SimDuration,
+    /// The group median it deviates from.
+    pub median: SimDuration,
+    /// Deviation in robust sigmas (|x − median| / MAD), `inf` when the
+    /// group is otherwise constant.
+    pub sigmas: f64,
+}
+
+/// An item whose *total* (mark-to-mark) time deviates from its group —
+/// the way a fluctuation is first noticed before any function is
+/// implicated.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TotalOutlier {
+    /// The content group label.
+    pub group: String,
+    /// The deviating item.
+    pub item: ItemId,
+    /// The item's total processing time (from marks).
+    pub total: SimDuration,
+    /// The group median it deviates from.
+    pub median: SimDuration,
+    /// Deviation in robust sigmas.
+    pub sigmas: f64,
+}
+
+/// The detector's output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FluctuationReport {
+    /// Per-(group, function) statistics.
+    pub groups: Vec<GroupFuncStats>,
+    /// Items flagged as fluctuations, sorted by decreasing deviation.
+    pub outliers: Vec<Outlier>,
+    /// Items whose total latency deviates from their group (may include
+    /// items no single sampled function explains — e.g. a function that
+    /// only ever runs on the slow path).
+    pub total_outliers: Vec<TotalOutlier>,
+    /// The threshold used, in robust sigmas.
+    pub threshold_sigmas: f64,
+}
+
+impl FluctuationReport {
+    /// Outliers for one function.
+    pub fn outliers_for(&self, func: FuncId) -> impl Iterator<Item = &Outlier> {
+        self.outliers.iter().filter(move |o| o.func == func)
+    }
+
+    /// True if any fluctuation was flagged (function-level or total).
+    pub fn any(&self) -> bool {
+        !self.outliers.is_empty() || !self.total_outliers.is_empty()
+    }
+}
+
+fn median_of_sorted(xs: &[u64]) -> u64 {
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2
+    }
+}
+
+/// Detect fluctuations in `table`.
+///
+/// `group_of` labels each item with its content group (items expected to
+/// behave identically); items mapped to `None` are ignored. An item is
+/// flagged when its elapsed time for some function deviates from the
+/// group median by more than `threshold_sigmas` robust sigmas **and** by
+/// more than `min_abs` (absolute guard so microscopic wobbles in
+/// near-constant groups are not flagged).
+pub fn detect(
+    table: &EstimateTable,
+    mut group_of: impl FnMut(ItemId) -> Option<String>,
+    threshold_sigmas: f64,
+    min_abs: SimDuration,
+) -> FluctuationReport {
+    // Collect (group, func) -> [(item, elapsed_ps)].
+    let mut pops: BTreeMap<(String, FuncId), Vec<(ItemId, u64)>> = BTreeMap::new();
+    for ie in table.items() {
+        let Some(group) = group_of(ie.item) else { continue };
+        for fe in &ie.funcs {
+            if fe.is_estimable() {
+                pops.entry((group.clone(), fe.func))
+                    .or_default()
+                    .push((ie.item, fe.elapsed.as_ps()));
+            }
+        }
+    }
+
+    let mut groups = Vec::new();
+    let mut outliers = Vec::new();
+    for ((group, func), pop) in pops {
+        let mut sorted: Vec<u64> = pop.iter().map(|&(_, e)| e).collect();
+        sorted.sort_unstable();
+        let median = median_of_sorted(&sorted);
+        let mut devs: Vec<u64> = sorted.iter().map(|&x| x.abs_diff(median)).collect();
+        devs.sort_unstable();
+        // 1.4826 · MAD ≈ σ for normal data.
+        let mad = (median_of_sorted(&devs) as f64 * 1.4826) as u64;
+        groups.push(GroupFuncStats {
+            group: group.clone(),
+            func,
+            count: pop.len(),
+            median: SimDuration::from_ps(median),
+            mad: SimDuration::from_ps(mad),
+            min: SimDuration::from_ps(sorted[0]),
+            max: SimDuration::from_ps(*sorted.last().unwrap()),
+        });
+        if pop.len() < 3 {
+            // Too few to call anything an outlier.
+            continue;
+        }
+        for (item, elapsed) in pop {
+            let dev = elapsed.abs_diff(median);
+            if dev <= min_abs.as_ps() {
+                continue;
+            }
+            let sigmas = if mad == 0 {
+                f64::INFINITY
+            } else {
+                dev as f64 / mad as f64
+            };
+            if sigmas > threshold_sigmas {
+                outliers.push(Outlier {
+                    group: group.clone(),
+                    func,
+                    item,
+                    elapsed: SimDuration::from_ps(elapsed),
+                    median: SimDuration::from_ps(median),
+                    sigmas,
+                });
+            }
+        }
+    }
+    // Severity order: robust sigmas first, absolute deviation as the
+    // tie-break (sigma is infinite for every outlier of a constant-MAD
+    // group, so the absolute deviation does the real ranking there).
+    outliers.sort_by(|a, b| {
+        b.sigmas
+            .partial_cmp(&a.sigmas)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| {
+                let da = a.elapsed.as_ps().abs_diff(a.median.as_ps());
+                let db = b.elapsed.as_ps().abs_diff(b.median.as_ps());
+                db.cmp(&da)
+            })
+    });
+    // Total-latency populations per group (from marks, where present).
+    let mut total_pops: BTreeMap<String, Vec<(ItemId, u64)>> = BTreeMap::new();
+    for ie in table.items() {
+        let Some(total) = ie.marked_total else { continue };
+        let Some(group) = group_of(ie.item) else { continue };
+        total_pops
+            .entry(group)
+            .or_default()
+            .push((ie.item, total.as_ps()));
+    }
+    let mut total_outliers = Vec::new();
+    for (group, pop) in total_pops {
+        if pop.len() < 3 {
+            continue;
+        }
+        let mut sorted: Vec<u64> = pop.iter().map(|&(_, t)| t).collect();
+        sorted.sort_unstable();
+        let median = median_of_sorted(&sorted);
+        let mut devs: Vec<u64> = sorted.iter().map(|&x| x.abs_diff(median)).collect();
+        devs.sort_unstable();
+        let mad = (median_of_sorted(&devs) as f64 * 1.4826) as u64;
+        for (item, total) in pop {
+            let dev = total.abs_diff(median);
+            if dev <= min_abs.as_ps() {
+                continue;
+            }
+            let sigmas = if mad == 0 {
+                f64::INFINITY
+            } else {
+                dev as f64 / mad as f64
+            };
+            if sigmas > threshold_sigmas {
+                total_outliers.push(TotalOutlier {
+                    group: group.clone(),
+                    item,
+                    total: SimDuration::from_ps(total),
+                    median: SimDuration::from_ps(median),
+                    sigmas,
+                });
+            }
+        }
+    }
+    total_outliers.sort_by(|a, b| {
+        b.sigmas
+            .partial_cmp(&a.sigmas)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| {
+                let da = a.total.as_ps().abs_diff(a.median.as_ps());
+                let db = b.total.as_ps().abs_diff(b.median.as_ps());
+                db.cmp(&da)
+            })
+    });
+
+    FluctuationReport {
+        groups,
+        outliers,
+        total_outliers,
+        threshold_sigmas,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::integrate::{integrate, MappingMode};
+    use fluctrace_cpu::{
+        CoreId, HwEvent, MarkKind, MarkRecord, PebsRecord, SymbolTable, SymbolTableBuilder,
+        TraceBundle, NO_TAG,
+    };
+    use fluctrace_sim::Freq;
+
+    /// Build a table where item i's function-f time is `cycles[i]`.
+    fn table_with_times(cycles: &[u64]) -> (EstimateTable, FuncId) {
+        let mut b = SymbolTableBuilder::new();
+        let f = b.add("f", 100);
+        let symtab: SymbolTable = b.build();
+        let ip = symtab.range(f).start;
+        let mut bundle = TraceBundle::default();
+        let mut t = 0u64;
+        for (i, &c) in cycles.iter().enumerate() {
+            bundle.marks.push(MarkRecord {
+                core: CoreId(0),
+                tsc: t,
+                item: ItemId(i as u64),
+                kind: MarkKind::Start,
+            });
+            bundle.samples.push(PebsRecord {
+                core: CoreId(0),
+                tsc: t + 10,
+                ip,
+                r13: NO_TAG,
+                event: HwEvent::UopsRetired,
+            });
+            bundle.samples.push(PebsRecord {
+                core: CoreId(0),
+                tsc: t + 10 + c,
+                ip,
+                r13: NO_TAG,
+                event: HwEvent::UopsRetired,
+            });
+            t += c + 1000;
+            bundle.marks.push(MarkRecord {
+                core: CoreId(0),
+                tsc: t,
+                item: ItemId(i as u64),
+                kind: MarkKind::End,
+            });
+            t += 100;
+        }
+        bundle.sort();
+        let it = integrate(&bundle, &symtab, Freq::ghz(3), MappingMode::Intervals);
+        (EstimateTable::from_integrated(&it), f)
+    }
+
+    #[test]
+    fn flags_the_slow_item() {
+        // Items 0..7 take 3000 cycles, item 3 takes 30000.
+        let mut cycles = vec![3000u64; 8];
+        cycles[3] = 30_000;
+        let (table, f) = table_with_times(&cycles);
+        let report = detect(
+            &table,
+            |_| Some("same".to_string()),
+            5.0,
+            SimDuration::from_ns(100),
+        );
+        assert!(report.any());
+        assert_eq!(report.outliers.len(), 1);
+        let o = &report.outliers[0];
+        assert_eq!(o.item, ItemId(3));
+        assert_eq!(o.func, f);
+        assert!(o.sigmas > 5.0);
+        assert_eq!(report.groups.len(), 1);
+        assert_eq!(report.groups[0].count, 8);
+    }
+
+    #[test]
+    fn constant_series_never_flags() {
+        let (table, _) = table_with_times(&[5000; 10]);
+        let report = detect(
+            &table,
+            |_| Some("same".to_string()),
+            3.0,
+            SimDuration::from_ns(10),
+        );
+        assert!(!report.any());
+    }
+
+    #[test]
+    fn near_constant_jitter_guarded_by_min_abs() {
+        // ±3 cycles of jitter: robust sigma is tiny, so everything looks
+        // like "infinite sigmas" without the absolute guard.
+        let cycles: Vec<u64> = (0..10).map(|i| 5000 + (i % 3)).collect();
+        let (table, _) = table_with_times(&cycles);
+        let report = detect(
+            &table,
+            |_| Some("same".to_string()),
+            3.0,
+            SimDuration::from_ns(100),
+        );
+        assert!(!report.any(), "{:?}", report.outliers);
+    }
+
+    #[test]
+    fn groups_are_separate_populations() {
+        // Group "a": items 0-3 at 3000; group "b": items 4-7 at 30000.
+        // Neither group fluctuates internally.
+        let mut cycles = vec![3000u64; 8];
+        for c in cycles.iter_mut().skip(4) {
+            *c = 30_000;
+        }
+        let (table, _) = table_with_times(&cycles);
+        let report = detect(
+            &table,
+            |item| Some(if item.0 < 4 { "a".into() } else { "b".into() }),
+            3.0,
+            SimDuration::from_ns(100),
+        );
+        assert!(!report.any());
+        assert_eq!(report.groups.len(), 2);
+    }
+
+    #[test]
+    fn ungrouped_items_ignored() {
+        let mut cycles = vec![3000u64; 6];
+        cycles[5] = 60_000; // would be an outlier, but excluded
+        let (table, _) = table_with_times(&cycles);
+        let report = detect(
+            &table,
+            |item| (item.0 != 5).then(|| "g".to_string()),
+            3.0,
+            SimDuration::from_ns(100),
+        );
+        assert!(!report.any());
+        assert_eq!(report.groups[0].count, 5);
+    }
+
+    #[test]
+    fn too_small_population_not_flagged() {
+        let (table, _) = table_with_times(&[3000, 30_000]);
+        let report = detect(
+            &table,
+            |_| Some("g".into()),
+            3.0,
+            SimDuration::from_ns(100),
+        );
+        assert!(!report.any());
+    }
+
+    #[test]
+    fn outliers_sorted_by_severity() {
+        let mut cycles = vec![3000u64; 12];
+        cycles[2] = 30_000;
+        cycles[9] = 90_000;
+        let (table, _) = table_with_times(&cycles);
+        let report = detect(
+            &table,
+            |_| Some("g".into()),
+            5.0,
+            SimDuration::from_ns(100),
+        );
+        assert_eq!(report.outliers.len(), 2);
+        assert_eq!(report.outliers[0].item, ItemId(9));
+        assert_eq!(report.outliers[1].item, ItemId(2));
+    }
+}

@@ -1,0 +1,263 @@
+//! Step 2 of the paper's procedure (§III.D, Fig. 6): integrate the two
+//! data streams.
+//!
+//! Each PEBS sample is attributed along two axes:
+//!
+//! * **data-item** — by locating the mark interval (same core) that
+//!   contains the sample's timestamp, or, in
+//!   [`MappingMode::RegisterTag`], by decoding the `r13` register value
+//!   the sample captured (§V.A);
+//! * **function** — by resolving the sampled instruction pointer against
+//!   the target's symbol table.
+//!
+//! Samples outside every interval (busy-poll spinning between items) or
+//! outside every known function keep `None` in the respective axis; they
+//! are retained because profiles (§V.B.1) still use them.
+
+use crate::interval::{build_intervals, IntervalError, ItemInterval};
+use fluctrace_cpu::{decode_tag, CoreId, FuncId, ItemId, SymbolTable, TraceBundle};
+use fluctrace_sim::Freq;
+use serde::{Deserialize, Serialize};
+
+/// How samples are mapped to data-items.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MappingMode {
+    /// Timestamp-in-mark-interval mapping — the paper's main procedure,
+    /// valid for self-switching architectures.
+    Intervals,
+    /// `r13` register-tag mapping — the §V.A extension, also valid under
+    /// timer-switching preemption.
+    RegisterTag,
+}
+
+/// One sample after integration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttributedSample {
+    /// Core the sample was taken on.
+    pub core: CoreId,
+    /// TSC timestamp.
+    pub tsc: u64,
+    /// The data-item the sample belongs to, if any.
+    pub item: Option<ItemId>,
+    /// The function the IP resolved to, if any.
+    pub func: Option<FuncId>,
+    /// Index of the interval (within [`IntegratedTrace::intervals`])
+    /// the sample fell into, when interval mapping was used. Lets the
+    /// estimator sum per-slice contributions for preempted items.
+    pub interval_idx: Option<u32>,
+}
+
+/// The integrated trace: attributed samples plus the reconstructed
+/// intervals and any mark-pairing errors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IntegratedTrace {
+    /// All samples, in `(core, tsc)` order.
+    pub samples: Vec<AttributedSample>,
+    /// Item intervals reconstructed from marks, in `(core, start)` order.
+    pub intervals: Vec<ItemInterval>,
+    /// Mark-pairing problems encountered.
+    pub errors: Vec<IntervalError>,
+    /// TSC frequency, for converting cycle differences to time.
+    pub freq: Freq,
+    /// The mapping mode used.
+    pub mode: MappingMode,
+}
+
+/// Integrate a trace bundle against a symbol table.
+///
+/// `bundle` must be sorted (see [`TraceBundle::sort`]); `freq` is the
+/// TSC frequency of the traced machine.
+pub fn integrate(
+    bundle: &TraceBundle,
+    symtab: &SymbolTable,
+    freq: Freq,
+    mode: MappingMode,
+) -> IntegratedTrace {
+    let (intervals, errors) = build_intervals(&bundle.marks);
+    let samples = bundle
+        .samples
+        .iter()
+        .map(|s| {
+            let (item, interval_idx) = match mode {
+                MappingMode::Intervals => {
+                    match crate::interval::find_interval_idx(&intervals, s.core, s.tsc) {
+                        Some(idx) => (Some(intervals[idx].item), Some(idx as u32)),
+                        None => (None, None),
+                    }
+                }
+                MappingMode::RegisterTag => (decode_tag(s.r13), None),
+            };
+            AttributedSample {
+                core: s.core,
+                tsc: s.tsc,
+                item,
+                func: symtab.resolve(s.ip),
+                interval_idx,
+            }
+        })
+        .collect();
+    IntegratedTrace {
+        samples,
+        intervals,
+        errors,
+        freq,
+        mode,
+    }
+}
+
+impl IntegratedTrace {
+    /// Samples attributed to `item`.
+    pub fn samples_of_item(&self, item: ItemId) -> impl Iterator<Item = &AttributedSample> {
+        self.samples.iter().filter(move |s| s.item == Some(item))
+    }
+
+    /// Fraction of samples that were attributed to some item.
+    pub fn attribution_ratio(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().filter(|s| s.item.is_some()).count() as f64
+            / self.samples.len() as f64
+    }
+
+    /// All distinct items observed (from intervals in interval mode,
+    /// from tags in register mode), in ascending id order.
+    pub fn items(&self) -> Vec<ItemId> {
+        let mut ids: Vec<ItemId> = match self.mode {
+            MappingMode::Intervals => self.intervals.iter().map(|iv| iv.item).collect(),
+            MappingMode::RegisterTag => self.samples.iter().filter_map(|s| s.item).collect(),
+        };
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+    use fluctrace_cpu::{
+        encode_tag, HwEvent, MarkKind, MarkRecord, PebsRecord, SymbolTableBuilder, VirtAddr,
+        NO_TAG,
+    };
+
+    fn setup() -> (SymbolTable, FuncId, FuncId) {
+        let mut b = SymbolTableBuilder::new();
+        let f = b.add("f", 100);
+        let g = b.add("g", 100);
+        (b.build(), f, g)
+    }
+
+    fn sample(core: u32, tsc: u64, ip: VirtAddr, r13: u64) -> PebsRecord {
+        PebsRecord {
+            core: CoreId(core),
+            tsc,
+            ip,
+            r13,
+            event: HwEvent::UopsRetired,
+        }
+    }
+
+    fn mark(core: u32, tsc: u64, item: u64, kind: MarkKind) -> MarkRecord {
+        MarkRecord {
+            core: CoreId(core),
+            tsc,
+            item: ItemId(item),
+            kind,
+        }
+    }
+
+    #[test]
+    fn interval_mode_attribution() {
+        let (symtab, f, _) = setup();
+        let f_ip = symtab.range(f).start;
+        let mut bundle = TraceBundle::default();
+        bundle.marks = vec![
+            mark(0, 100, 1, MarkKind::Start),
+            mark(0, 200, 1, MarkKind::End),
+        ];
+        bundle.samples = vec![
+            sample(0, 50, f_ip, NO_TAG),  // before the item
+            sample(0, 150, f_ip, NO_TAG), // inside
+            sample(0, 250, f_ip, NO_TAG), // after
+        ];
+        bundle.sort();
+        let it = integrate(&bundle, &symtab, Freq::ghz(3), MappingMode::Intervals);
+        assert!(it.errors.is_empty());
+        assert_eq!(it.samples[0].item, None);
+        assert_eq!(it.samples[1].item, Some(ItemId(1)));
+        assert_eq!(it.samples[1].func, Some(f));
+        assert_eq!(it.samples[1].interval_idx, Some(0));
+        assert_eq!(it.samples[2].item, None);
+        assert!((it.attribution_ratio() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(it.items(), vec![ItemId(1)]);
+    }
+
+    #[test]
+    fn cross_core_samples_do_not_leak() {
+        // A sample on core 1 whose tsc falls inside core 0's interval
+        // must not be attributed (the paper's mapping is per-core).
+        let (symtab, f, _) = setup();
+        let f_ip = symtab.range(f).start;
+        let mut bundle = TraceBundle::default();
+        bundle.marks = vec![
+            mark(0, 100, 1, MarkKind::Start),
+            mark(0, 200, 1, MarkKind::End),
+        ];
+        bundle.samples = vec![sample(1, 150, f_ip, NO_TAG)];
+        bundle.sort();
+        let it = integrate(&bundle, &symtab, Freq::ghz(3), MappingMode::Intervals);
+        assert_eq!(it.samples[0].item, None);
+    }
+
+    #[test]
+    fn register_tag_mode_ignores_intervals() {
+        let (symtab, f, _) = setup();
+        let f_ip = symtab.range(f).start;
+        let mut bundle = TraceBundle::default();
+        // No marks at all — timer-switching without scheduler logging.
+        bundle.samples = vec![
+            sample(0, 10, f_ip, encode_tag(ItemId(5))),
+            sample(0, 20, f_ip, NO_TAG),
+            sample(0, 30, f_ip, encode_tag(ItemId(6))),
+        ];
+        bundle.sort();
+        let it = integrate(&bundle, &symtab, Freq::ghz(3), MappingMode::RegisterTag);
+        assert_eq!(it.samples[0].item, Some(ItemId(5)));
+        assert_eq!(it.samples[1].item, None);
+        assert_eq!(it.samples[2].item, Some(ItemId(6)));
+        assert_eq!(it.items(), vec![ItemId(5), ItemId(6)]);
+    }
+
+    #[test]
+    fn unresolvable_ip_keeps_none_func() {
+        let (symtab, _, _) = setup();
+        let mut bundle = TraceBundle::default();
+        bundle.samples = vec![sample(0, 10, VirtAddr(0x10), NO_TAG)];
+        let it = integrate(&bundle, &symtab, Freq::ghz(3), MappingMode::Intervals);
+        assert_eq!(it.samples[0].func, None);
+    }
+
+    #[test]
+    fn samples_of_item_filter() {
+        let (symtab, f, g) = setup();
+        let mut bundle = TraceBundle::default();
+        bundle.marks = vec![
+            mark(0, 0, 1, MarkKind::Start),
+            mark(0, 100, 1, MarkKind::End),
+            mark(0, 200, 2, MarkKind::Start),
+            mark(0, 300, 2, MarkKind::End),
+        ];
+        bundle.samples = vec![
+            sample(0, 10, symtab.range(f).start, NO_TAG),
+            sample(0, 50, symtab.range(g).start, NO_TAG),
+            sample(0, 250, symtab.range(f).start, NO_TAG),
+        ];
+        bundle.sort();
+        let it = integrate(&bundle, &symtab, Freq::ghz(3), MappingMode::Intervals);
+        assert_eq!(it.samples_of_item(ItemId(1)).count(), 2);
+        assert_eq!(it.samples_of_item(ItemId(2)).count(), 1);
+        assert_eq!(it.attribution_ratio(), 1.0);
+    }
+}

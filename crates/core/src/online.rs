@@ -1,0 +1,446 @@
+//! Online processing of sample streams (§IV.C.3's mitigation for the
+//! PEBS data volume).
+//!
+//! Dumping every PEBS buffer to storage costs hundreds of MB/s per core.
+//! The paper suggests: "one can estimate the elapsed time of each
+//! function online and dump raw samples only when the estimation
+//! diverges from the average by a threshold in order to analyze the
+//! phenomenon later offline."
+//!
+//! [`OnlineTracer`] implements that: a real worker thread receives trace
+//! batches over a bounded channel, pairs marks into items as End marks
+//! arrive, estimates per-function elapsed times incrementally, keeps a
+//! running per-function baseline, and **retains raw samples only for
+//! items that diverge**. Everything else is counted and discarded.
+
+use crate::interval::ItemInterval;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use fluctrace_cpu::{
+    CoreId, FuncId, ItemId, MarkKind, PebsRecord, SymbolTable, TraceBundle, PEBS_RECORD_BYTES,
+};
+use fluctrace_sim::{Freq, SimDuration};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Configuration of the online tracer.
+#[derive(Debug, Clone, Copy)]
+pub struct OnlineConfig {
+    /// TSC frequency of the traced machine.
+    pub freq: Freq,
+    /// Flag an item when some function's elapsed time exceeds
+    /// `divergence_factor ×` the running mean for that function.
+    pub divergence_factor: f64,
+    /// Observations of a function required before divergence checks
+    /// start (baseline warm-up).
+    pub warmup: u64,
+    /// Channel capacity in batches (producer blocks when full, which is
+    /// the natural back-pressure a collection thread needs).
+    pub channel_capacity: usize,
+}
+
+impl OnlineConfig {
+    /// 2× divergence, 16-observation warm-up, 64-batch channel.
+    pub fn new(freq: Freq) -> Self {
+        OnlineConfig {
+            freq,
+            divergence_factor: 2.0,
+            warmup: 16,
+            channel_capacity: 64,
+        }
+    }
+}
+
+/// One flagged (diverging) item.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OnlineAnomaly {
+    /// The diverging item.
+    pub item: ItemId,
+    /// Function whose time diverged.
+    pub func: FuncId,
+    /// Estimated elapsed time for this item.
+    pub elapsed: SimDuration,
+    /// Running mean it was compared against.
+    pub baseline_mean: SimDuration,
+    /// Raw samples of the item, retained for offline analysis.
+    pub raw_samples: Vec<PebsRecord>,
+}
+
+/// Final report of an online-tracing session.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OnlineReport {
+    /// Items whose End mark was seen and that were fully processed.
+    pub items_processed: u64,
+    /// Total samples received.
+    pub samples_seen: u64,
+    /// Bytes of PEBS data received.
+    pub bytes_seen: u64,
+    /// Bytes retained (anomalous items' raw samples only).
+    pub bytes_dumped: u64,
+    /// The flagged items.
+    pub anomalies: Vec<OnlineAnomaly>,
+}
+
+impl OnlineReport {
+    /// Volume reduction factor achieved by online filtering.
+    pub fn reduction_factor(&self) -> f64 {
+        if self.bytes_dumped == 0 {
+            f64::INFINITY
+        } else {
+            self.bytes_seen as f64 / self.bytes_dumped as f64
+        }
+    }
+}
+
+/// Live counters readable while the tracer runs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LiveStats {
+    /// Items processed so far.
+    pub items: u64,
+    /// Anomalies flagged so far.
+    pub anomalies: u64,
+}
+
+/// Handle to the online tracing worker.
+pub struct OnlineTracer {
+    tx: Option<Sender<TraceBundle>>,
+    handle: Option<JoinHandle<OnlineReport>>,
+    live: Arc<Mutex<LiveStats>>,
+}
+
+struct CoreState {
+    /// Samples not yet assigned to a finished item, in tsc order.
+    pending: Vec<PebsRecord>,
+    /// Open start mark.
+    open: Option<(ItemId, u64)>,
+}
+
+struct Worker {
+    symtab: Arc<SymbolTable>,
+    config: OnlineConfig,
+    cores: HashMap<CoreId, CoreState>,
+    /// Running per-function baselines (count, mean in ps).
+    baselines: HashMap<FuncId, (u64, f64)>,
+    report: OnlineReport,
+    live: Arc<Mutex<LiveStats>>,
+}
+
+impl Worker {
+    fn run(mut self, rx: Receiver<TraceBundle>) -> OnlineReport {
+        while let Ok(batch) = rx.recv() {
+            self.process(batch);
+        }
+        self.report
+    }
+
+    fn process(&mut self, mut batch: TraceBundle) {
+        batch.sort();
+        self.report.samples_seen += batch.samples.len() as u64;
+        self.report.bytes_seen += batch.samples.len() as u64 * PEBS_RECORD_BYTES;
+        // Merge the per-core streams in timestamp order: walk marks and
+        // samples with two cursors per core. Batches are per-core
+        // chronological, so a simple merge suffices.
+        let mut si = 0;
+        let mut mi = 0;
+        let samples = &batch.samples;
+        let marks = &batch.marks;
+        while si < samples.len() || mi < marks.len() {
+            let take_sample = match (samples.get(si), marks.get(mi)) {
+                (Some(s), Some(m)) => (s.core, s.tsc) < (m.core, m.tsc),
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if take_sample {
+                let s = samples[si];
+                self.cores
+                    .entry(s.core)
+                    .or_insert_with(|| CoreState {
+                        pending: Vec::new(),
+                        open: None,
+                    })
+                    .pending
+                    .push(s);
+                si += 1;
+            } else {
+                let m = marks[mi];
+                mi += 1;
+                let state = self.cores.entry(m.core).or_insert_with(|| CoreState {
+                    pending: Vec::new(),
+                    open: None,
+                });
+                match m.kind {
+                    MarkKind::Start => {
+                        // Spin samples before the item are uninteresting.
+                        state.pending.clear();
+                        state.open = Some((m.item, m.tsc));
+                    }
+                    MarkKind::End => {
+                        if let Some((item, start_tsc)) = state.open.take() {
+                            if item == m.item {
+                                let interval = ItemInterval {
+                                    core: m.core,
+                                    item,
+                                    start_tsc,
+                                    end_tsc: m.tsc,
+                                };
+                                let samples = std::mem::take(&mut state.pending);
+                                self.finish_item(interval, samples);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish_item(&mut self, interval: ItemInterval, samples: Vec<PebsRecord>) {
+        self.report.items_processed += 1;
+        // Per-function first/last within the interval.
+        let mut spans: HashMap<FuncId, (u64, u64)> = HashMap::new();
+        for s in &samples {
+            if !interval.contains(s.tsc) {
+                continue;
+            }
+            if let Some(func) = self.symtab.resolve(s.ip) {
+                let e = spans.entry(func).or_insert((s.tsc, s.tsc));
+                e.0 = e.0.min(s.tsc);
+                e.1 = e.1.max(s.tsc);
+            }
+        }
+        let mut worst: Option<(FuncId, SimDuration, SimDuration)> = None;
+        for (func, (first, last)) in spans {
+            let elapsed = self.config.freq.cycles_to_dur(last - first);
+            let (count, mean_ps) = self.baselines.entry(func).or_insert((0, 0.0));
+            let diverges = *count >= self.config.warmup
+                && elapsed.as_ps() as f64 > *mean_ps * self.config.divergence_factor
+                && elapsed > SimDuration::ZERO;
+            if diverges {
+                let baseline = SimDuration::from_ps(*mean_ps as u64);
+                match worst {
+                    Some((_, e, _)) if e >= elapsed => {}
+                    _ => worst = Some((func, elapsed, baseline)),
+                }
+            } else {
+                // Only non-anomalous observations update the baseline, so
+                // a burst of anomalies cannot drag the mean up after the
+                // warm-up (before warm-up everything trains the mean).
+                *count += 1;
+                *mean_ps += (elapsed.as_ps() as f64 - *mean_ps) / *count as f64;
+            }
+        }
+        if let Some((func, elapsed, baseline_mean)) = worst {
+            self.report.bytes_dumped += samples.len() as u64 * PEBS_RECORD_BYTES;
+            self.report.anomalies.push(OnlineAnomaly {
+                item: interval.item,
+                func,
+                elapsed,
+                baseline_mean,
+                raw_samples: samples,
+            });
+        }
+        let mut live = self.live.lock();
+        live.items = self.report.items_processed;
+        live.anomalies = self.report.anomalies.len() as u64;
+    }
+}
+
+impl OnlineTracer {
+    /// Spawn the worker thread.
+    pub fn spawn(symtab: Arc<SymbolTable>, config: OnlineConfig) -> Self {
+        let (tx, rx) = bounded(config.channel_capacity);
+        let live = Arc::new(Mutex::new(LiveStats::default()));
+        let worker = Worker {
+            symtab,
+            config,
+            cores: HashMap::new(),
+            baselines: HashMap::new(),
+            report: OnlineReport::default(),
+            live: Arc::clone(&live),
+        };
+        let handle = std::thread::Builder::new()
+            .name("fluctrace-online".into())
+            .spawn(move || worker.run(rx))
+            .expect("spawn online worker");
+        OnlineTracer {
+            tx: Some(tx),
+            handle: Some(handle),
+            live,
+        }
+    }
+
+    /// Submit a batch (blocks when the channel is full — back-pressure).
+    pub fn submit(&self, batch: TraceBundle) {
+        self.tx
+            .as_ref()
+            .expect("tracer already finished")
+            .send(batch)
+            .expect("online worker died");
+    }
+
+    /// Snapshot of live counters.
+    pub fn live(&self) -> LiveStats {
+        *self.live.lock()
+    }
+
+    /// Close the stream and collect the final report.
+    pub fn finish(mut self) -> OnlineReport {
+        drop(self.tx.take());
+        self.handle
+            .take()
+            .expect("already finished")
+            .join()
+            .expect("online worker panicked")
+    }
+}
+
+impl Drop for OnlineTracer {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fluctrace_cpu::{HwEvent, MarkRecord, SymbolTableBuilder, NO_TAG};
+
+    fn symtab() -> (Arc<SymbolTable>, FuncId) {
+        let mut b = SymbolTableBuilder::new();
+        let f = b.add("f", 100);
+        (b.build().into_shared(), f)
+    }
+
+    /// Build a batch with one item whose f-span is `cycles` long.
+    fn item_batch(symtab: &SymbolTable, f: FuncId, item: u64, base: u64, cycles: u64) -> TraceBundle {
+        let mut bundle = TraceBundle::default();
+        bundle.marks.push(MarkRecord {
+            core: CoreId(0),
+            tsc: base,
+            item: ItemId(item),
+            kind: MarkKind::Start,
+        });
+        for tsc in [base + 10, base + 10 + cycles] {
+            bundle.samples.push(PebsRecord {
+                core: CoreId(0),
+                tsc,
+                ip: symtab.range(f).start,
+                r13: NO_TAG,
+                event: HwEvent::UopsRetired,
+            });
+        }
+        bundle.marks.push(MarkRecord {
+            core: CoreId(0),
+            tsc: base + cycles + 100,
+            item: ItemId(item),
+            kind: MarkKind::End,
+        });
+        bundle
+    }
+
+    fn config() -> OnlineConfig {
+        let mut c = OnlineConfig::new(Freq::ghz(3));
+        c.warmup = 8;
+        c
+    }
+
+    #[test]
+    fn steady_stream_dumps_nothing() {
+        let (symtab, f) = symtab();
+        let tracer = OnlineTracer::spawn(Arc::clone(&symtab), config());
+        for i in 0..50u64 {
+            tracer.submit(item_batch(&symtab, f, i, i * 100_000, 3_000));
+        }
+        let report = tracer.finish();
+        assert_eq!(report.items_processed, 50);
+        assert!(report.anomalies.is_empty());
+        assert_eq!(report.bytes_dumped, 0);
+        assert_eq!(report.reduction_factor(), f64::INFINITY);
+        assert_eq!(report.samples_seen, 100);
+    }
+
+    #[test]
+    fn diverging_item_is_flagged_with_raw_samples() {
+        let (symtab, f) = symtab();
+        let tracer = OnlineTracer::spawn(Arc::clone(&symtab), config());
+        for i in 0..30u64 {
+            let cycles = if i == 20 { 30_000 } else { 3_000 };
+            tracer.submit(item_batch(&symtab, f, i, i * 100_000, cycles));
+        }
+        let report = tracer.finish();
+        assert_eq!(report.anomalies.len(), 1);
+        let a = &report.anomalies[0];
+        assert_eq!(a.item, ItemId(20));
+        assert_eq!(a.func, f);
+        assert_eq!(a.elapsed, SimDuration::from_us(10));
+        assert_eq!(a.raw_samples.len(), 2);
+        // Only the anomalous item's bytes were kept.
+        assert_eq!(report.bytes_dumped, 2 * PEBS_RECORD_BYTES);
+        assert!(report.reduction_factor() > 10.0);
+    }
+
+    #[test]
+    fn warmup_suppresses_early_flags() {
+        let (symtab, f) = symtab();
+        let mut cfg = config();
+        cfg.warmup = 10;
+        let tracer = OnlineTracer::spawn(Arc::clone(&symtab), cfg);
+        // The very first items are wildly different but within warm-up.
+        for i in 0..5u64 {
+            tracer.submit(item_batch(&symtab, f, i, i * 1_000_000, 3_000 * (i + 1)));
+        }
+        let report = tracer.finish();
+        assert!(report.anomalies.is_empty());
+    }
+
+    #[test]
+    fn anomalies_do_not_poison_the_baseline() {
+        let (symtab, f) = symtab();
+        let tracer = OnlineTracer::spawn(Arc::clone(&symtab), config());
+        // Warm up with 3000-cycle items, then alternate normal/huge.
+        let mut base = 0u64;
+        for i in 0..40u64 {
+            let cycles = if i >= 10 && i % 2 == 0 { 30_000 } else { 3_000 };
+            tracer.submit(item_batch(&symtab, f, i, base, cycles));
+            base += 1_000_000;
+        }
+        let report = tracer.finish();
+        // All 15 huge items after warm-up are flagged (the baseline does
+        // not creep toward them).
+        assert_eq!(report.anomalies.len(), 15, "{:?}", report.anomalies.len());
+    }
+
+    #[test]
+    fn live_stats_progress() {
+        let (symtab, f) = symtab();
+        let tracer = OnlineTracer::spawn(Arc::clone(&symtab), config());
+        for i in 0..10u64 {
+            tracer.submit(item_batch(&symtab, f, i, i * 100_000, 3_000));
+        }
+        let report = tracer.finish();
+        assert_eq!(report.items_processed, 10);
+    }
+
+    #[test]
+    fn split_batches_across_item_boundary() {
+        // Marks and samples of one item arriving in separate batches.
+        let (symtab, f) = symtab();
+        let tracer = OnlineTracer::spawn(Arc::clone(&symtab), config());
+        let full = item_batch(&symtab, f, 0, 0, 3_000);
+        let mut first = TraceBundle::default();
+        first.marks.push(full.marks[0]);
+        first.samples.push(full.samples[0]);
+        let mut second = TraceBundle::default();
+        second.samples.push(full.samples[1]);
+        second.marks.push(full.marks[1]);
+        tracer.submit(first);
+        tracer.submit(second);
+        let report = tracer.finish();
+        assert_eq!(report.items_processed, 1);
+        assert_eq!(report.samples_seen, 2);
+    }
+}

@@ -1,0 +1,121 @@
+//! Virtual addresses and address ranges for the simulated text segment.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A virtual address in the simulated process image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct VirtAddr(pub u64);
+
+impl VirtAddr {
+    /// Null address.
+    pub const NULL: VirtAddr = VirtAddr(0);
+
+    /// Offset this address by `bytes`.
+    #[inline]
+    pub const fn offset(self, bytes: u64) -> VirtAddr {
+        VirtAddr(self.0 + bytes)
+    }
+    /// Raw value.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#012x}", self.0)
+    }
+}
+
+/// A half-open address range `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AddrRange {
+    /// Inclusive start.
+    pub start: VirtAddr,
+    /// Exclusive end.
+    pub end: VirtAddr,
+}
+
+impl AddrRange {
+    /// Build a range from a start address and a size in bytes.
+    pub fn from_start_size(start: VirtAddr, size: u64) -> Self {
+        AddrRange {
+            start,
+            end: start.offset(size),
+        }
+    }
+
+    /// Size of the range in bytes.
+    #[inline]
+    pub fn size(&self) -> u64 {
+        self.end.0 - self.start.0
+    }
+
+    /// True if `addr` lies inside the range.
+    #[inline]
+    pub fn contains(&self, addr: VirtAddr) -> bool {
+        self.start <= addr && addr < self.end
+    }
+
+    /// True if the two ranges share at least one address.
+    pub fn overlaps(&self, other: &AddrRange) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// Address at a proportional position `num/den` through the range
+    /// (used to synthesize instruction pointers for samples taken
+    /// partway through a function).
+    pub fn at_fraction(&self, num: u64, den: u64) -> VirtAddr {
+        assert!(den != 0);
+        let off = ((self.size() as u128 * num as u128) / den as u128) as u64;
+        // Clamp inside the half-open range.
+        VirtAddr(self.start.0 + off.min(self.size().saturating_sub(1)))
+    }
+}
+
+impl fmt::Display for AddrRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_is_half_open() {
+        let r = AddrRange::from_start_size(VirtAddr(0x1000), 0x100);
+        assert!(r.contains(VirtAddr(0x1000)));
+        assert!(r.contains(VirtAddr(0x10ff)));
+        assert!(!r.contains(VirtAddr(0x1100)));
+        assert!(!r.contains(VirtAddr(0xfff)));
+        assert_eq!(r.size(), 0x100);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = AddrRange::from_start_size(VirtAddr(0x1000), 0x100);
+        let b = AddrRange::from_start_size(VirtAddr(0x1100), 0x100);
+        let c = AddrRange::from_start_size(VirtAddr(0x10ff), 2);
+        assert!(!a.overlaps(&b), "adjacent ranges do not overlap");
+        assert!(a.overlaps(&c));
+        assert!(c.overlaps(&b));
+    }
+
+    #[test]
+    fn fraction_positions() {
+        let r = AddrRange::from_start_size(VirtAddr(0x1000), 0x100);
+        assert_eq!(r.at_fraction(0, 10), VirtAddr(0x1000));
+        assert_eq!(r.at_fraction(5, 10), VirtAddr(0x1080));
+        // End fraction clamps inside the range.
+        assert!(r.contains(r.at_fraction(10, 10)));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", VirtAddr(0x401000)), "0x0000401000");
+    }
+}

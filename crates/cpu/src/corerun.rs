@@ -1,0 +1,803 @@
+//! The simulated CPU core: executes µop segments attributed to
+//! functions, drives the PMU/PEBS/software-sampler engines, and emits
+//! the instrumentation marks of the hybrid approach.
+//!
+//! A core is single-threaded and owns a local clock; the pipeline
+//! runtime (`fluctrace-rt`) advances cores in causal order. All sampling
+//! overhead (PEBS assists, buffer-drain interrupts, software-sampler
+//! handlers) *dilates* the core's execution, which is how the method's
+//! overhead (Fig. 10) arises naturally instead of being bolted on.
+
+use crate::cache::{CacheConfig, CacheModel, CacheStats};
+use crate::pebs::{PebsConfig, PebsEngine, PebsStats};
+use crate::pmu::{EventCounts, HwEvent};
+use crate::storage::{SinkKind, StorageSink};
+use crate::swsample::{SwSampleStats, SwSampler, SwSamplerConfig};
+use crate::symtab::{FuncId, SymbolTable};
+use crate::trace::{encode_tag, CoreId, ItemId, MarkKind, MarkRecord, PebsRecord, TraceBundle, NO_TAG};
+use fluctrace_sim::{Freq, Rng, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Configuration of one core.
+#[derive(Debug, Clone)]
+pub struct CoreConfig {
+    /// Core clock (and TSC) frequency.
+    pub freq: Freq,
+    /// Cost of one invocation of the marking function (the paper's
+    /// prototype prints a log line; a memory-buffered logger costs a few
+    /// tens of nanoseconds).
+    pub mark_cost: SimDuration,
+    /// PEBS configuration, if hardware sampling is enabled.
+    pub pebs: Option<PebsConfig>,
+    /// Software-sampler configuration, if perf-style sampling is enabled.
+    pub swsample: Option<SwSamplerConfig>,
+    /// Data-cache model, if cache effects are simulated.
+    pub cache: Option<CacheConfig>,
+    /// Where PEBS buffers are drained to.
+    pub sink: SinkKind,
+    /// Record exact per-segment ground truth (the "baseline" of Fig. 9).
+    pub record_ground_truth: bool,
+    /// Keep the current data-item id in the simulated `r13` register so
+    /// that every PEBS sample carries it (§V.A extension).
+    pub reg_tagging: bool,
+    /// Cost of one *function-boundary* instrumentation call, when
+    /// emulating a gprof/Vampir-style tracer that marks **every
+    /// function** instead of every data-item (§II.C). `None` disables.
+    /// Each executed segment pays `2 × calls × cost` of dilation.
+    pub func_instr_cost: Option<SimDuration>,
+}
+
+impl CoreConfig {
+    /// A 3.0 GHz Skylake-like core with no tracing enabled.
+    pub fn bare() -> Self {
+        CoreConfig {
+            freq: Freq::ghz(3),
+            mark_cost: SimDuration::from_ns(30),
+            pebs: None,
+            swsample: None,
+            cache: None,
+            sink: SinkKind::Memory,
+            record_ground_truth: false,
+            reg_tagging: false,
+            func_instr_cost: None,
+        }
+    }
+
+    /// Emulate a tracer that instruments every function boundary at
+    /// `cost` per marking call (builder style). This is the comparator
+    /// the paper argues against in §II.C.
+    pub fn with_func_instrumentation(mut self, cost: SimDuration) -> Self {
+        self.func_instr_cost = Some(cost);
+        self
+    }
+
+    /// Enable PEBS with the given config (builder style).
+    pub fn with_pebs(mut self, pebs: PebsConfig) -> Self {
+        self.pebs = Some(pebs);
+        self
+    }
+
+    /// Enable the software sampler (builder style).
+    pub fn with_swsample(mut self, sw: SwSamplerConfig) -> Self {
+        self.swsample = Some(sw);
+        self
+    }
+
+    /// Enable the cache model (builder style).
+    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Enable ground-truth recording (builder style).
+    pub fn with_ground_truth(mut self) -> Self {
+        self.record_ground_truth = true;
+        self
+    }
+
+    /// Enable r13 register tagging (builder style).
+    pub fn with_reg_tagging(mut self) -> Self {
+        self.reg_tagging = true;
+        self
+    }
+}
+
+/// Memory behaviour of an execution segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemAccess {
+    /// No modelled memory traffic.
+    None,
+    /// The segment streams over `[addr, addr+bytes)`.
+    Range {
+        /// Start byte address.
+        addr: u64,
+        /// Length in bytes.
+        bytes: u64,
+    },
+}
+
+/// One unit of work: `uops` µops of function `func` retired at an
+/// average rate of `ipc_milli / 1000` µops per cycle.
+#[derive(Debug, Clone, Copy)]
+pub struct Exec {
+    /// The function the instruction pointer lives in.
+    pub func: FuncId,
+    /// Number of µops retired by this segment.
+    pub uops: u64,
+    /// Retired µops per 1000 cycles (e.g. 1500 = IPC 1.5).
+    pub ipc_milli: u32,
+    /// Memory accesses performed by the segment.
+    pub mem: MemAccess,
+    /// Branch mispredictions incurred (PMU bookkeeping only).
+    pub branch_mispredicts: u64,
+    /// Number of function invocations this segment stands for (e.g. a
+    /// `classify` segment that internally walks 247 tries represents
+    /// 247 calls). Only affects the full-instrumentation comparator's
+    /// cost accounting.
+    pub calls: u32,
+}
+
+impl Exec {
+    /// A segment with the default IPC of 1.5 and no memory traffic.
+    pub fn new(func: FuncId, uops: u64) -> Self {
+        Exec {
+            func,
+            uops,
+            ipc_milli: 1500,
+            mem: MemAccess::None,
+            branch_mispredicts: 0,
+            calls: 1,
+        }
+    }
+
+    /// Declare how many function invocations this segment represents.
+    pub fn calls(mut self, calls: u32) -> Self {
+        self.calls = calls;
+        self
+    }
+
+    /// Set the retirement rate (µops per 1000 cycles).
+    pub fn ipc_milli(mut self, ipc_milli: u32) -> Self {
+        assert!(ipc_milli > 0, "zero IPC");
+        self.ipc_milli = ipc_milli;
+        self
+    }
+
+    /// Stream over a byte range.
+    pub fn mem_range(mut self, addr: u64, bytes: u64) -> Self {
+        self.mem = MemAccess::Range { addr, bytes };
+        self
+    }
+
+    /// Record branch mispredictions.
+    pub fn mispredicts(mut self, n: u64) -> Self {
+        self.branch_mispredicts = n;
+        self
+    }
+}
+
+/// What one [`Core::exec`] call did.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOutcome {
+    /// Segment start time.
+    pub start: SimTime,
+    /// Segment end time (includes sampling dilation).
+    pub end: SimTime,
+    /// Cache misses charged to the segment.
+    pub cache_misses: u64,
+    /// PEBS + software samples taken during the segment.
+    pub samples: u32,
+}
+
+impl ExecOutcome {
+    /// Wall-clock duration of the segment.
+    pub fn wall(&self) -> SimDuration {
+        self.end.since(self.start)
+    }
+}
+
+/// Exact per-segment timing, recorded when
+/// [`CoreConfig::record_ground_truth`] is set. This is the "golden data"
+/// the paper compares its estimates against (Fig. 9's baseline).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// Item being processed (if any was marked).
+    pub item: Option<ItemId>,
+    /// Function the segment belongs to.
+    pub func: FuncId,
+    /// Segment start.
+    pub start: SimTime,
+    /// Wall duration (includes any sampling dilation).
+    pub wall: SimDuration,
+}
+
+/// Activity report for one core.
+#[derive(Debug, Clone, Default)]
+pub struct CoreReport {
+    /// PEBS statistics (zeroed if PEBS was off).
+    pub pebs: PebsStats,
+    /// Software-sampler statistics (zeroed if off).
+    pub swsample: SwSampleStats,
+    /// Cache statistics (zeroed if no cache model).
+    pub cache: CacheStats,
+    /// Marking-function invocations.
+    pub marks: u64,
+    /// Total time spent in the marking function.
+    pub mark_time: SimDuration,
+    /// Total busy (exec) wall time including dilation.
+    pub busy_time: SimDuration,
+    /// Bytes written to this core's sink.
+    pub sink_bytes: u64,
+    /// Function-boundary instrumentation calls paid (full-instrumentation
+    /// comparator; 0 when disabled).
+    pub func_instr_events: u64,
+    /// Total dilation from function-boundary instrumentation.
+    pub func_instr_time: SimDuration,
+}
+
+/// A simulated CPU core.
+pub struct Core {
+    id: CoreId,
+    freq: Freq,
+    config: CoreConfig,
+    symtab: Arc<SymbolTable>,
+    now: SimTime,
+    rng: Rng,
+    pebs: Option<PebsEngine>,
+    sw: Option<SwSampler>,
+    cache: Option<CacheModel>,
+    sink: StorageSink,
+    counts: EventCounts,
+    current_item: Option<ItemId>,
+    r13: u64,
+    bundle: TraceBundle,
+    ground_truth: Vec<GroundTruth>,
+    marks: u64,
+    mark_time: SimDuration,
+    busy_time: SimDuration,
+    func_instr_time: SimDuration,
+    func_instr_events: u64,
+    finished: bool,
+}
+
+impl Core {
+    /// Create a core with its own RNG stream.
+    pub fn new(id: CoreId, config: CoreConfig, symtab: Arc<SymbolTable>, rng: Rng) -> Self {
+        let sink = match config.sink {
+            SinkKind::Memory => StorageSink::memory(),
+            SinkKind::Ssd {
+                bandwidth_bytes_per_s,
+            } => StorageSink::ssd(bandwidth_bytes_per_s),
+        };
+        Core {
+            id,
+            freq: config.freq,
+            pebs: config.pebs.map(PebsEngine::new),
+            sw: config.swsample.map(SwSampler::new),
+            cache: config.cache.map(CacheModel::new),
+            sink,
+            symtab,
+            now: SimTime::ZERO,
+            rng,
+            counts: EventCounts::new(),
+            current_item: None,
+            r13: NO_TAG,
+            bundle: TraceBundle::default(),
+            ground_truth: Vec::new(),
+            marks: 0,
+            mark_time: SimDuration::ZERO,
+            busy_time: SimDuration::ZERO,
+            func_instr_time: SimDuration::ZERO,
+            func_instr_events: 0,
+            config,
+            finished: false,
+        }
+    }
+
+    /// This core's id.
+    pub fn id(&self) -> CoreId {
+        self.id
+    }
+
+    /// Core/TSC frequency.
+    pub fn freq(&self) -> Freq {
+        self.freq
+    }
+
+    /// The core's local clock.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Current TSC value.
+    pub fn tsc(&self) -> u64 {
+        self.freq.tsc_at(self.now)
+    }
+
+    /// The symbol table the core executes from.
+    pub fn symtab(&self) -> &Arc<SymbolTable> {
+        &self.symtab
+    }
+
+    /// The item currently marked as being processed.
+    pub fn current_item(&self) -> Option<ItemId> {
+        self.current_item
+    }
+
+    /// Raw PMU counter value for `event`.
+    pub fn event_count(&self, event: HwEvent) -> u64 {
+        self.counts.get(event)
+    }
+
+    /// Move the local clock forward to `t` (no-op if already past);
+    /// models waiting on an empty queue without retiring µops.
+    pub fn advance_to(&mut self, t: SimTime) {
+        self.now = self.now.max(t);
+    }
+
+    /// Burn `dur` of wall time without retiring µops (hardware idle).
+    pub fn idle(&mut self, dur: SimDuration) {
+        self.now += dur;
+    }
+
+    /// Execute one segment of µops; see [`Exec`].
+    ///
+    /// (The sampling engines are checked with `is_some()` and then
+    /// accessed with `unwrap()` inside the loops because the borrow of
+    /// `self.rng`/`self.sink` must interleave with the engine borrow; a
+    /// combinator chain cannot express that split borrow.)
+    #[allow(clippy::unnecessary_unwrap)]
+    pub fn exec(&mut self, spec: Exec) -> ExecOutcome {
+        assert!(!self.finished, "exec after finish()");
+        let start = self.now;
+        // --- memory traffic / cache model ------------------------------
+        let (misses, lines_touched) = match (self.cache.as_mut(), spec.mem) {
+            (Some(cache), MemAccess::Range { addr, bytes }) => {
+                let lines = if bytes == 0 {
+                    0
+                } else {
+                    (addr + bytes - 1) / cache.config().line_bytes - addr / cache.config().line_bytes
+                        + 1
+                };
+                (cache.access_range(addr, bytes), lines)
+            }
+            (None, MemAccess::Range { addr: _, bytes }) => (0, bytes.div_ceil(64)),
+            (_, MemAccess::None) => (0, 0),
+        };
+        // --- PMU counters ----------------------------------------------
+        self.counts.add(HwEvent::UopsRetired, spec.uops);
+        self.counts.add(HwEvent::CacheMisses, misses);
+        self.counts.add(HwEvent::LoadsRetired, lines_touched);
+        self.counts
+            .add(HwEvent::BranchMispredicts, spec.branch_mispredicts);
+        // --- base duration ----------------------------------------------
+        let base_cycles = (spec.uops as u128 * 1000).div_ceil(spec.ipc_milli as u128) as u64;
+        let stall_cycles = self
+            .cache
+            .as_ref()
+            .map_or(0, |c| misses * c.config().miss_penalty_cycles);
+        let d0 = self.freq.cycles_to_dur(base_cycles + stall_cycles);
+        // --- sampling -----------------------------------------------------
+        let mut overhead = SimDuration::ZERO;
+        let mut n_samples = 0u32;
+        let range = self.symtab.range(spec.func);
+        // PEBS first, then the software sampler; both see the same event
+        // stream. Samples are placed at the µop-proportional position
+        // within the segment, shifted by the dilation accumulated so far.
+        if self.pebs.is_some() {
+            let event = self.pebs.as_ref().unwrap().config().event;
+            let n_events = match event {
+                HwEvent::UopsRetired => spec.uops,
+                HwEvent::CacheMisses => misses,
+                HwEvent::BranchMispredicts => spec.branch_mispredicts,
+                HwEvent::LoadsRetired => lines_touched,
+            };
+            let offsets = self.pebs.as_mut().unwrap().overflow_offsets(n_events);
+            for off in offsets {
+                let t = start + d0.mul_frac(off, n_events) + overhead;
+                let ip = range.at_fraction(self.rng.gen_below(1024), 1024);
+                let rec = PebsRecord {
+                    core: self.id,
+                    tsc: self.freq.tsc_at(t),
+                    ip,
+                    r13: self.r13,
+                    event,
+                };
+                overhead += self
+                    .pebs
+                    .as_mut()
+                    .unwrap()
+                    .deposit(rec, t, &mut self.sink);
+                n_samples += 1;
+            }
+        }
+        if self.sw.is_some() {
+            let event = self.sw.as_ref().unwrap().config().event;
+            let n_events = match event {
+                HwEvent::UopsRetired => spec.uops,
+                HwEvent::CacheMisses => misses,
+                HwEvent::BranchMispredicts => spec.branch_mispredicts,
+                HwEvent::LoadsRetired => lines_touched,
+            };
+            let offsets = self.sw.as_mut().unwrap().overflow_offsets(n_events);
+            for off in offsets {
+                let t = start + d0.mul_frac(off, n_events) + overhead;
+                let ip = range.at_fraction(self.rng.gen_below(1024), 1024);
+                let rec = PebsRecord {
+                    core: self.id,
+                    tsc: self.freq.tsc_at(t),
+                    ip,
+                    r13: self.r13,
+                    event,
+                };
+                overhead += self.sw.as_mut().unwrap().deliver(rec, t);
+                n_samples += 1;
+            }
+        }
+        // Full-instrumentation comparator: every function invocation
+        // pays an enter+leave marking call.
+        if let Some(cost) = self.config.func_instr_cost {
+            let instr = cost * (2 * spec.calls as u64);
+            overhead += instr;
+            self.func_instr_time += instr;
+            self.func_instr_events += 2 * spec.calls as u64;
+        }
+        let end = start + d0 + overhead;
+        self.now = end;
+        self.busy_time += end.since(start);
+        if self.config.record_ground_truth {
+            self.ground_truth.push(GroundTruth {
+                item: self.current_item,
+                func: spec.func,
+                start,
+                wall: end.since(start),
+            });
+        }
+        ExecOutcome {
+            start,
+            end,
+            cache_misses: misses,
+            samples: n_samples,
+        }
+    }
+
+    /// Record the data-item-switch mark "processing of `item` starts on
+    /// this core" and pay the marking-function cost.
+    pub fn mark_item_start(&mut self, item: ItemId) {
+        assert!(
+            self.current_item.is_none(),
+            "mark_item_start while {} is still in flight",
+            self.current_item.unwrap()
+        );
+        self.bundle.marks.push(MarkRecord {
+            core: self.id,
+            tsc: self.tsc(),
+            item,
+            kind: MarkKind::Start,
+        });
+        self.current_item = Some(item);
+        if self.config.reg_tagging {
+            self.r13 = encode_tag(item);
+        }
+        self.pay_mark_cost();
+    }
+
+    /// Record the matching end-of-processing mark.
+    pub fn mark_item_end(&mut self, item: ItemId) {
+        assert_eq!(
+            self.current_item,
+            Some(item),
+            "mark_item_end for an item that is not in flight"
+        );
+        self.bundle.marks.push(MarkRecord {
+            core: self.id,
+            tsc: self.tsc(),
+            item,
+            kind: MarkKind::End,
+        });
+        self.current_item = None;
+        self.r13 = NO_TAG;
+        self.pay_mark_cost();
+    }
+
+    /// Directly set the simulated `r13` register (used by the user-level
+    /// thread scheduler when it context-switches, §V.A).
+    pub fn set_r13(&mut self, value: u64) {
+        self.r13 = value;
+    }
+
+    /// Current simulated `r13` value.
+    pub fn r13(&self) -> u64 {
+        self.r13
+    }
+
+    /// Set the current item without emitting a mark (used by the
+    /// timer-switching scheduler, which tracks items via r13 instead).
+    pub fn set_current_item(&mut self, item: Option<ItemId>) {
+        self.current_item = item;
+    }
+
+    fn pay_mark_cost(&mut self) {
+        self.marks += 1;
+        self.mark_time += self.config.mark_cost;
+        self.now += self.config.mark_cost;
+    }
+
+    /// Drain the trace collected so far **without sealing** the core:
+    /// moves archived samples and marks out as a batch. This is how an
+    /// online collection thread streams data to the integration thread
+    /// while the target keeps running (§IV.C.3 online processing).
+    pub fn drain_trace(&mut self) -> TraceBundle {
+        let mut batch = std::mem::take(&mut self.bundle);
+        if let Some(pebs) = self.pebs.as_mut() {
+            batch.samples.append(&mut pebs.take_archive());
+        }
+        if let Some(sw) = self.sw.as_mut() {
+            batch.samples.append(&mut sw.take_archive());
+        }
+        batch.sort();
+        batch
+    }
+
+    /// Flush sampling buffers and seal the core. Must be called once
+    /// before [`Core::take_bundle`].
+    pub fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        if let Some(pebs) = self.pebs.as_mut() {
+            let stall = pebs.flush(self.now, &mut self.sink);
+            self.now += stall;
+            self.bundle.samples.append(&mut pebs.take_archive());
+        }
+        if let Some(sw) = self.sw.as_mut() {
+            self.bundle.samples.append(&mut sw.take_archive());
+        }
+        self.bundle.sort();
+    }
+
+    /// Take the trace bundle (marks + samples). Panics if the core was
+    /// not [`Core::finish`]ed.
+    pub fn take_bundle(&mut self) -> TraceBundle {
+        assert!(self.finished, "take_bundle before finish()");
+        std::mem::take(&mut self.bundle)
+    }
+
+    /// Take the recorded ground truth.
+    pub fn take_ground_truth(&mut self) -> Vec<GroundTruth> {
+        std::mem::take(&mut self.ground_truth)
+    }
+
+    /// Activity report.
+    pub fn report(&self) -> CoreReport {
+        CoreReport {
+            pebs: self.pebs.as_ref().map(|p| p.stats()).unwrap_or_default(),
+            swsample: self.sw.as_ref().map(|s| s.stats()).unwrap_or_default(),
+            cache: self.cache.as_ref().map(|c| c.stats()).unwrap_or_default(),
+            marks: self.marks,
+            mark_time: self.mark_time,
+            busy_time: self.busy_time,
+            sink_bytes: self.sink.bytes_written(),
+            func_instr_events: self.func_instr_events,
+            func_instr_time: self.func_instr_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symtab::SymbolTableBuilder;
+
+    fn symtab() -> (Arc<SymbolTable>, FuncId, FuncId) {
+        let mut b = SymbolTableBuilder::new();
+        let f = b.add("f", 4096);
+        let g = b.add("g", 4096);
+        (b.build().into_shared(), f, g)
+    }
+
+    fn bare_core(config: CoreConfig) -> (Core, FuncId, FuncId) {
+        let (t, f, g) = symtab();
+        (Core::new(CoreId(0), config, t, Rng::new(1)), f, g)
+    }
+
+    #[test]
+    fn exec_advances_clock_by_uops_over_ipc() {
+        let (mut core, f, _) = bare_core(CoreConfig::bare());
+        // 3000 uops at IPC 1.0 on a 3 GHz core = 3000 cycles = 1 µs.
+        let out = core.exec(Exec::new(f, 3000).ipc_milli(1000));
+        assert_eq!(out.wall(), SimDuration::from_us(1));
+        assert_eq!(core.now(), SimTime::from_us(1));
+        assert_eq!(core.event_count(HwEvent::UopsRetired), 3000);
+    }
+
+    #[test]
+    fn higher_ipc_is_faster() {
+        let (mut c1, f, _) = bare_core(CoreConfig::bare());
+        let (mut c2, f2, _) = bare_core(CoreConfig::bare());
+        let w1 = c1.exec(Exec::new(f, 10_000).ipc_milli(1000)).wall();
+        let w2 = c2.exec(Exec::new(f2, 10_000).ipc_milli(2000)).wall();
+        // Equal up to 1 ps of cycle-conversion truncation.
+        let diff = (w1.as_ps() as i128 - (w2 * 2).as_ps() as i128).unsigned_abs();
+        assert!(diff <= 1, "w1={w1}, 2*w2={}", w2 * 2);
+    }
+
+    #[test]
+    fn pebs_samples_at_expected_rate_and_location() {
+        let cfg = CoreConfig::bare().with_pebs(PebsConfig::new(1000));
+        let (mut core, f, _) = bare_core(cfg);
+        let out = core.exec(Exec::new(f, 10_500).ipc_milli(1000));
+        assert_eq!(out.samples, 10);
+        core.finish();
+        let bundle = core.take_bundle();
+        assert_eq!(bundle.samples.len(), 10);
+        let range = core.symtab().range(f);
+        for s in &bundle.samples {
+            assert!(range.contains(s.ip), "sample IP inside the function");
+            assert_eq!(s.r13, NO_TAG);
+        }
+        // Timestamps strictly increase and are spaced ~ 1000 cycles/IPC1
+        // = 333ns (+250ns assist).
+        let tscs: Vec<u64> = bundle.samples.iter().map(|s| s.tsc).collect();
+        assert!(tscs.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn pebs_assist_dilates_execution() {
+        let plain = {
+            let (mut core, f, _) = bare_core(CoreConfig::bare());
+            core.exec(Exec::new(f, 100_000).ipc_milli(1000)).wall()
+        };
+        let sampled = {
+            let cfg = CoreConfig::bare().with_pebs(PebsConfig::new(1000));
+            let (mut core, f, _) = bare_core(cfg);
+            core.exec(Exec::new(f, 100_000).ipc_milli(1000)).wall()
+        };
+        // 100 samples × 250 ns = 25 µs of dilation.
+        assert_eq!(sampled - plain, SimDuration::from_ns(250) * 100);
+    }
+
+    #[test]
+    fn marks_bracket_samples() {
+        let cfg = CoreConfig::bare().with_pebs(PebsConfig::new(500));
+        let (mut core, f, _) = bare_core(cfg);
+        core.mark_item_start(ItemId(7));
+        core.exec(Exec::new(f, 5_000).ipc_milli(1000));
+        core.mark_item_end(ItemId(7));
+        core.finish();
+        let bundle = core.take_bundle();
+        assert_eq!(bundle.marks.len(), 2);
+        let start_tsc = bundle.marks[0].tsc;
+        let end_tsc = bundle.marks[1].tsc;
+        for s in &bundle.samples {
+            assert!(start_tsc < s.tsc && s.tsc < end_tsc);
+        }
+    }
+
+    #[test]
+    fn reg_tagging_stamps_samples() {
+        let cfg = CoreConfig::bare()
+            .with_pebs(PebsConfig::new(500))
+            .with_reg_tagging();
+        let (mut core, f, _) = bare_core(cfg);
+        core.mark_item_start(ItemId(3));
+        core.exec(Exec::new(f, 2_000).ipc_milli(1000));
+        core.mark_item_end(ItemId(3));
+        core.exec(Exec::new(f, 2_000).ipc_milli(1000)); // untagged work
+        core.finish();
+        let bundle = core.take_bundle();
+        let tagged: Vec<_> = bundle
+            .samples
+            .iter()
+            .filter(|s| crate::trace::decode_tag(s.r13) == Some(ItemId(3)))
+            .collect();
+        let untagged: Vec<_> = bundle.samples.iter().filter(|s| s.r13 == NO_TAG).collect();
+        assert_eq!(tagged.len(), 4);
+        assert_eq!(untagged.len(), 4);
+    }
+
+    #[test]
+    fn cache_misses_add_stall_time() {
+        let cfg = CoreConfig::bare().with_cache(CacheConfig::default_l2());
+        let (mut core, f, _) = bare_core(cfg);
+        // Cold pass: every line misses.
+        let cold = core.exec(Exec::new(f, 1000).ipc_milli(1000).mem_range(0, 64 * 100));
+        // Warm pass: all hits.
+        let warm = core.exec(Exec::new(f, 1000).ipc_milli(1000).mem_range(0, 64 * 100));
+        assert_eq!(cold.cache_misses, 100);
+        assert_eq!(warm.cache_misses, 0);
+        let stall = core.freq().cycles_to_dur(100 * 40);
+        assert_eq!(cold.wall() - warm.wall(), stall);
+        assert_eq!(core.event_count(HwEvent::CacheMisses), 100);
+    }
+
+    #[test]
+    fn cache_miss_event_sampling() {
+        // §V.D: sample on cache misses; one sample per 10 misses.
+        let cfg = CoreConfig::bare()
+            .with_cache(CacheConfig::default_l2())
+            .with_pebs(PebsConfig::for_event(HwEvent::CacheMisses, 10));
+        let (mut core, f, _) = bare_core(cfg);
+        let out = core.exec(Exec::new(f, 1000).mem_range(0, 64 * 95));
+        assert_eq!(out.cache_misses, 95);
+        assert_eq!(out.samples, 9);
+    }
+
+    #[test]
+    fn ground_truth_records_item_and_wall() {
+        let cfg = CoreConfig::bare().with_ground_truth();
+        let (mut core, f, g) = bare_core(cfg);
+        core.mark_item_start(ItemId(1));
+        core.exec(Exec::new(f, 3000).ipc_milli(1000));
+        core.mark_item_end(ItemId(1));
+        core.exec(Exec::new(g, 1000).ipc_milli(1000));
+        let gt = core.take_ground_truth();
+        assert_eq!(gt.len(), 2);
+        assert_eq!(gt[0].item, Some(ItemId(1)));
+        assert_eq!(gt[0].func, f);
+        assert_eq!(gt[0].wall, SimDuration::from_us(1));
+        assert_eq!(gt[1].item, None);
+    }
+
+    #[test]
+    fn software_sampler_dilation_dominates() {
+        // Same workload, sw sampling at a nominally tiny period: the
+        // handler cost dominates the achieved interval (Fig. 4's point).
+        let cfg = CoreConfig::bare().with_swsample(SwSamplerConfig::new(1000));
+        let (mut core, f, _) = bare_core(cfg);
+        let out = core.exec(Exec::new(f, 10_000).ipc_milli(1000));
+        assert_eq!(out.samples, 10);
+        // 10 µs of handler per sample ≫ 333 ns of real interval.
+        assert!(out.wall() > SimDuration::from_us(96));
+        core.finish();
+        let b = core.take_bundle();
+        let tscs: Vec<u64> = b.samples.iter().map(|s| s.tsc).collect();
+        let min_gap = tscs.windows(2).map(|w| w[1] - w[0]).min().unwrap();
+        // Achieved interval >= handler cost (9.6us = 28800 cycles @3GHz).
+        assert!(min_gap >= 28_800, "min gap {min_gap} cycles");
+    }
+
+    #[test]
+    fn advance_to_and_idle() {
+        let (mut core, _, _) = bare_core(CoreConfig::bare());
+        core.advance_to(SimTime::from_us(5));
+        assert_eq!(core.now(), SimTime::from_us(5));
+        core.advance_to(SimTime::from_us(3)); // no-op backwards
+        assert_eq!(core.now(), SimTime::from_us(5));
+        core.idle(SimDuration::from_us(2));
+        assert_eq!(core.now(), SimTime::from_us(7));
+        // Idle retires nothing, so no samples even with PEBS on.
+        assert_eq!(core.event_count(HwEvent::UopsRetired), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mark_item_start while")]
+    fn nested_items_panic() {
+        let (mut core, _, _) = bare_core(CoreConfig::bare());
+        core.mark_item_start(ItemId(1));
+        core.mark_item_start(ItemId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in flight")]
+    fn mismatched_end_panics() {
+        let (mut core, _, _) = bare_core(CoreConfig::bare());
+        core.mark_item_start(ItemId(1));
+        core.mark_item_end(ItemId(2));
+    }
+
+    #[test]
+    fn report_accounts_marks_and_busy_time() {
+        let cfg = CoreConfig::bare();
+        let (mut core, f, _) = bare_core(cfg);
+        core.mark_item_start(ItemId(0));
+        core.exec(Exec::new(f, 3000).ipc_milli(1000));
+        core.mark_item_end(ItemId(0));
+        let r = core.report();
+        assert_eq!(r.marks, 2);
+        assert_eq!(r.mark_time, SimDuration::from_ns(60));
+        assert_eq!(r.busy_time, SimDuration::from_us(1));
+    }
+}

@@ -1,0 +1,57 @@
+//! # fluctrace-cpu
+//!
+//! A deterministic model of the hardware/OS substrate that the paper's
+//! hybrid tracer runs on: multi-core CPU with per-core timestamp
+//! counters, µop-retirement execution, a PMU with **Precise Event Based
+//! Sampling (PEBS)**, a perf-style **software sampler**, a set-associative
+//! cache model, and bandwidth-accounted storage sinks.
+//!
+//! The real system the paper uses is an Intel Skylake CPU. We do not have
+//! that hardware here, so this crate reproduces the *mechanics* that the
+//! tracer interacts with:
+//!
+//! * a core executes **segments** of µops attributed to functions that
+//!   live in a [`SymbolTable`] address space ([`Core::exec`]);
+//! * PEBS counts a hardware event per core, and every `R` occurrences
+//!   (the *reset value*) deposits a `(TSC, IP, GP-registers)` record into
+//!   the **PEBS buffer** at ≈250 ns of execution dilation per sample;
+//!   a full buffer raises an interrupt whose handler drains it to a
+//!   [`storage`] sink ([`pebs`]);
+//! * the software sampler instead takes an interrupt on **every** counter
+//!   overflow, which costs ~10 µs per sample and is why perf cannot
+//!   sample faster than ~10 µs/sample no matter the configured rate
+//!   ([`swsample`]);
+//! * instrumented *data-item switches* record `(TSC, item-id)` marks with
+//!   a small software cost ([`Core::mark_item_start`]).
+//!
+//! Everything is driven by integer picosecond arithmetic from
+//! [`fluctrace_sim`], so a run is a pure function of its configuration
+//! and seed.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod addr;
+pub mod cache;
+pub mod corerun;
+pub mod machine;
+pub mod pebs;
+pub mod pmu;
+pub mod storage;
+pub mod swsample;
+pub mod symtab;
+pub mod trace;
+
+pub use addr::{AddrRange, VirtAddr};
+pub use cache::{CacheConfig, CacheModel, CacheStats};
+pub use corerun::{Core, CoreConfig, CoreReport, Exec, ExecOutcome, GroundTruth, MemAccess};
+pub use machine::{CoreId, Machine, MachineConfig};
+pub use pebs::{DrainMode, PebsConfig, PebsEngine, PebsStats};
+pub use pmu::HwEvent;
+pub use storage::{SinkKind, StorageSink};
+pub use swsample::{SwSampleStats, SwSampler, SwSamplerConfig};
+pub use symtab::{FuncId, FuncSym, SymbolTable, SymbolTableBuilder};
+pub use trace::{
+    decode_tag, encode_tag, ItemId, MarkKind, MarkRecord, PebsRecord, TraceBundle, NO_TAG,
+    PEBS_RECORD_BYTES,
+};

@@ -1,0 +1,118 @@
+//! Hardware events countable by the simulated PMU.
+//!
+//! The paper uses `UOPS_RETIRED.ALL` for its experiments and points out
+//! (§V.D) that any PEBS-capable event — cache misses, branch
+//! mispredictions, loads — can be substituted to obtain per-item,
+//! per-function counts of that metric instead of elapsed time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A PEBS-capable hardware event, mirroring the Intel SDM event list the
+/// paper selects from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HwEvent {
+    /// `UOPS_RETIRED.ALL` — "counts the number of micro-ops retired".
+    /// This is the event used for all elapsed-time experiments.
+    UopsRetired,
+    /// Last-level cache misses (`MEM_LOAD_RETIRED.L3_MISS`-like).
+    CacheMisses,
+    /// Retired branch instructions that were mispredicted.
+    BranchMispredicts,
+    /// Retired load instructions.
+    LoadsRetired,
+}
+
+impl HwEvent {
+    /// All supported events.
+    pub const ALL: [HwEvent; 4] = [
+        HwEvent::UopsRetired,
+        HwEvent::CacheMisses,
+        HwEvent::BranchMispredicts,
+        HwEvent::LoadsRetired,
+    ];
+
+    /// Index into per-event count arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            HwEvent::UopsRetired => 0,
+            HwEvent::CacheMisses => 1,
+            HwEvent::BranchMispredicts => 2,
+            HwEvent::LoadsRetired => 3,
+        }
+    }
+
+    /// The Intel-SDM-style mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            HwEvent::UopsRetired => "UOPS_RETIRED.ALL",
+            HwEvent::CacheMisses => "MEM_LOAD_RETIRED.L3_MISS",
+            HwEvent::BranchMispredicts => "BR_MISP_RETIRED.ALL_BRANCHES",
+            HwEvent::LoadsRetired => "MEM_INST_RETIRED.ALL_LOADS",
+        }
+    }
+}
+
+impl fmt::Display for HwEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Free-running per-core event counters (the "traditional performance
+/// counters" in the paper's terminology, read without sampling).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EventCounts {
+    counts: [u64; 4],
+}
+
+impl EventCounts {
+    /// New zeroed counter bank.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` occurrences of `event`.
+    #[inline]
+    pub fn add(&mut self, event: HwEvent, n: u64) {
+        self.counts[event.index()] += n;
+    }
+
+    /// Current count of `event`.
+    #[inline]
+    pub fn get(&self, event: HwEvent) -> u64 {
+        self.counts[event.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate_independently() {
+        let mut c = EventCounts::new();
+        c.add(HwEvent::UopsRetired, 100);
+        c.add(HwEvent::CacheMisses, 3);
+        c.add(HwEvent::UopsRetired, 50);
+        assert_eq!(c.get(HwEvent::UopsRetired), 150);
+        assert_eq!(c.get(HwEvent::CacheMisses), 3);
+        assert_eq!(c.get(HwEvent::LoadsRetired), 0);
+    }
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = [false; 4];
+        for e in HwEvent::ALL {
+            assert!(!seen[e.index()]);
+            seen[e.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn mnemonics() {
+        assert_eq!(HwEvent::UopsRetired.to_string(), "UOPS_RETIRED.ALL");
+    }
+}

@@ -1,0 +1,192 @@
+//! Software-based sampling model (the "perf with traditional performance
+//! counters" comparator of Fig. 4).
+//!
+//! The traditional counters are hardware, but *sampling program state*
+//! with them relies on software: every counter overflow raises an
+//! interrupt and the OS saves the program state. That execution switch
+//! costs on the order of 10 µs per sample, which is why the achieved
+//! sample interval of perf "is as long as 10 us no matter how high the
+//! sampling rate is" (paper, Fig. 4 caption). The model charges the
+//! handler suspension on every sample and optionally applies perf's
+//! throttling (which the paper disables for its experiment).
+
+use crate::pmu::HwEvent;
+use crate::trace::PebsRecord;
+use fluctrace_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the software sampler.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SwSamplerConfig {
+    /// Hardware event driving the counter.
+    pub event: HwEvent,
+    /// Counter period (same role as the PEBS reset value).
+    pub period: u64,
+    /// Cost of the per-sample interrupt + state-saving handler.
+    pub handler: SimDuration,
+    /// Maximum samples per second before the kernel throttles sampling
+    /// (perf's `kernel.perf_event_max_sample_rate`); `None` disables
+    /// throttling, as the paper does.
+    pub throttle_max_per_sec: Option<u64>,
+}
+
+impl SwSamplerConfig {
+    /// perf-like defaults: 9.6 µs handler, throttling disabled.
+    pub fn new(period: u64) -> Self {
+        SwSamplerConfig {
+            event: HwEvent::UopsRetired,
+            period,
+            handler: SimDuration::from_ns(9_600),
+            throttle_max_per_sec: None,
+        }
+    }
+}
+
+/// Counters describing the sampler's activity.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct SwSampleStats {
+    /// Samples delivered.
+    pub samples: u64,
+    /// Overflows suppressed by throttling.
+    pub throttled: u64,
+    /// Total suspension imposed on the target.
+    pub handler_time: SimDuration,
+}
+
+/// Per-core software sampler state.
+#[derive(Debug, Clone)]
+pub struct SwSampler {
+    config: SwSamplerConfig,
+    remaining: u64,
+    archive: Vec<PebsRecord>,
+    stats: SwSampleStats,
+    /// Second in which `count_this_sec` was accumulated (for throttling).
+    current_sec: u64,
+    count_this_sec: u64,
+}
+
+impl SwSampler {
+    /// Create a sampler with a freshly armed counter.
+    pub fn new(config: SwSamplerConfig) -> Self {
+        assert!(config.period > 0, "period must be positive");
+        SwSampler {
+            remaining: config.period,
+            archive: Vec::new(),
+            stats: SwSampleStats::default(),
+            current_sec: 0,
+            count_this_sec: 0,
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SwSamplerConfig {
+        &self.config
+    }
+
+    /// Advance the counter over `n_events` occurrences; returns the
+    /// 1-based event offsets at which overflow interrupts fire.
+    pub fn overflow_offsets(&mut self, n_events: u64) -> Vec<u64> {
+        if n_events == 0 {
+            return Vec::new();
+        }
+        let mut offsets = Vec::new();
+        let mut next = self.remaining;
+        while next <= n_events {
+            offsets.push(next);
+            next += self.config.period;
+        }
+        self.remaining = next - n_events;
+        offsets
+    }
+
+    /// Deliver one sample taken at `now`; returns the suspension the
+    /// target program experiences (zero if the sample was throttled).
+    pub fn deliver(&mut self, record: PebsRecord, now: SimTime) -> SimDuration {
+        if let Some(max) = self.config.throttle_max_per_sec {
+            let sec = now.as_ps() / fluctrace_sim::time::PS_PER_S;
+            if sec != self.current_sec {
+                self.current_sec = sec;
+                self.count_this_sec = 0;
+            }
+            if self.count_this_sec >= max {
+                self.stats.throttled += 1;
+                return SimDuration::ZERO;
+            }
+            self.count_this_sec += 1;
+        }
+        self.archive.push(record);
+        self.stats.samples += 1;
+        self.stats.handler_time += self.config.handler;
+        self.config.handler
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> SwSampleStats {
+        self.stats
+    }
+
+    /// Take the archived samples.
+    pub fn take_archive(&mut self) -> Vec<PebsRecord> {
+        std::mem::take(&mut self.archive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::VirtAddr;
+    use crate::trace::{CoreId, NO_TAG};
+
+    fn rec(tsc: u64) -> PebsRecord {
+        PebsRecord {
+            core: CoreId(0),
+            tsc,
+            ip: VirtAddr(0x400000),
+            r13: NO_TAG,
+            event: HwEvent::UopsRetired,
+        }
+    }
+
+    #[test]
+    fn offsets_every_period() {
+        let mut s = SwSampler::new(SwSamplerConfig::new(1000));
+        assert_eq!(s.overflow_offsets(2500), vec![1000, 2000]);
+        assert_eq!(s.overflow_offsets(500), vec![500]);
+    }
+
+    #[test]
+    fn each_sample_costs_the_handler() {
+        let mut s = SwSampler::new(SwSamplerConfig::new(1000));
+        let cost = s.deliver(rec(1), SimTime::ZERO);
+        assert_eq!(cost, SimDuration::from_ns(9_600));
+        assert_eq!(s.stats().samples, 1);
+        assert_eq!(s.stats().handler_time, cost);
+    }
+
+    #[test]
+    fn throttling_caps_rate_per_second() {
+        let mut cfg = SwSamplerConfig::new(10);
+        cfg.throttle_max_per_sec = Some(2);
+        let mut s = SwSampler::new(cfg);
+        let t0 = SimTime::from_us(1);
+        assert!(s.deliver(rec(1), t0) > SimDuration::ZERO);
+        assert!(s.deliver(rec(2), t0) > SimDuration::ZERO);
+        // Third in the same second: suppressed, free.
+        assert_eq!(s.deliver(rec(3), t0), SimDuration::ZERO);
+        assert_eq!(s.stats().throttled, 1);
+        // Next second: allowed again.
+        let t1 = SimTime::from_us(1_000_001);
+        assert!(s.deliver(rec(4), t1) > SimDuration::ZERO);
+        assert_eq!(s.stats().samples, 3);
+    }
+
+    #[test]
+    fn archive_round_trip() {
+        let mut s = SwSampler::new(SwSamplerConfig::new(5));
+        s.deliver(rec(7), SimTime::ZERO);
+        let a = s.take_archive();
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].tsc, 7);
+    }
+}

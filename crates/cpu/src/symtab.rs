@@ -1,0 +1,258 @@
+//! Symbol tables: the mapping between instruction-pointer values and
+//! function names that step 2 of the paper's integration procedure uses
+//! ("the values of the instruction pointer included in each PEBS sample
+//! are compared with the symbol table of the target program").
+
+use crate::addr::{AddrRange, VirtAddr};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Dense identifier of a function inside one [`SymbolTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FuncId(pub u32);
+
+impl FuncId {
+    /// Index into per-function arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn#{}", self.0)
+    }
+}
+
+/// One function symbol: a name and the address range of its body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FuncSym {
+    /// Function name (as it would appear in the ELF symbol table).
+    pub name: String,
+    /// Address range `[start, end)` of the function body.
+    pub range: AddrRange,
+}
+
+/// An immutable, lookup-optimised symbol table.
+///
+/// Function ranges are non-overlapping and sorted, so resolving an IP is
+/// a binary search — the same operation a real tracer performs against
+/// the target binary's `.symtab`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SymbolTable {
+    // Sorted by range.start; ranges are pairwise disjoint.
+    funcs: Vec<FuncSym>,
+    // funcs index sorted identically (identity), kept for clarity.
+    by_name: HashMap<String, FuncId>,
+}
+
+impl SymbolTable {
+    /// Number of functions.
+    pub fn len(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// True if the table has no functions.
+    pub fn is_empty(&self) -> bool {
+        self.funcs.is_empty()
+    }
+
+    /// Resolve an instruction pointer to the containing function.
+    pub fn resolve(&self, ip: VirtAddr) -> Option<FuncId> {
+        let idx = self.funcs.partition_point(|f| f.range.start <= ip);
+        if idx == 0 {
+            return None;
+        }
+        let cand = &self.funcs[idx - 1];
+        cand.range.contains(ip).then(|| FuncId((idx - 1) as u32))
+    }
+
+    /// Look up a function by name.
+    pub fn lookup(&self, name: &str) -> Option<FuncId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The symbol for `id`.
+    pub fn sym(&self, id: FuncId) -> &FuncSym {
+        &self.funcs[id.index()]
+    }
+
+    /// Function name for `id`.
+    pub fn name(&self, id: FuncId) -> &str {
+        &self.funcs[id.index()].name
+    }
+
+    /// Address range for `id`.
+    pub fn range(&self, id: FuncId) -> AddrRange {
+        self.funcs[id.index()].range
+    }
+
+    /// Iterate `(FuncId, &FuncSym)` in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (FuncId, &FuncSym)> {
+        self.funcs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (FuncId(i as u32), s))
+    }
+
+    /// Wrap in an [`Arc`] for sharing across cores and the tracer.
+    pub fn into_shared(self) -> Arc<SymbolTable> {
+        Arc::new(self)
+    }
+}
+
+/// Builder that lays functions out in a contiguous text segment.
+///
+/// `add("f", 4096)` assigns the next 4 KiB of the text segment to `f`
+/// and returns its [`FuncId`]; real binaries have gaps and padding, but
+/// the tracer only relies on *disjointness*, which the builder enforces.
+pub struct SymbolTableBuilder {
+    base: VirtAddr,
+    cursor: u64,
+    funcs: Vec<FuncSym>,
+}
+
+impl SymbolTableBuilder {
+    /// Start a text segment at the conventional 0x400000 base.
+    pub fn new() -> Self {
+        Self::with_base(VirtAddr(0x40_0000))
+    }
+
+    /// Start a text segment at `base`.
+    pub fn with_base(base: VirtAddr) -> Self {
+        SymbolTableBuilder {
+            base,
+            cursor: 0,
+            funcs: Vec::new(),
+        }
+    }
+
+    /// Append a function of `size` bytes; returns its id.
+    ///
+    /// Panics if `size == 0` or the name is duplicated.
+    pub fn add(&mut self, name: &str, size: u64) -> FuncId {
+        assert!(size > 0, "zero-sized function {name:?}");
+        assert!(
+            !self.funcs.iter().any(|f| f.name == name),
+            "duplicate function name {name:?}"
+        );
+        let start = self.base.offset(self.cursor);
+        self.cursor += size;
+        // 16-byte alignment padding between functions, like a compiler would.
+        self.cursor = (self.cursor + 15) & !15;
+        let id = FuncId(self.funcs.len() as u32);
+        self.funcs.push(FuncSym {
+            name: name.to_string(),
+            range: AddrRange::from_start_size(start, size),
+        });
+        id
+    }
+
+    /// Finish and produce the immutable table.
+    pub fn build(self) -> SymbolTable {
+        let by_name = self
+            .funcs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.name.clone(), FuncId(i as u32)))
+            .collect();
+        SymbolTable {
+            funcs: self.funcs,
+            by_name,
+        }
+    }
+}
+
+impl Default for SymbolTableBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> SymbolTable {
+        let mut b = SymbolTableBuilder::new();
+        b.add("f1", 100);
+        b.add("f2", 256);
+        b.add("f3", 64);
+        b.build()
+    }
+
+    #[test]
+    fn builder_lays_out_disjoint_ranges() {
+        let t = table();
+        assert_eq!(t.len(), 3);
+        let ranges: Vec<AddrRange> = t.iter().map(|(_, s)| s.range).collect();
+        for i in 0..ranges.len() {
+            for j in i + 1..ranges.len() {
+                assert!(!ranges[i].overlaps(&ranges[j]));
+            }
+        }
+        // Laid out in increasing address order.
+        assert!(ranges.windows(2).all(|w| w[0].end <= w[1].start));
+    }
+
+    #[test]
+    fn resolve_hits_and_misses() {
+        let t = table();
+        let f1 = t.lookup("f1").unwrap();
+        let f2 = t.lookup("f2").unwrap();
+        assert_eq!(t.resolve(t.range(f1).start), Some(f1));
+        assert_eq!(t.resolve(t.range(f2).start.offset(255)), Some(f2));
+        // Below the text segment.
+        assert_eq!(t.resolve(VirtAddr(0x100)), None);
+        // In padding between f1 (size 100) and f2 (aligned to 112).
+        let pad = t.range(f1).start.offset(105);
+        assert_eq!(t.resolve(pad), None);
+        // Past the end of the last function.
+        let last = t.lookup("f3").unwrap();
+        assert_eq!(t.resolve(t.range(last).end), None);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let t = table();
+        assert!(t.lookup("f2").is_some());
+        assert!(t.lookup("nope").is_none());
+        assert_eq!(t.name(t.lookup("f3").unwrap()), "f3");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate function name")]
+    fn duplicate_names_panic() {
+        let mut b = SymbolTableBuilder::new();
+        b.add("f", 10);
+        b.add("f", 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-sized function")]
+    fn zero_size_panics() {
+        let mut b = SymbolTableBuilder::new();
+        b.add("f", 0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_every_inner_ip_resolves_to_its_function(
+            sizes in proptest::collection::vec(1u64..5000, 1..50),
+            frac in 0u64..1000,
+        ) {
+            let mut b = SymbolTableBuilder::new();
+            for (i, &s) in sizes.iter().enumerate() {
+                b.add(&format!("fn{i}"), s);
+            }
+            let t = b.build();
+            for (id, sym) in t.iter() {
+                let ip = sym.range.at_fraction(frac, 1000);
+                proptest::prop_assert_eq!(t.resolve(ip), Some(id));
+            }
+        }
+    }
+}

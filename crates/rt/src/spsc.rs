@@ -1,0 +1,324 @@
+//! A real (not simulated) lock-free single-producer single-consumer
+//! ring buffer.
+//!
+//! This is the data structure that connects pinned worker threads in a
+//! DPDK-style pipeline, and it is what the online tracer
+//! (`fluctrace-core::online`) uses to stream sample batches from the
+//! collection thread to the integration thread without locks.
+//!
+//! The implementation is the classic bounded ring with monotonically
+//! increasing head/tail counters and acquire/release synchronization:
+//! the producer publishes a slot with a `Release` store to `tail`, the
+//! consumer observes it with an `Acquire` load, and vice versa for
+//! freeing slots — the pattern described in *Rust Atomics and Locks*
+//! (Bos, 2023). Head/tail are padded to separate cache lines to avoid
+//! false sharing between the two threads.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Pad to a cache line to prevent producer/consumer false sharing.
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+struct Ring<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    capacity: usize,
+    /// Next slot the consumer will read. Monotonic; slot = head % capacity.
+    head: CachePadded<AtomicUsize>,
+    /// Next slot the producer will write. Monotonic.
+    tail: CachePadded<AtomicUsize>,
+}
+
+// SAFETY: the ring hands out exactly one producer and one consumer; each
+// slot is accessed mutably by at most one side at a time, handed over via
+// the Release/Acquire pairs on `head`/`tail`.
+unsafe impl<T: Send> Send for Ring<T> {}
+unsafe impl<T: Send> Sync for Ring<T> {}
+
+/// The producing half of an SPSC ring. `!Clone`: single producer.
+pub struct RingProducer<T> {
+    ring: Arc<Ring<T>>,
+    /// Cached head to avoid an atomic load on every push.
+    cached_head: usize,
+}
+
+/// The consuming half of an SPSC ring. `!Clone`: single consumer.
+pub struct RingConsumer<T> {
+    ring: Arc<Ring<T>>,
+    /// Cached tail to avoid an atomic load on every pop.
+    cached_tail: usize,
+}
+
+/// Create a ring with space for `capacity` items.
+pub fn spsc_ring<T>(capacity: usize) -> (RingProducer<T>, RingConsumer<T>) {
+    assert!(capacity > 0, "zero-capacity ring");
+    let buf: Box<[UnsafeCell<MaybeUninit<T>>]> = (0..capacity)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect();
+    let ring = Arc::new(Ring {
+        buf,
+        capacity,
+        head: CachePadded(AtomicUsize::new(0)),
+        tail: CachePadded(AtomicUsize::new(0)),
+    });
+    (
+        RingProducer {
+            ring: Arc::clone(&ring),
+            cached_head: 0,
+        },
+        RingConsumer {
+            ring,
+            cached_tail: 0,
+        },
+    )
+}
+
+impl<T> RingProducer<T> {
+    /// Attempt to push; returns `Err(value)` when the ring is full.
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        let ring = &*self.ring;
+        let tail = ring.tail.0.load(Ordering::Relaxed);
+        if tail - self.cached_head == ring.capacity {
+            // Refresh the cached head; Acquire pairs with the consumer's
+            // Release in `pop`, making the slot's previous content
+            // officially dead before we overwrite it.
+            self.cached_head = ring.head.0.load(Ordering::Acquire);
+            if tail - self.cached_head == ring.capacity {
+                return Err(value);
+            }
+        }
+        let slot = &ring.buf[tail % ring.capacity];
+        // SAFETY: slots in [head, tail) belong to the consumer; this slot
+        // is at index `tail`, outside that window, and only this (single)
+        // producer writes it until the Release store below publishes it.
+        unsafe { (*slot.get()).write(value) };
+        ring.tail.0.store(tail + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Number of items currently buffered (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        let ring = &*self.ring;
+        ring.tail.0.load(Ordering::Relaxed) - ring.head.0.load(Ordering::Relaxed)
+    }
+
+    /// True when no items are buffered (approximate under concurrency).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.ring.capacity
+    }
+
+    /// True when the consumer half has been dropped.
+    pub fn is_disconnected(&self) -> bool {
+        Arc::strong_count(&self.ring) == 1
+    }
+}
+
+impl<T> RingConsumer<T> {
+    /// Attempt to pop; returns `None` when the ring is empty.
+    pub fn pop(&mut self) -> Option<T> {
+        let ring = &*self.ring;
+        let head = ring.head.0.load(Ordering::Relaxed);
+        if head == self.cached_tail {
+            // Refresh the cached tail; Acquire pairs with the producer's
+            // Release in `push`, making the slot's content visible.
+            self.cached_tail = ring.tail.0.load(Ordering::Acquire);
+            if head == self.cached_tail {
+                return None;
+            }
+        }
+        let slot = &ring.buf[head % ring.capacity];
+        // SAFETY: head < tail (checked above), so the producer published
+        // this slot with a Release store and will not touch it again
+        // until our Release store below returns it.
+        let value = unsafe { (*slot.get()).assume_init_read() };
+        ring.head.0.store(head + 1, Ordering::Release);
+        Some(value)
+    }
+
+    /// Drain everything currently visible into a vector.
+    pub fn drain(&mut self) -> Vec<T> {
+        let mut out = Vec::new();
+        while let Some(v) = self.pop() {
+            out.push(v);
+        }
+        out
+    }
+
+    /// Number of items currently buffered (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        let ring = &*self.ring;
+        ring.tail.0.load(Ordering::Relaxed) - ring.head.0.load(Ordering::Relaxed)
+    }
+
+    /// True when no items are buffered (approximate under concurrency).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when the producer half has been dropped.
+    pub fn is_disconnected(&self) -> bool {
+        Arc::strong_count(&self.ring) == 1
+    }
+}
+
+impl<T> Drop for Ring<T> {
+    fn drop(&mut self) {
+        // Drop any items still in the ring.
+        let head = *self.head.0.get_mut();
+        let tail = *self.tail.0.get_mut();
+        for i in head..tail {
+            let slot = self.buf[i % self.capacity].get_mut();
+            // SAFETY: slots in [head, tail) hold initialized values that
+            // were never popped; we have exclusive access in drop.
+            unsafe { slot.assume_init_drop() };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn push_pop_fifo() {
+        let (mut tx, mut rx) = spsc_ring(4);
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        assert_eq!(rx.pop(), Some(1));
+        tx.push(3).unwrap();
+        assert_eq!(rx.pop(), Some(2));
+        assert_eq!(rx.pop(), Some(3));
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn full_ring_rejects() {
+        let (mut tx, mut rx) = spsc_ring(2);
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        assert_eq!(tx.push(3), Err(3));
+        assert_eq!(rx.pop(), Some(1));
+        tx.push(3).unwrap();
+        assert_eq!(tx.len(), 2);
+    }
+
+    #[test]
+    fn wraparound_many_times() {
+        let (mut tx, mut rx) = spsc_ring(3);
+        for i in 0..1000 {
+            tx.push(i).unwrap();
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn drain_collects_all() {
+        let (mut tx, mut rx) = spsc_ring(8);
+        for i in 0..5 {
+            tx.push(i).unwrap();
+        }
+        assert_eq!(rx.drain(), vec![0, 1, 2, 3, 4]);
+        assert!(rx.drain().is_empty());
+    }
+
+    #[test]
+    fn disconnection_is_observable() {
+        let (tx, rx) = spsc_ring::<u32>(2);
+        assert!(!tx.is_disconnected());
+        drop(rx);
+        assert!(tx.is_disconnected());
+        let (tx2, rx2) = spsc_ring::<u32>(2);
+        drop(tx2);
+        assert!(rx2.is_disconnected());
+    }
+
+    #[test]
+    fn drops_leftover_items() {
+        // Drop-counting payload to verify no leaks of unpopped items.
+        use std::sync::atomic::AtomicU32;
+        static DROPS: AtomicU32 = AtomicU32::new(0);
+        #[derive(Debug)]
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let (mut tx, mut rx) = spsc_ring(4);
+        tx.push(D).unwrap();
+        tx.push(D).unwrap();
+        tx.push(D).unwrap();
+        drop(rx.pop()); // one popped and dropped
+        drop(tx);
+        drop(rx); // two left in the ring
+        assert_eq!(DROPS.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn cross_thread_stream_preserves_order_and_count() {
+        const N: u64 = 200_000;
+        let (mut tx, mut rx) = spsc_ring(1024);
+        let producer = thread::spawn(move || {
+            for i in 0..N {
+                loop {
+                    match tx.push(i) {
+                        Ok(()) => break,
+                        Err(_) => std::hint::spin_loop(),
+                    }
+                }
+            }
+        });
+        let consumer = thread::spawn(move || {
+            let mut expected = 0u64;
+            while expected < N {
+                if let Some(v) = rx.pop() {
+                    assert_eq!(v, expected, "FIFO order violated");
+                    expected += 1;
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+            expected
+        });
+        producer.join().unwrap();
+        assert_eq!(consumer.join().unwrap(), N);
+    }
+
+    #[test]
+    fn cross_thread_with_heap_payload() {
+        const N: usize = 20_000;
+        let (mut tx, mut rx) = spsc_ring(64);
+        let producer = thread::spawn(move || {
+            for i in 0..N {
+                let mut v = vec![i; 3];
+                loop {
+                    match tx.push(v) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            v = back;
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            }
+        });
+        let mut got = 0usize;
+        while got < N {
+            if let Some(v) = rx.pop() {
+                assert_eq!(v, vec![got; 3]);
+                got += 1;
+            }
+        }
+        producer.join().unwrap();
+    }
+}

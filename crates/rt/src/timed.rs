@@ -1,0 +1,79 @@
+//! Timestamped values flowing through software queues.
+
+use fluctrace_sim::{SimDuration, SimTime};
+
+/// A value paired with the simulated time at which it became available
+/// (was pushed into the queue connecting two pipeline stages).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timed<T> {
+    /// Availability time.
+    pub at: SimTime,
+    /// The payload.
+    pub value: T,
+}
+
+impl<T> Timed<T> {
+    /// Construct.
+    pub fn new(at: SimTime, value: T) -> Self {
+        Timed { at, value }
+    }
+
+    /// Map the payload, keeping the timestamp.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Timed<U> {
+        Timed {
+            at: self.at,
+            value: f(self.value),
+        }
+    }
+}
+
+/// Build an arrival schedule: `n` items produced by `make`, the first at
+/// `start`, subsequent ones separated by `interval`.
+///
+/// This models the paper's packet generator, which sends packets
+/// "one by one with a short interval (not burstly) so that DPDK does not
+/// batch them".
+pub fn arrival_schedule<T>(
+    start: SimTime,
+    interval: SimDuration,
+    n: usize,
+    mut make: impl FnMut(usize) -> T,
+) -> Vec<Timed<T>> {
+    (0..n)
+        .map(|i| Timed::new(start + interval * i as u64, make(i)))
+        .collect()
+}
+
+/// Check that a schedule is sorted by availability time.
+pub fn is_sorted<T>(items: &[Timed<T>]) -> bool {
+    items.windows(2).all(|w| w[0].at <= w[1].at)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_spacing() {
+        let s = arrival_schedule(SimTime::from_us(10), SimDuration::from_us(5), 4, |i| i);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s[0].at, SimTime::from_us(10));
+        assert_eq!(s[3].at, SimTime::from_us(25));
+        assert_eq!(s[2].value, 2);
+        assert!(is_sorted(&s));
+    }
+
+    #[test]
+    fn map_keeps_timestamp() {
+        let t = Timed::new(SimTime::from_ns(7), 21u32).map(|v| v * 2);
+        assert_eq!(t.at, SimTime::from_ns(7));
+        assert_eq!(t.value, 42);
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let s = arrival_schedule(SimTime::ZERO, SimDuration::from_us(1), 0, |i| i);
+        assert!(s.is_empty());
+        assert!(is_sorted(&s));
+    }
+}

@@ -1,0 +1,306 @@
+//! Event queue and scheduler for conservative discrete-event simulation.
+//!
+//! [`EventQueue`] is a time-ordered priority queue with **stable FIFO
+//! ordering for equal timestamps** — two events scheduled for the same
+//! picosecond pop in the order they were pushed, which is what makes
+//! whole-machine simulations deterministic.
+//!
+//! [`Scheduler`] layers cancellation on top: every scheduled event gets
+//! an [`EventHandle`]; cancelled handles are dropped lazily when popped.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An entry in the heap: ordered by time, then by insertion sequence.
+struct Entry<T> {
+    time: SimTime,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap, we want min-time first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered event queue with FIFO tie-breaking.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedule `payload` at absolute time `time`.
+    pub fn push(&mut self, time: SimTime, payload: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+    }
+
+    /// Remove and return the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.heap.pop().map(|e| (e.time, e.payload))
+    }
+
+    /// Time of the earliest pending event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drop all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+/// Identifies one scheduled event in a [`Scheduler`], allowing it to be
+/// cancelled before it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle(u64);
+
+/// An [`EventQueue`] with O(1) cancellation.
+///
+/// Cancellation is lazy: a cancelled event stays in the heap but is
+/// skipped when it reaches the front, which keeps scheduling O(log n)
+/// with no auxiliary index rebuilds.
+pub struct Scheduler<T> {
+    queue: EventQueue<(EventHandle, T)>,
+    next_id: u64,
+    /// Ids of events that are scheduled and neither fired nor cancelled.
+    pending: std::collections::HashSet<u64>,
+}
+
+impl<T> Default for Scheduler<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Scheduler<T> {
+    /// Create an empty scheduler.
+    pub fn new() -> Self {
+        Scheduler {
+            queue: EventQueue::new(),
+            next_id: 0,
+            pending: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Schedule `payload` at `time`, returning a cancellable handle.
+    pub fn schedule(&mut self, time: SimTime, payload: T) -> EventHandle {
+        let h = EventHandle(self.next_id);
+        self.next_id += 1;
+        self.pending.insert(h.0);
+        self.queue.push(time, (h, payload));
+        h
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event
+    /// was still pending (i.e. had not fired and was not already
+    /// cancelled).
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        self.pending.remove(&handle.0)
+    }
+
+    /// Pop the earliest live (non-cancelled) event.
+    pub fn pop(&mut self) -> Option<(SimTime, EventHandle, T)> {
+        while let Some((t, (h, payload))) = self.queue.pop() {
+            if self.pending.remove(&h.0) {
+                return Some((t, h, payload));
+            }
+            // Cancelled entry: skip.
+        }
+        None
+    }
+
+    /// Time of the earliest live event.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Skim cancelled entries off the front.
+        while let Some(e) = self.queue.heap.peek() {
+            if self.pending.contains(&e.payload.0 .0) {
+                return Some(e.time);
+            }
+            self.queue.heap.pop();
+        }
+        None
+    }
+
+    /// Number of live (pending, non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True if no live events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_ns(ns)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(30), "c");
+        q.push(t(10), "a");
+        q.push(t(20), "b");
+        assert_eq!(q.pop().unwrap(), (t(10), "a"));
+        assert_eq!(q.pop().unwrap(), (t(20), "b"));
+        assert_eq!(q.pop().unwrap(), (t(30), "c"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(t(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn mixed_ties_and_order() {
+        let mut q = EventQueue::new();
+        q.push(t(10), 1);
+        q.push(t(5), 2);
+        q.push(t(10), 3);
+        q.push(t(5), 4);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec![2, 4, 1, 3]);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(t(7), ());
+        assert_eq!(q.peek_time(), Some(t(7)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn scheduler_cancel_prevents_delivery() {
+        let mut s = Scheduler::new();
+        let a = s.schedule(t(10), "a");
+        let b = s.schedule(t(20), "b");
+        assert_eq!(s.len(), 2);
+        assert!(s.cancel(a));
+        assert!(!s.cancel(a), "double cancel reports false");
+        assert_eq!(s.len(), 1);
+        let (time, handle, payload) = s.pop().unwrap();
+        assert_eq!((time, payload), (t(20), "b"));
+        assert_eq!(handle, b);
+        assert!(s.pop().is_none());
+    }
+
+    #[test]
+    fn scheduler_peek_skips_cancelled() {
+        let mut s = Scheduler::new();
+        let a = s.schedule(t(10), 1);
+        s.schedule(t(20), 2);
+        s.cancel(a);
+        assert_eq!(s.peek_time(), Some(t(20)));
+        assert_eq!(s.pop().unwrap().2, 2);
+    }
+
+    #[test]
+    fn cancel_unknown_handle_is_noop() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        assert!(!s.cancel(EventHandle(99)));
+    }
+
+    #[test]
+    fn scheduler_interleaved_schedule_pop() {
+        let mut s = Scheduler::new();
+        let mut now = SimTime::ZERO;
+        let mut popped = Vec::new();
+        s.schedule(t(5), 0u32);
+        s.schedule(t(15), 1);
+        while let Some((time, _, v)) = s.pop() {
+            assert!(time >= now, "time monotonic");
+            now = time;
+            popped.push(v);
+            if v == 0 {
+                s.schedule(time + SimDuration::from_ns(3), 10);
+            }
+        }
+        assert_eq!(popped, vec![0, 10, 1]);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_pop_order_is_sorted(times in proptest::collection::vec(0u64..1_000, 0..200)) {
+            let mut q = EventQueue::new();
+            for (i, &ns) in times.iter().enumerate() {
+                q.push(t(ns), i);
+            }
+            let mut last: Option<(SimTime, usize)> = None;
+            let mut count = 0;
+            while let Some((time, idx)) = q.pop() {
+                if let Some((lt, lidx)) = last {
+                    proptest::prop_assert!(time >= lt);
+                    if time == lt {
+                        // FIFO among equal times: original index increases.
+                        proptest::prop_assert!(idx > lidx || times[idx] != times[lidx]);
+                    }
+                }
+                last = Some((time, idx));
+                count += 1;
+            }
+            proptest::prop_assert_eq!(count, times.len());
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # fluctrace-sim
+//!
+//! Deterministic discrete-event simulation substrate used by every other
+//! `fluctrace` crate.
+//!
+//! The crate deliberately contains **no domain knowledge** (no CPUs, no
+//! packets): it provides the four primitives that the CPU model, the
+//! pipeline runtime, and the benchmark harness are built from:
+//!
+//! * [`time`] — integer picosecond simulated time ([`SimTime`],
+//!   [`SimDuration`]) and frequency/cycle conversions ([`Freq`]). Using
+//!   integer picoseconds keeps cycle arithmetic at multi-GHz clock rates
+//!   exact, so simulations are bit-for-bit reproducible.
+//! * [`rng`] — a self-contained xoshiro256++ PRNG ([`Rng`]) with
+//!   splitmix64 seeding and stream forking. The simulation path does not
+//!   depend on external RNG crates, so a single seed pins every run.
+//! * [`event`] — a stable (FIFO-on-tie) event queue ([`EventQueue`]) and
+//!   a cancellable scheduler ([`Scheduler`]).
+//! * [`stats`] — Welford running statistics, percentile summaries and
+//!   histograms used throughout the evaluation harness.
+//!
+//! ## Example
+//!
+//! ```
+//! use fluctrace_sim::{EventQueue, SimTime, SimDuration};
+//!
+//! let mut q = EventQueue::new();
+//! q.push(SimTime::ZERO + SimDuration::from_ns(50), "second");
+//! q.push(SimTime::ZERO + SimDuration::from_ns(10), "first");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!(ev, "first");
+//! assert_eq!(t.as_ns(), 10);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use event::{EventHandle, EventQueue, Scheduler};
+pub use rng::Rng;
+pub use stats::{Histogram, RunningStats, Summary};
+pub use time::{Freq, SimDuration, SimTime};

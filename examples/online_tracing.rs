@@ -1,0 +1,69 @@
+//! §IV.C.3 online processing: stream sample batches to a real worker
+//! thread that estimates per-function times on the fly and keeps raw
+//! samples only for items that diverge from their running baseline.
+//!
+//! ```text
+//! cargo run --release --example online_tracing
+//! ```
+
+use fluctrace::core::{OnlineConfig, OnlineTracer};
+use fluctrace::cpu::{
+    CoreConfig, Exec, ItemId, Machine, MachineConfig, PebsConfig, SymbolTableBuilder,
+};
+use fluctrace::sim::{Freq, Rng};
+
+fn main() {
+    let mut b = SymbolTableBuilder::new();
+    let handle = b.add("handle_request", 4096);
+    let commit = b.add("commit", 2048);
+    let core_cfg = CoreConfig::bare().with_pebs(PebsConfig::new(1_000));
+    let mut machine = Machine::new(MachineConfig::new(1, core_cfg), b.build());
+    let symtab = machine.symtab().clone();
+    let core = machine.core_mut(0);
+
+    let tracer = OnlineTracer::spawn(symtab, OnlineConfig::new(Freq::ghz(3)));
+
+    // Simulate 5000 requests; a random ~0.5% hit a slow path (cache
+    // fragmentation, say) where `commit` takes 10x longer. Batches are
+    // drained from the core every 64 items — exactly what a collection
+    // daemon does with the PEBS buffer.
+    let mut rng = Rng::new(2024);
+    let mut slow_items = Vec::new();
+    for item in 0..5_000u64 {
+        core.mark_item_start(ItemId(item));
+        core.exec(Exec::new(handle, 12_000));
+        let slow = rng.gen_bool(0.005);
+        if slow {
+            slow_items.push(item);
+        }
+        let commit_uops = if slow { 120_000 } else { 12_000 };
+        core.exec(Exec::new(commit, commit_uops));
+        core.mark_item_end(ItemId(item));
+        if item % 64 == 63 {
+            tracer.submit(core.drain_trace());
+        }
+    }
+    tracer.submit(core.drain_trace());
+
+    let report = tracer.finish();
+    println!(
+        "processed {} items, {} samples ({} bytes of PEBS data)",
+        report.items_processed, report.samples_seen, report.bytes_seen
+    );
+    println!(
+        "kept raw samples for {} diverging item(s) — {} bytes, a {:.0}x volume reduction",
+        report.anomalies.len(),
+        report.bytes_dumped,
+        report.reduction_factor()
+    );
+    println!("\nflagged items (injected slow items: {slow_items:?}):");
+    for a in &report.anomalies {
+        println!(
+            "  item {} — commit took {} (baseline mean {}), {} raw samples retained",
+            a.item,
+            a.elapsed,
+            a.baseline_mean,
+            a.raw_samples.len()
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Why PEBS? (Fig. 4.) Compare achieved sample intervals of hardware
+//! PEBS vs perf-style software sampling across reset values, on three
+//! kernels with different µop throughput.
+//!
+//! ```text
+//! cargo run --release --example sampling_rates
+//! ```
+
+use fluctrace::apps::{Kernel, KernelFuncs};
+use fluctrace::cpu::{CoreConfig, Machine, MachineConfig, PebsConfig, SwSamplerConfig};
+
+fn measure(kernel: Kernel, pebs: bool, reset: u64) -> (f64, u64) {
+    let (symtab, funcs) = KernelFuncs::symtab();
+    let mut cfg = CoreConfig::bare();
+    if pebs {
+        cfg.pebs = Some(PebsConfig::new(reset));
+    } else {
+        cfg.swsample = Some(SwSamplerConfig::new(reset));
+    }
+    let mut machine = Machine::new(MachineConfig::new(1, cfg), symtab);
+    let mut core = machine.take_core(0);
+    kernel.run(&mut core, &funcs, 10_000_000, 7);
+    core.finish();
+    let bundle = core.take_bundle();
+    let n = bundle.samples.len() as u64;
+    if n < 2 {
+        return (f64::NAN, n);
+    }
+    let span = bundle.samples.last().unwrap().tsc - bundle.samples[0].tsc;
+    let us = core.freq().cycles_to_dur(span).as_us_f64() / (n - 1) as f64;
+    (us, n)
+}
+
+fn main() {
+    println!("achieved sample interval (us) — PEBS vs perf-style software sampling\n");
+    println!("{:>8}  {:<7} {:>12} {:>12}", "reset", "kernel", "PEBS", "perf");
+    for kernel in Kernel::ALL {
+        for power in [10u32, 12, 14, 16] {
+            let reset = 1u64 << power;
+            let (hw, _) = measure(kernel, true, reset);
+            let (sw, _) = measure(kernel, false, reset);
+            println!(
+                "{reset:>8}  {:<7} {hw:>11.2}  {sw:>11.2}",
+                kernel.label()
+            );
+        }
+        println!();
+    }
+    println!(
+        "PEBS tracks the reset value down to ~1 us; software sampling cannot go \
+         below its ~10 us per-sample handler no matter the configured rate."
+    );
+}

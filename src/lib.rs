@@ -1,0 +1,19 @@
+//! # fluctrace — umbrella crate
+//!
+//! Re-exports every `fluctrace` crate under one roof so examples,
+//! integration tests, and downstream users can write
+//! `use fluctrace::core::...` without tracking individual crates.
+//!
+//! See the repository README for the architecture overview and
+//! `DESIGN.md` for the paper-reproduction inventory.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use fluctrace_acl as acl;
+pub use fluctrace_analysis as analysis;
+pub use fluctrace_apps as apps;
+pub use fluctrace_core as core;
+pub use fluctrace_cpu as cpu;
+pub use fluctrace_rt as rt;
+pub use fluctrace_sim as sim;

@@ -1,0 +1,138 @@
+//! End-to-end tests of the batched-data-items extension (the paper's
+//! §IV.C.2 future work): bursts are marked as synthetic batch items and
+//! split back to packets via registered weights.
+
+use fluctrace::acl::{table3_rules, AclBuildConfig};
+use fluctrace::apps::{firewall::BATCH_ID_BASE, AclCostModel, Firewall, Tester};
+use fluctrace::core::{integrate, split_batches, EstimateTable, MappingMode};
+use fluctrace::cpu::{CoreConfig, ItemId, Machine, MachineConfig, PebsConfig};
+use fluctrace::sim::{Freq, RunningStats, SimDuration, SimTime};
+
+fn setup(pebs: Option<u64>) -> (Machine, Firewall) {
+    let (symtab, funcs) = Firewall::symtab();
+    let mut core_cfg = CoreConfig::bare().with_ground_truth();
+    if let Some(r) = pebs {
+        core_cfg.pebs = Some(PebsConfig::new(r));
+    }
+    let machine = Machine::new(MachineConfig::new(3, core_cfg), symtab);
+    let rules = table3_rules(666, 75, 50);
+    let fw = Firewall::new(
+        &rules,
+        AclBuildConfig::paper_patched(),
+        AclCostModel::default(),
+        funcs,
+    );
+    (machine, fw)
+}
+
+#[test]
+fn batched_pipeline_passes_all_packets() {
+    let (mut machine, fw) = setup(None);
+    // Back-to-back arrivals force real bursts.
+    let (tester, ingress) =
+        Tester::send_round_robin(SimTime::from_us(10), SimDuration::from_us(2), 30);
+    let (run, batches) = fw.run_batched(&mut machine, ingress, 8);
+    assert_eq!(run.dropped, 0);
+    assert_eq!(run.egress.len(), 90);
+    assert!(!batches.is_empty());
+    // Multi-packet bursts actually formed.
+    let max_burst = (0..batches.len() as u64)
+        .filter_map(|i| batches.members(ItemId(BATCH_ID_BASE + i)).map(<[_]>::len))
+        .max()
+        .unwrap();
+    assert!(max_burst > 1, "no burst formed");
+    let report = tester.receive(&run.egress);
+    assert_eq!(report.received, 90);
+}
+
+#[test]
+fn weighted_split_recovers_per_type_costs_in_mixed_bursts() {
+    let (mut machine, fw) = setup(Some(8_000));
+    // Round-robin A/B/C back-to-back: every burst is heterogeneous —
+    // the worst case for batch attribution.
+    let (_, ingress) = Tester::send_round_robin(SimTime::from_us(10), SimDuration::from_us(2), 60);
+    let sent = ingress.clone();
+    let (run, batches) = fw.run_batched(&mut machine, ingress, 4);
+    assert_eq!(run.dropped, 0);
+    let (bundle, _) = machine.collect();
+    let it = integrate(&bundle, machine.symtab(), Freq::ghz(3), MappingMode::Intervals);
+    let per_batch = EstimateTable::from_integrated(&it);
+    // Before splitting, only synthetic batch ids have estimates.
+    assert!(per_batch.item(ItemId(0)).is_none());
+    assert!(per_batch.item(ItemId(BATCH_ID_BASE)).is_some());
+
+    let per_item = split_batches(&per_batch, &batches);
+    let (_, funcs) = Firewall::symtab();
+    let mut by_type: std::collections::BTreeMap<&str, RunningStats> = Default::default();
+    for p in &sent {
+        if let Some(fe) = per_item
+            .get(ItemId(p.value.seq), funcs.rte_acl_classify)
+            .filter(|fe| fe.is_estimable())
+        {
+            by_type
+                .entry(p.value.ptype.label())
+                .or_default()
+                .push(fe.elapsed.as_us_f64());
+        }
+    }
+    let a = by_type["A"].mean();
+    let b = by_type["B"].mean();
+    let c = by_type["C"].mean();
+    // The weighted split preserves the A > B > C cost structure even
+    // though every burst mixed the three types.
+    assert!(a > b && b > c, "A={a:.2} B={b:.2} C={c:.2}");
+    assert!(a / c > 1.7, "A/C = {:.2}", a / c);
+    // And the magnitudes are near the unbatched ground truth
+    // (A ≈ 11.9 µs, C ≈ 5.3 µs) minus estimator underestimation.
+    assert!((8.0..=13.0).contains(&a), "A = {a:.2}");
+    assert!((3.0..=6.5).contains(&c), "C = {c:.2}");
+}
+
+#[test]
+fn uniform_split_is_biased_on_mixed_bursts() {
+    // Demonstrate WHY weights matter: replacing the weights with a
+    // uniform split flattens the A/C difference.
+    let (mut machine, fw) = setup(Some(8_000));
+    let (_, ingress) = Tester::send_round_robin(SimTime::from_us(10), SimDuration::from_us(2), 60);
+    let sent = ingress.clone();
+    let (_run, weighted) = fw.run_batched(&mut machine, ingress, 4);
+    // Build a uniform variant of the same membership.
+    let mut uniform = fluctrace::core::BatchMap::new();
+    for i in 0.. {
+        let batch = ItemId(BATCH_ID_BASE + i);
+        match weighted.members(batch) {
+            Some(members) => {
+                let ids: Vec<ItemId> = members.iter().map(|&(m, _)| m).collect();
+                uniform.register(batch, &ids);
+            }
+            None => break,
+        }
+    }
+    let (bundle, _) = machine.collect();
+    let it = integrate(&bundle, machine.symtab(), Freq::ghz(3), MappingMode::Intervals);
+    let per_batch = EstimateTable::from_integrated(&it);
+    let (_, funcs) = Firewall::symtab();
+
+    let spread = |map: &fluctrace::core::BatchMap| {
+        let split = split_batches(&per_batch, map);
+        let mut stats: std::collections::BTreeMap<&str, RunningStats> = Default::default();
+        for p in &sent {
+            if let Some(fe) = split.get(ItemId(p.value.seq), funcs.rte_acl_classify) {
+                stats
+                    .entry(p.value.ptype.label())
+                    .or_default()
+                    .push(fe.elapsed.as_us_f64());
+            }
+        }
+        stats["A"].mean() / stats["C"].mean()
+    };
+    let weighted_ratio = spread(&weighted);
+    let uniform_ratio = spread(&uniform);
+    assert!(
+        weighted_ratio > uniform_ratio + 0.4,
+        "weighted A/C {weighted_ratio:.2} vs uniform {uniform_ratio:.2}"
+    );
+    // Uniform splitting erases most of the per-type signal on fully
+    // mixed bursts (ratio approaches 1).
+    assert!(uniform_ratio < 1.5, "uniform ratio {uniform_ratio:.2}");
+}

@@ -1,0 +1,106 @@
+//! End-to-end reproduction checks for the §IV.C ACL case study:
+//! the Fig. 9 accuracy/ordering shape, the Fig. 10 overhead shape, and
+//! the §IV.C.3 data-volume law, all on the full 50 000-rule/247-trie
+//! set (fewer packets than the paper for test speed).
+
+use fluctrace::apps::PacketType;
+use fluctrace_bench::acl_experiment::{run_acl, AclRunConfig};
+
+const TABLE3: (u16, u16, u16) = (666, 75, 50);
+
+#[test]
+fn fig9_baseline_latency_ordering_and_magnitude() {
+    let r = run_acl(AclRunConfig::new(None, 120, TABLE3));
+    assert_eq!(r.rules, 50_000);
+    assert_eq!(r.tries, 247);
+    let a = r.for_type(PacketType::A).classify_us.mean();
+    let b = r.for_type(PacketType::B).classify_us.mean();
+    let c = r.for_type(PacketType::C).classify_us.mean();
+    assert!(a > b && b > c, "A={a:.1} B={b:.1} C={c:.1}");
+    // Paper: type A 12-14 us, type C ~6 us, "more than 100%".
+    assert!((9.0..=16.0).contains(&a), "A = {a:.1} us");
+    assert!((4.0..=8.0).contains(&c), "C = {c:.1} us");
+    assert!(a / c > 2.0, "fluctuation {}%", (a / c - 1.0) * 100.0);
+}
+
+#[test]
+fn fig9_estimates_track_baseline_at_moderate_resets() {
+    let baseline = run_acl(AclRunConfig::new(None, 120, TABLE3));
+    let traced = run_acl(AclRunConfig::new(Some(8_000), 120, TABLE3));
+    for t in PacketType::ALL {
+        let truth = baseline.for_type(t).classify_us.mean();
+        let est = traced.for_type(t).classify_us.mean();
+        // First/last-sample estimation loses up to ~2 sample periods
+        // (~3.6 us at R=8000 on this core) and never overestimates.
+        assert!(
+            est <= truth + 0.5,
+            "type {}: estimate {est:.2} above truth {truth:.2}",
+            t.label()
+        );
+        assert!(
+            truth - est < 3.6,
+            "type {}: estimate {est:.2} too far below truth {truth:.2}",
+            t.label()
+        );
+    }
+    // The fluctuation ordering survives estimation.
+    let ea = traced.for_type(PacketType::A).classify_us.mean();
+    let ec = traced.for_type(PacketType::C).classify_us.mean();
+    assert!(ea > 1.8 * ec, "estimated A {ea:.2} vs C {ec:.2}");
+}
+
+#[test]
+fn fig9_accuracy_degrades_with_reset_value() {
+    // Larger reset → fewer samples per packet → fewer estimable packets
+    // (the §V.B.1 limitation surfacing gradually).
+    let r8 = run_acl(AclRunConfig::new(Some(8_000), 120, TABLE3));
+    let r24 = run_acl(AclRunConfig::new(Some(24_000), 120, TABLE3));
+    for t in PacketType::ALL {
+        assert!(
+            r8.for_type(t).estimable >= r24.for_type(t).estimable,
+            "type {}: R=8K estimable {} < R=24K {}",
+            t.label(),
+            r8.for_type(t).estimable,
+            r24.for_type(t).estimable
+        );
+    }
+    // Type C becomes mostly unestimable at 24K (its classify span is
+    // shorter than the sample period).
+    assert!(r24.for_type(PacketType::C).estimable < 120 / 4);
+}
+
+#[test]
+fn fig10_overhead_decreases_with_reset() {
+    let l_star = run_acl(AclRunConfig::new(None, 100, TABLE3)).mean_latency_us;
+    let mut prev = f64::INFINITY;
+    for reset in [8_000u64, 16_000, 24_000] {
+        let l = run_acl(AclRunConfig::new(Some(reset), 100, TABLE3)).mean_latency_us;
+        let overhead = l - l_star;
+        assert!(overhead > 0.0, "R={reset}: overhead {overhead:.2}");
+        assert!(
+            overhead < prev,
+            "R={reset}: overhead {overhead:.2} not below previous {prev:.2}"
+        );
+        // Moderate: well under the ~10 us packet latency.
+        assert!(overhead < 4.0, "R={reset}: overhead {overhead:.2} us");
+        prev = overhead;
+    }
+}
+
+#[test]
+fn data_volume_follows_inverse_reset_law() {
+    let mut points = Vec::new();
+    for reset in [8_000u64, 12_000, 16_000, 20_000, 24_000] {
+        let r = run_acl(AclRunConfig::new(Some(reset), 60, TABLE3));
+        points.push((reset, r.pebs_mb_per_s()));
+    }
+    // Strictly decreasing.
+    for w in points.windows(2) {
+        assert!(w[0].1 > w[1].1, "{points:?}");
+    }
+    // And an excellent a + b/R fit, as in the paper's own numbers.
+    let (a, b) = fluctrace::core::overhead::fit_inverse_reset(&points);
+    let r2 = fluctrace::core::overhead::r_squared_inverse_reset(&points, a, b);
+    assert!(r2 > 0.98, "R^2 = {r2}");
+    assert!(b > 0.0);
+}

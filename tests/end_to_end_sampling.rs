@@ -1,0 +1,98 @@
+//! End-to-end reproduction checks for Fig. 4: PEBS tracks the ideal
+//! sample interval down to ~1 µs while software sampling floors near
+//! 10 µs, and the interval/reset relationship is linear (§V.C).
+
+use fluctrace::analysis::{linear_fit, ratio_in};
+use fluctrace::apps::Kernel;
+use fluctrace_bench::sampling_experiment::{measure_interval, Sampler};
+
+const UOPS: u64 = 10_000_000;
+
+#[test]
+fn fig4_pebs_is_near_ideal_software_floors() {
+    for kernel in Kernel::ALL {
+        for reset in [1_024u64, 4_096, 16_384] {
+            let hw = measure_interval(kernel, Sampler::Pebs, reset, UOPS, 1);
+            let sw = measure_interval(kernel, Sampler::Software, reset, UOPS, 1);
+            // PEBS within (ideal, ideal + assist + slack].
+            assert!(
+                hw.mean_interval_us >= hw.ideal_us,
+                "{}: PEBS beat the ideal?",
+                kernel.label()
+            );
+            assert!(
+                hw.mean_interval_us <= hw.ideal_us + 0.4,
+                "{} R={reset}: PEBS {} vs ideal {}",
+                kernel.label(),
+                hw.mean_interval_us,
+                hw.ideal_us
+            );
+            // Software sampling can never beat its handler cost.
+            assert!(
+                sw.mean_interval_us >= 9.5,
+                "{} R={reset}: perf-style interval {}",
+                kernel.label(),
+                sw.mean_interval_us
+            );
+        }
+    }
+}
+
+#[test]
+fn fig4_pebs_reaches_about_one_microsecond() {
+    // "The sample interval of PEBS can be almost 1 us."
+    let m = measure_interval(Kernel::Gcc, Sampler::Pebs, 2_048, UOPS, 2);
+    assert!(
+        (0.4..=1.2).contains(&m.mean_interval_us),
+        "PEBS at R=2048: {} us",
+        m.mean_interval_us
+    );
+}
+
+#[test]
+fn fig4_kernels_separate_by_uop_rate() {
+    // Same reset value, different benchmarks → different intervals,
+    // ordered by inverse IPC.
+    let astar = measure_interval(Kernel::Astar, Sampler::Pebs, 8_192, UOPS, 3);
+    let gcc = measure_interval(Kernel::Gcc, Sampler::Pebs, 8_192, UOPS, 3);
+    let bzip2 = measure_interval(Kernel::Bzip2, Sampler::Pebs, 8_192, UOPS, 3);
+    assert!(astar.mean_interval_us > gcc.mean_interval_us);
+    assert!(gcc.mean_interval_us > bzip2.mean_interval_us);
+    ratio_in(
+        "astar/bzip2 interval ratio ~ IPC ratio",
+        astar.mean_interval_us,
+        bzip2.mean_interval_us,
+        1.3,
+        2.8,
+    )
+    .unwrap();
+}
+
+#[test]
+fn sec5c_interval_is_linear_in_reset() {
+    for kernel in Kernel::ALL {
+        let points: Vec<(f64, f64)> = (10..=15)
+            .map(|p| {
+                let r = 1u64 << p;
+                (
+                    r as f64,
+                    measure_interval(kernel, Sampler::Pebs, r, UOPS, 4).mean_interval_us,
+                )
+            })
+            .collect();
+        let fit = linear_fit(&points);
+        assert!(
+            fit.r_squared > 0.999,
+            "{}: R^2 = {}",
+            kernel.label(),
+            fit.r_squared
+        );
+        // Intercept ≈ the 250 ns assist.
+        assert!(
+            (0.1..=0.5).contains(&fit.intercept),
+            "{}: intercept {}",
+            kernel.label(),
+            fit.intercept
+        );
+    }
+}
