@@ -111,11 +111,7 @@ impl MultiTrieAcl {
     /// Classify `key`: every trie is consulted (a match in one trie does
     /// not preclude a higher-priority match in another), the best entry
     /// wins. Work is reported to `meter`.
-    pub fn classify(
-        &self,
-        key: &PacketKey,
-        meter: &mut impl WorkMeter,
-    ) -> Option<MatchEntry> {
+    pub fn classify(&self, key: &PacketKey, meter: &mut impl WorkMeter) -> Option<MatchEntry> {
         let mut best = None;
         for trie in &self.tries {
             trie.classify_into(key, meter, &mut best);
@@ -291,8 +287,7 @@ mod tests {
     }
 
     fn arb_port_range() -> impl Strategy<Value = PortRange> {
-        (any::<u16>(), any::<u16>())
-            .prop_map(|(a, b)| PortRange::new(a.min(b), a.max(b)))
+        (any::<u16>(), any::<u16>()).prop_map(|(a, b)| PortRange::new(a.min(b), a.max(b)))
     }
 
     fn arb_rule() -> impl Strategy<Value = AclRule> {

@@ -314,8 +314,14 @@ mod tests {
             .prop_map(
                 |(priority, saddr, slen, daddr, dlen, sp1, sp2, dp1, dp2, drop)| AclRule {
                     priority,
-                    src: Ipv4Prefix { addr: saddr, len: slen },
-                    dst: Ipv4Prefix { addr: daddr, len: dlen },
+                    src: Ipv4Prefix {
+                        addr: saddr,
+                        len: slen,
+                    },
+                    dst: Ipv4Prefix {
+                        addr: daddr,
+                        len: dlen,
+                    },
                     src_port: PortRange::new(sp1.min(sp2), sp1.max(sp2)),
                     dst_port: PortRange::new(dp1.min(dp2), dp1.max(dp2)),
                     action: if drop { Action::Drop } else { Action::Permit },

@@ -44,5 +44,5 @@ pub use key::{PacketKey, KEY_BYTES};
 pub use meter::{CountingMeter, NullMeter, WorkMeter};
 pub use parse::{format_rule, parse_rule, parse_ruleset, ParseError};
 pub use reference::LinearAcl;
-pub use rule::{Action, AclRule, Ipv4Prefix, PortRange};
+pub use rule::{AclRule, Action, Ipv4Prefix, PortRange};
 pub use trie::{MatchEntry, Trie};

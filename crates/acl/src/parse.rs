@@ -210,16 +210,14 @@ mod tests {
             any::<u16>(),
             any::<bool>(),
         )
-            .prop_map(
-                |(priority, sa, sl, da, dl, a, b, c, d, drop)| AclRule {
-                    priority,
-                    src: Ipv4Prefix { addr: sa, len: sl },
-                    dst: Ipv4Prefix { addr: da, len: dl },
-                    src_port: PortRange::new(a.min(b), a.max(b)),
-                    dst_port: PortRange::new(c.min(d), c.max(d)),
-                    action: if drop { Action::Drop } else { Action::Permit },
-                },
-            )
+            .prop_map(|(priority, sa, sl, da, dl, a, b, c, d, drop)| AclRule {
+                priority,
+                src: Ipv4Prefix { addr: sa, len: sl },
+                dst: Ipv4Prefix { addr: da, len: dl },
+                src_port: PortRange::new(a.min(b), a.max(b)),
+                dst_port: PortRange::new(c.min(d), c.max(d)),
+                action: if drop { Action::Drop } else { Action::Permit },
+            })
     }
 
     proptest! {

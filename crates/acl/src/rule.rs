@@ -116,7 +116,10 @@ impl PortRange {
 
     /// The match-all range.
     pub fn any() -> Self {
-        PortRange { lo: 0, hi: u16::MAX }
+        PortRange {
+            lo: 0,
+            hi: u16::MAX,
+        }
     }
 
     /// Membership.
@@ -257,11 +260,7 @@ mod tests {
         // tail (2,2)(0,238).
         assert_eq!(
             PortRange::new(1, 750).byte_segments(),
-            vec![
-                ((0, 0), (1, 255)),
-                ((1, 1), (0, 255)),
-                ((2, 2), (0, 0xEE)),
-            ]
+            vec![((0, 0), (1, 255)), ((1, 1), (0, 255)), ((2, 2), (0, 0xEE)),]
         );
         // Adjacent high bytes: no middle.
         assert_eq!(
@@ -272,13 +271,20 @@ mod tests {
 
     #[test]
     fn port_segments_cover_exactly_the_range() {
-        for (lo, hi) in [(0u16, 0u16), (5, 5), (1, 750), (250, 260), (0, 65535), (65530, 65535)] {
+        for (lo, hi) in [
+            (0u16, 0u16),
+            (5, 5),
+            (1, 750),
+            (250, 260),
+            (0, 65535),
+            (65530, 65535),
+        ] {
             let segs = PortRange::new(lo, hi).byte_segments();
             for v in 0..=u16::MAX {
                 let [h, l] = v.to_be_bytes();
-                let in_segs = segs
-                    .iter()
-                    .any(|((hlo, hhi), (llo, lhi))| *hlo <= h && h <= *hhi && *llo <= l && l <= *lhi);
+                let in_segs = segs.iter().any(|((hlo, hhi), (llo, lhi))| {
+                    *hlo <= h && h <= *hhi && *llo <= l && l <= *lhi
+                });
                 assert_eq!(in_segs, lo <= v && v <= hi, "v={v} range={lo}-{hi}");
             }
         }

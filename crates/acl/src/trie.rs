@@ -154,8 +154,7 @@ impl Trie {
                     let better = match best {
                         None => true,
                         Some(b) => {
-                            m.priority > b.priority
-                                || (m.priority == b.priority && m.rule < b.rule)
+                            m.priority > b.priority || (m.priority == b.priority && m.rule < b.rule)
                         }
                     };
                     if better {
@@ -175,11 +174,7 @@ impl Trie {
     }
 
     /// Convenience single-trie classification.
-    pub fn classify(
-        &self,
-        key: &PacketKey,
-        meter: &mut impl WorkMeter,
-    ) -> Option<MatchEntry> {
+    pub fn classify(&self, key: &PacketKey, meter: &mut impl WorkMeter) -> Option<MatchEntry> {
         let mut best = None;
         self.classify_into(key, meter, &mut best);
         best
@@ -229,7 +224,7 @@ mod tests {
     }
 
     #[test]
-    fn traversal_depth_depends_on_key_match(){
+    fn traversal_depth_depends_on_key_match() {
         let mut t = Trie::new();
         t.insert(0, &paper_rule(1, 5, 750));
         // Type-A-like: addresses match, ports don't → walks addresses and
@@ -322,7 +317,11 @@ mod tests {
         // 500 = 0x01F4.
         for (dport, expect) in [(1u16, true), (500, true), (501, false), (0, false)] {
             let k = PacketKey::new([192, 168, 10, 1], [192, 168, 11, 1], 667, dport);
-            assert_eq!(t.classify(&k, &mut NullMeter).is_some(), expect, "dport {dport}");
+            assert_eq!(
+                t.classify(&k, &mut NullMeter).is_some(),
+                expect,
+                "dport {dport}"
+            );
         }
     }
 }

@@ -26,7 +26,7 @@ impl StackedBars {
                 .into_iter()
                 .map(|(n, g)| (n.to_string(), g))
                 .collect(),
-        rows: Vec::new(),
+            rows: Vec::new(),
         }
     }
 
@@ -95,7 +95,10 @@ impl DotRows {
         assert!(width >= 10);
         DotRows {
             width,
-            series: series.into_iter().map(|(n, g)| (n.to_string(), g)).collect(),
+            series: series
+                .into_iter()
+                .map(|(n, g)| (n.to_string(), g))
+                .collect(),
             rows: Vec::new(),
         }
     }

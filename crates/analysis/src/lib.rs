@@ -17,8 +17,8 @@ pub mod chart;
 pub mod regression;
 pub mod series;
 pub mod shape;
-pub mod tail;
 pub mod table;
+pub mod tail;
 
 pub use chart::{DotRows, StackedBars};
 pub use regression::{linear_fit, LinearFit};

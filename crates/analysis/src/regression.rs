@@ -40,7 +40,11 @@ pub fn linear_fit(points: &[(f64, f64)]) -> LinearFit {
         .iter()
         .map(|p| (p.1 - (intercept + slope * p.0)).powi(2))
         .sum();
-    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     LinearFit {
         slope,
         intercept,

@@ -13,7 +13,7 @@
 //! bytes each trie examines × the number of tries.
 
 use crate::packets::TestPacket;
-use fluctrace_acl::{Action, AclBuildConfig, AclRule, CountingMeter, MultiTrieAcl};
+use fluctrace_acl::{AclBuildConfig, AclRule, Action, CountingMeter, MultiTrieAcl};
 use fluctrace_cpu::{Exec, FuncId, ItemId, Machine, SymbolTable, SymbolTableBuilder};
 use fluctrace_rt::pipeline::StageDef;
 use fluctrace_rt::stage::StageOpts;
@@ -153,29 +153,33 @@ impl Firewall {
                     core.exec(Exec::new(funcs.rx_loop, RX_UOPS).ipc_milli(2000));
                     Some(p)
                 }),
-                StageDef::new(1, StageOpts::new(funcs.acl_loop), move |core, p: TestPacket| {
-                    // The ACL thread is instrumented: timestamp right
-                    // after retrieving the packet, right before pushing.
-                    core.mark_item_start(ItemId(p.seq));
-                    core.exec(Exec::new(funcs.fw_parse, PARSE_UOPS).ipc_milli(2000));
-                    let mut meter = CountingMeter::new();
-                    let decision = acl.decide(&p.key, &mut meter);
-                    // One trie walk = one internal function invocation;
-                    // this is what a gprof-style tracer would have to
-                    // instrument (`calls` only matters to that
-                    // comparator).
-                    core.exec(
-                        Exec::new(funcs.rte_acl_classify, cost.uops(&meter))
-                            .ipc_milli(cost.ipc_milli)
-                            .calls(meter.tries.max(1) as u32),
-                    );
-                    core.exec(Exec::new(funcs.fw_post, POST_UOPS).ipc_milli(2000));
-                    core.mark_item_end(ItemId(p.seq));
-                    match decision {
-                        Action::Permit => Some(p),
-                        Action::Drop => None,
-                    }
-                }),
+                StageDef::new(
+                    1,
+                    StageOpts::new(funcs.acl_loop),
+                    move |core, p: TestPacket| {
+                        // The ACL thread is instrumented: timestamp right
+                        // after retrieving the packet, right before pushing.
+                        core.mark_item_start(ItemId(p.seq));
+                        core.exec(Exec::new(funcs.fw_parse, PARSE_UOPS).ipc_milli(2000));
+                        let mut meter = CountingMeter::new();
+                        let decision = acl.decide(&p.key, &mut meter);
+                        // One trie walk = one internal function invocation;
+                        // this is what a gprof-style tracer would have to
+                        // instrument (`calls` only matters to that
+                        // comparator).
+                        core.exec(
+                            Exec::new(funcs.rte_acl_classify, cost.uops(&meter))
+                                .ipc_milli(cost.ipc_milli)
+                                .calls(meter.tries.max(1) as u32),
+                        );
+                        core.exec(Exec::new(funcs.fw_post, POST_UOPS).ipc_milli(2000));
+                        core.mark_item_end(ItemId(p.seq));
+                        match decision {
+                            Action::Permit => Some(p),
+                            Action::Drop => None,
+                        }
+                    },
+                ),
                 StageDef::new(2, StageOpts::new(funcs.tx_loop), move |core, p| {
                     core.exec(Exec::new(funcs.tx_loop, TX_UOPS).ipc_milli(2000));
                     Some(p)
@@ -260,9 +264,7 @@ impl Firewall {
                         .ipc_milli(cost.ipc_milli)
                         .calls(total_calls.max(1) as u32),
                 );
-                core.exec(
-                    Exec::new(funcs.fw_post, POST_UOPS * burst.len() as u64).ipc_milli(2000),
-                );
+                core.exec(Exec::new(funcs.fw_post, POST_UOPS * burst.len() as u64).ipc_milli(2000));
                 core.mark_item_end(batch_id);
                 batch_map.register_weighted(batch_id, &members);
                 burst
@@ -364,18 +366,10 @@ mod tests {
         let mut pkt = TestPacket {
             seq: 0,
             ptype: PacketType::A,
-            key: fluctrace_acl::PacketKey::new(
-                [192, 168, 10, 4],
-                [192, 168, 11, 5],
-                3,
-                3,
-            ),
+            key: fluctrace_acl::PacketKey::new([192, 168, 10, 4], [192, 168, 11, 5], 3, 3),
         };
         pkt.seq = 0;
-        let run = fw.run(
-            &mut machine,
-            vec![Timed::new(SimTime::from_us(1), pkt)],
-        );
+        let run = fw.run(&mut machine, vec![Timed::new(SimTime::from_us(1), pkt)]);
         assert_eq!(run.dropped, 1);
         assert!(run.egress.is_empty());
     }

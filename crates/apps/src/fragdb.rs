@@ -256,12 +256,7 @@ mod tests {
         let core = m.core_mut(0);
         let mut db = FragDb::new(funcs, 8);
         let mut item = 0u64;
-        fn run(
-            item: &mut u64,
-            core: &mut fluctrace_cpu::Core,
-            db: &mut FragDb,
-            q: DbQuery,
-        ) {
+        fn run(item: &mut u64, core: &mut fluctrace_cpu::Core, db: &mut FragDb, q: DbQuery) {
             core.mark_item_start(ItemId(*item));
             db.process(core, q);
             core.mark_item_end(ItemId(*item));
@@ -269,14 +264,24 @@ mod tests {
             *item += 1;
         }
         for k in 0..60 {
-            run(&mut item, core, &mut db, DbQuery::Insert { key: k, size: 256 });
+            run(
+                &mut item,
+                core,
+                &mut db,
+                DbQuery::Insert { key: k, size: 256 },
+            );
         }
         for k in 0..8 {
             run(&mut item, core, &mut db, DbQuery::Delete { key: k });
         }
         let victim = item;
         for k in 100..110 {
-            run(&mut item, core, &mut db, DbQuery::Insert { key: k, size: 256 });
+            run(
+                &mut item,
+                core,
+                &mut db,
+                DbQuery::Insert { key: k, size: 256 },
+            );
         }
         let (bundle, _) = m.collect();
         let it = fluctrace_core::integrate(

@@ -127,7 +127,10 @@ impl Kernel {
             }
             phase_left -= 1;
             let func = *rng.choose(fns);
-            let uops = rng.gen_range(seg_lo, seg_hi).min(total_uops - executed).max(1);
+            let uops = rng
+                .gen_range(seg_lo, seg_hi)
+                .min(total_uops - executed)
+                .max(1);
             core.exec(Exec::new(func, uops).ipc_milli(phase_ipc));
             executed += uops;
         }
@@ -177,7 +180,9 @@ mod tests {
     fn mean_ipc_within_band() {
         for k in Kernel::ALL {
             let (core, _) = run_kernel(k, None);
-            let cycles = core.freq().dur_to_cycles(core.now().since(fluctrace_sim::SimTime::ZERO));
+            let cycles = core
+                .freq()
+                .dur_to_cycles(core.now().since(fluctrace_sim::SimTime::ZERO));
             let ipc_milli = 3_000_000u64 * 1000 / cycles;
             let (lo, hi) = k.ipc_band();
             assert!(

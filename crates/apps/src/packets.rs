@@ -185,8 +185,7 @@ mod tests {
 
     #[test]
     fn round_robin_interleaves_types() {
-        let (tester, sched) =
-            Tester::send_round_robin(SimTime::ZERO, SimDuration::from_us(50), 4);
+        let (tester, sched) = Tester::send_round_robin(SimTime::ZERO, SimDuration::from_us(50), 4);
         assert_eq!(sched.len(), 12);
         assert_eq!(sched[0].value.ptype, PacketType::A);
         assert_eq!(sched[1].value.ptype, PacketType::B);
@@ -197,8 +196,7 @@ mod tests {
 
     #[test]
     fn latency_measurement_per_type() {
-        let (tester, sched) =
-            Tester::send_round_robin(SimTime::ZERO, SimDuration::from_us(100), 2);
+        let (tester, sched) = Tester::send_round_robin(SimTime::ZERO, SimDuration::from_us(100), 2);
         // Echo back with type-dependent delay: A +12us, B +9us, C +6us.
         let egress: Vec<Timed<TestPacket>> = sched
             .iter()
@@ -220,12 +218,8 @@ mod tests {
 
     #[test]
     fn dropped_packets_do_not_count() {
-        let (tester, sched) = Tester::send_uniform(
-            SimTime::ZERO,
-            SimDuration::from_us(10),
-            5,
-            PacketType::C,
-        );
+        let (tester, sched) =
+            Tester::send_uniform(SimTime::ZERO, SimDuration::from_us(10), 5, PacketType::C);
         // Only 3 come back.
         let egress: Vec<_> = sched
             .iter()

@@ -17,9 +17,9 @@
 //! * `f3` — transform the uncached points and insert them.
 
 use fluctrace_cpu::{Core, Exec, FuncId, ItemId, Machine, SymbolTable, SymbolTableBuilder};
-use fluctrace_rt::{run_stage, Timed};
 use fluctrace_rt::stage::StageOpts;
 use fluctrace_rt::timed::arrival_schedule;
+use fluctrace_rt::{run_stage, Timed};
 use fluctrace_sim::{SimDuration, SimTime};
 
 /// One query: a unique id and the size parameter `n`.
@@ -99,14 +99,11 @@ impl QueryApp {
         // f1: receive and parse.
         core.exec(Exec::new(self.funcs.f1, F1_UOPS).ipc_milli(IPC_MILLI));
         // f2: cache lookup over all requested points.
-        core.exec(
-            Exec::new(self.funcs.f2, F2_UOPS_PER_POINT * n_points).ipc_milli(IPC_MILLI),
-        );
+        core.exec(Exec::new(self.funcs.f2, F2_UOPS_PER_POINT * n_points).ipc_milli(IPC_MILLI));
         // f3: compute the uncached tail, reuse the cached head.
         let new_points = n_points.saturating_sub(self.cached_upto);
         let cached_points = n_points - new_points;
-        let f3_uops =
-            F3_UOPS_PER_NEW_POINT * new_points + F3_UOPS_PER_CACHED_POINT * cached_points;
+        let f3_uops = F3_UOPS_PER_NEW_POINT * new_points + F3_UOPS_PER_CACHED_POINT * cached_points;
         core.exec(Exec::new(self.funcs.f3, f3_uops.max(1)).ipc_milli(IPC_MILLI));
         self.cached_upto = self.cached_upto.max(n_points);
         new_points
@@ -306,7 +303,11 @@ mod tests {
         let q1_f3 = table.get(ItemId(1), funcs.f3).expect("q1 f3 sampled");
         let q2_f3 = table.get(ItemId(2), funcs.f3);
         assert!(q1_f3.is_estimable());
-        assert!(q1_f3.elapsed > SimDuration::from_us(20), "{}", q1_f3.elapsed);
+        assert!(
+            q1_f3.elapsed > SimDuration::from_us(20),
+            "{}",
+            q1_f3.elapsed
+        );
         // Warm q2's f3 is tiny — often too few samples to even estimate.
         if let Some(e) = q2_f3 {
             assert!(e.elapsed < q1_f3.elapsed / 4);

@@ -215,8 +215,7 @@ mod tests {
     #[test]
     fn run_marks_every_request() {
         let (symtab, funcs) = WebServer::symtab();
-        let mut machine =
-            Machine::new(MachineConfig::new(1, CoreConfig::bare()), symtab);
+        let mut machine = Machine::new(MachineConfig::new(1, CoreConfig::bare()), symtab);
         let out = WebServer::run(&mut machine, funcs, 20, SimDuration::from_us(200), 3);
         assert_eq!(out.len(), 20);
         let (bundle, _) = machine.collect();

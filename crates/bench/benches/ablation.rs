@@ -71,7 +71,8 @@ fn bench_mapping_modes(c: &mut Criterion) {
         AclCostModel::default(),
         funcs,
     );
-    let (_, ingress) = Tester::send_round_robin(SimTime::from_us(10), SimDuration::from_us(60), 100);
+    let (_, ingress) =
+        Tester::send_round_robin(SimTime::from_us(10), SimDuration::from_us(60), 100);
     fw.run(&mut machine, ingress);
     let (bundle, _) = machine.collect();
     let symtab = machine.symtab().clone();
@@ -99,8 +100,10 @@ fn bench_mapping_modes(c: &mut Criterion) {
     let er = EstimateTable::from_integrated(&tr);
     let mut checked = 0;
     for item in 0..300u64 {
-        if let (Some(a), Some(b)) = (ei.get(ItemId(item), classify), er.get(ItemId(item), classify))
-        {
+        if let (Some(a), Some(b)) = (
+            ei.get(ItemId(item), classify),
+            er.get(ItemId(item), classify),
+        ) {
             assert_eq!(a.elapsed, b.elapsed, "item {item}");
             checked += 1;
         }

@@ -11,7 +11,10 @@ use std::hint::black_box;
 fn bench_build(c: &mut Criterion) {
     let mut g = c.benchmark_group("acl_build");
     g.sample_size(10);
-    for (label, params) in [("5k_rules", (100u16, 50u16, 0u16)), ("50k_rules", (666, 75, 50))] {
+    for (label, params) in [
+        ("5k_rules", (100u16, 50u16, 0u16)),
+        ("50k_rules", (666, 75, 50)),
+    ] {
         let rules = table3_rules(params.0, params.1, params.2);
         g.bench_function(BenchmarkId::from_parameter(label), |b| {
             b.iter(|| MultiTrieAcl::build(black_box(&rules), AclBuildConfig::paper_patched()))

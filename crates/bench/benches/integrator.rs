@@ -3,7 +3,7 @@
 //! attribute, and how fast is fluctuation detection?
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use fluctrace_core::{detect, integrate, EstimateTable, MappingMode};
+use fluctrace_core::{detect, integrate, integrate_with_threads, EstimateTable, MappingMode};
 use fluctrace_cpu::{
     CoreId, HwEvent, ItemId, MarkKind, MarkRecord, PebsRecord, SymbolTable, SymbolTableBuilder,
     TraceBundle, NO_TAG,
@@ -11,47 +11,49 @@ use fluctrace_cpu::{
 use fluctrace_sim::{Freq, SimDuration};
 use std::hint::black_box;
 
-/// Build a synthetic bundle: `items` items, `samples_per_item` samples
-/// spread over `funcs` functions.
-fn synthetic_bundle(items: u64, samples_per_item: u64) -> (TraceBundle, SymbolTable) {
+/// Build a synthetic bundle: `items` items spread round-robin over
+/// `cores` cores, `samples_per_item` samples spread over 8 functions.
+fn synthetic_bundle(cores: u32, items: u64, samples_per_item: u64) -> (TraceBundle, SymbolTable) {
     let mut b = SymbolTableBuilder::new();
     let funcs: Vec<_> = (0..8).map(|i| b.add(&format!("fn{i}"), 4096)).collect();
     let symtab = b.build();
     let mut bundle = TraceBundle::default();
-    let mut tsc = 0u64;
+    let mut tscs = vec![0u64; cores as usize];
     for item in 0..items {
+        let core = (item % cores as u64) as u32;
+        let tsc = &mut tscs[core as usize];
         bundle.marks.push(MarkRecord {
-            core: CoreId(0),
-            tsc,
+            core: CoreId(core),
+            tsc: *tsc,
             item: ItemId(item),
             kind: MarkKind::Start,
         });
         for s in 0..samples_per_item {
-            tsc += 3000;
+            *tsc += 3000;
             let f = funcs[(s % funcs.len() as u64) as usize];
             bundle.samples.push(PebsRecord {
-                core: CoreId(0),
-                tsc,
+                core: CoreId(core),
+                tsc: *tsc,
                 ip: symtab.range(f).start,
                 r13: NO_TAG,
                 event: HwEvent::UopsRetired,
             });
         }
-        tsc += 3000;
+        *tsc += 3000;
         bundle.marks.push(MarkRecord {
-            core: CoreId(0),
-            tsc,
+            core: CoreId(core),
+            tsc: *tsc,
             item: ItemId(item),
             kind: MarkKind::End,
         });
-        tsc += 1000;
+        *tsc += 1000;
     }
     bundle.sort();
     (bundle, symtab)
 }
 
 fn bench_integrate(c: &mut Criterion) {
-    let (bundle, symtab) = synthetic_bundle(1_000, 100);
+    let (bundle, symtab) = synthetic_bundle(1, 1_000, 100);
     let n = bundle.samples.len() as u64;
     let mut g = c.benchmark_group("integrate");
     g.throughput(Throughput::Elements(n));
@@ -75,16 +77,38 @@ fn bench_integrate(c: &mut Criterion) {
             )
         })
     });
+    // Thread scaling on a 4-core trace (same total sample count); the
+    // 1-thread case is the sequential reference the parallel path must
+    // match bit for bit.
+    let (mc_bundle, mc_symtab) = synthetic_bundle(4, 1_000, 100);
+    for threads in [1usize, 4] {
+        g.bench_function(format!("interval_mode_4core_{threads}_threads"), |b| {
+            b.iter(|| {
+                integrate_with_threads(
+                    black_box(&mc_bundle),
+                    &mc_symtab,
+                    Freq::ghz(3),
+                    MappingMode::Intervals,
+                    threads,
+                )
+            })
+        });
+    }
     g.finish();
 }
 
 fn bench_estimate(c: &mut Criterion) {
-    let (bundle, symtab) = synthetic_bundle(1_000, 100);
+    let (bundle, symtab) = synthetic_bundle(1, 1_000, 100);
     let it = integrate(&bundle, &symtab, Freq::ghz(3), MappingMode::Intervals);
     let mut g = c.benchmark_group("estimate");
     g.throughput(Throughput::Elements(it.samples.len() as u64));
     g.bench_function("estimate_table_100k_samples", |b| {
         b.iter(|| EstimateTable::from_integrated(black_box(&it)))
+    });
+    // The retired BTreeMap-per-sample estimator, kept as the oracle —
+    // benchmarking both keeps the linear scan honest.
+    g.bench_function("estimate_table_reference_100k_samples", |b| {
+        b.iter(|| EstimateTable::from_integrated_reference(black_box(&it)))
     });
     let table = EstimateTable::from_integrated(&it);
     g.bench_function("detect_1k_items", |b| {

@@ -3,10 +3,8 @@
 //! the quantities Figs. 9/10 and the data-volume table report.
 
 use fluctrace_apps::{AclCostModel, Firewall, PacketType, Tester};
-use fluctrace_core::{integrate, EstimateTable, MappingMode};
-use fluctrace_cpu::{
-    CoreConfig, DrainMode, ItemId, Machine, MachineConfig, PebsConfig, SinkKind,
-};
+use fluctrace_core::{integrate, EstimateTable, MappingMode, PipelineStats};
+use fluctrace_cpu::{CoreConfig, DrainMode, ItemId, Machine, MachineConfig, PebsConfig, SinkKind};
 use fluctrace_sim::{Freq, RunningStats, SimDuration, SimTime};
 
 /// Tracing configuration of one run.
@@ -72,6 +70,9 @@ pub struct AclRunResult {
     pub acl_core_busy: SimDuration,
     /// Mean latency over all packets, µs (for Fig. 10).
     pub mean_latency_us: f64,
+    /// Analysis-pipeline wall-time/throughput counters (profiled runs
+    /// only; baselines run no integration).
+    pub pipeline: Option<PipelineStats>,
 }
 
 /// Run the firewall once under `config`.
@@ -86,8 +87,10 @@ pub fn run_acl(config: AclRunConfig) -> AclRunResult {
             bandwidth_bytes_per_s: 500_000_000,
         };
     }
-    let mut machine =
-        Machine::new(MachineConfig::new(3, core_cfg).with_seed(config.seed), symtab);
+    let mut machine = Machine::new(
+        MachineConfig::new(3, core_cfg).with_seed(config.seed),
+        symtab,
+    );
     let (sports, dports, tail) = config.table3;
     let rules = fluctrace_acl::table3_rules(sports, dports, tail);
     let fw = Firewall::new(
@@ -120,9 +123,19 @@ pub fn run_acl(config: AclRunConfig) -> AclRunResult {
     let acl_core_busy = reports[1].busy_time;
 
     // Hybrid estimates (profiled runs).
+    let mut pipeline: Option<PipelineStats> = None;
     let estimates: Option<EstimateTable> = config.reset.map(|_| {
-        let it = integrate(&bundle, machine.symtab(), Freq::ghz(3), MappingMode::Intervals);
-        EstimateTable::from_integrated(&it)
+        let it = integrate(
+            &bundle,
+            machine.symtab(),
+            Freq::ghz(3),
+            MappingMode::Intervals,
+        );
+        let (table, estimate_ns) = EstimateTable::from_integrated_timed(&it);
+        let mut stats = it.stats;
+        stats.estimate_ns = estimate_ns;
+        pipeline = Some(stats);
+        table
     });
 
     let mut types = Vec::new();
@@ -175,6 +188,7 @@ pub fn run_acl(config: AclRunConfig) -> AclRunResult {
         pebs_bytes,
         acl_core_busy,
         mean_latency_us: all_latency.mean(),
+        pipeline,
     }
 }
 
@@ -212,6 +226,7 @@ mod tests {
         cfg.reset = None;
         let r = run_acl(cfg);
         assert_eq!(r.pebs_bytes, 0);
+        assert!(r.pipeline.is_none(), "baseline runs no analysis pipeline");
         let a = r.for_type(PacketType::A);
         let c = r.for_type(PacketType::C);
         assert_eq!(a.estimable, 60, "ground truth covers every packet");
@@ -223,6 +238,9 @@ mod tests {
         let r = run_acl(quick());
         assert!(r.pebs_bytes > 0);
         assert!(r.pebs_mb_per_s() > 1.0);
+        let p = r.pipeline.expect("profiled runs report pipeline stats");
+        assert!(p.samples > 0);
+        assert!(p.threads >= 1);
         let a = r.for_type(PacketType::A);
         assert!(a.estimable > 30);
         assert!(a.classify_us.mean() > 3.0);

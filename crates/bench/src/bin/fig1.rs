@@ -30,7 +30,12 @@ fn main() {
         core.mark_item_end(ItemId(req));
     }
     let (bundle, _) = machine.collect();
-    let it = integrate(&bundle, machine.symtab(), Freq::ghz(3), MappingMode::Intervals);
+    let it = integrate(
+        &bundle,
+        machine.symtab(),
+        Freq::ghz(3),
+        MappingMode::Intervals,
+    );
     let estimates = EstimateTable::from_integrated(&it);
     let profile = FlatProfile::from_integrated(&it);
 

@@ -8,7 +8,7 @@
 
 use fluctrace_analysis::{assert_decreasing, Figure, Series, Table};
 use fluctrace_bench::acl_experiment::{run_acl, AclRunConfig, PAPER_RESETS};
-use fluctrace_bench::{emit, Scale};
+use fluctrace_bench::{emit, print_pipeline_throughput, run_sweep, Scale};
 use fluctrace_core::OverheadModel;
 
 fn main() {
@@ -17,7 +17,17 @@ fn main() {
     let table3 = scale.table3_params();
 
     println!("Fig. 10 — latency overhead vs reset value ({per_type} packets/type)\n");
-    let baseline = run_acl(AclRunConfig::new(None, per_type, table3));
+    // Baseline + profiled runs fan out over the worker pool (each run
+    // seeds its own simulator); the table below reads results in input
+    // order, so the output is identical to the old sequential loop.
+    let mut configs = vec![AclRunConfig::new(None, per_type, table3)];
+    configs.extend(
+        PAPER_RESETS
+            .iter()
+            .map(|&r| AclRunConfig::new(Some(r), per_type, table3)),
+    );
+    let mut results = run_sweep(configs, run_acl);
+    let baseline = results.remove(0);
     let l_star = baseline.mean_latency_us;
 
     let mut tbl = Table::new(vec![
@@ -39,11 +49,13 @@ fn main() {
     // ~1.5 µops/cycle while classifying; overhead ≈ samples-in-packet ×
     // assist.
     let model = OverheadModel::new(1.5 * 3.0e9);
-    for &reset in &PAPER_RESETS {
-        let r = run_acl(AclRunConfig::new(Some(reset), per_type, table3));
+    for (r, &reset) in results.iter().zip(&PAPER_RESETS) {
         let overhead = r.mean_latency_us - l_star;
         let pred = model
-            .added_latency(reset, fluctrace_sim::SimDuration::from_ns_f64(l_star * 1000.0))
+            .added_latency(
+                reset,
+                fluctrace_sim::SimDuration::from_ns_f64(l_star * 1000.0),
+            )
             .as_us_f64();
         tbl.row(vec![
             reset.to_string(),
@@ -62,5 +74,11 @@ fn main() {
     }
     fig.add(measured);
     fig.add(predicted);
+    print_pipeline_throughput(
+        &results
+            .iter()
+            .filter_map(|r| r.pipeline)
+            .collect::<Vec<_>>(),
+    );
     emit(&fig);
 }

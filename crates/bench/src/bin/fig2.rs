@@ -12,10 +12,10 @@
 //! mean request time.
 
 use fluctrace_analysis::{Figure, Series, Table};
+use fluctrace_apps::WebServer;
 use fluctrace_bench::{emit, Scale};
 use fluctrace_core::{integrate, FlatProfile, MappingMode};
 use fluctrace_cpu::{CoreConfig, Machine, MachineConfig, PebsConfig};
-use fluctrace_apps::WebServer;
 use fluctrace_sim::{Freq, SimDuration, SimTime};
 
 fn main() {
@@ -49,7 +49,12 @@ fn main() {
         42,
     );
     let (bundle, _) = machine.collect();
-    let it = integrate(&bundle, machine.symtab(), Freq::ghz(3), MappingMode::Intervals);
+    let it = integrate(
+        &bundle,
+        machine.symtab(),
+        Freq::ghz(3),
+        MappingMode::Intervals,
+    );
     let profile = FlatProfile::from_integrated(&it);
 
     println!(

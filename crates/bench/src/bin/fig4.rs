@@ -8,7 +8,7 @@
 use fluctrace_analysis::{assert_flattens, Figure, Series, Table};
 use fluctrace_apps::Kernel;
 use fluctrace_bench::sampling_experiment::{fig4_resets, measure_interval, Sampler};
-use fluctrace_bench::{emit, Scale};
+use fluctrace_bench::{emit, run_sweep, Scale};
 
 fn main() {
     let scale = Scale::from_env();
@@ -23,14 +23,35 @@ fn main() {
         "sample interval (us)",
     );
     let mut tbl = Table::new(vec![
-        "reset", "sampler", "kernel", "interval (us)", "ideal (us)", "samples",
+        "reset",
+        "sampler",
+        "kernel",
+        "interval (us)",
+        "ideal (us)",
+        "samples",
     ]);
+    // Every (sampler, kernel, reset) measurement seeds its own machine,
+    // so the whole grid fans out over the worker pool; the assembly
+    // loops below consume results in the exact flattening order, keeping
+    // the table and artifact byte-identical to the old nested loops.
+    let mut configs = Vec::new();
+    for sampler in [Sampler::Pebs, Sampler::Software] {
+        for kernel in Kernel::ALL {
+            for &reset in &resets {
+                configs.push((sampler, kernel, reset));
+            }
+        }
+    }
+    let results = run_sweep(configs, |(sampler, kernel, reset)| {
+        measure_interval(kernel, sampler, reset, uops, 7)
+    });
+    let mut next = results.iter();
     for sampler in [Sampler::Pebs, Sampler::Software] {
         for kernel in Kernel::ALL {
             let mut series = Series::new(format!("{}/{}", sampler.label(), kernel.label()));
             let mut ideal = Series::new(format!("ideal/{}", kernel.label()));
             for &reset in &resets {
-                let m = measure_interval(kernel, sampler, reset, uops, 7);
+                let m = next.next().expect("one result per sweep config");
                 tbl.row(vec![
                     reset.to_string(),
                     sampler.label().to_string(),

@@ -8,10 +8,10 @@
 //! service-level logging cannot give.
 
 use fluctrace_analysis::{Figure, Series, Table};
+use fluctrace_apps::{Query, QueryApp};
 use fluctrace_bench::emit;
 use fluctrace_core::{detect, integrate, EstimateTable, MappingMode};
 use fluctrace_cpu::{CoreConfig, ItemId, Machine, MachineConfig, PebsConfig};
-use fluctrace_apps::{Query, QueryApp};
 use fluctrace_sim::{Freq, SimDuration, SimTime};
 
 fn main() {
@@ -27,12 +27,22 @@ fn main() {
         SimDuration::from_us(200),
     );
     let (bundle, _) = machine.collect();
-    let it = integrate(&bundle, machine.symtab(), Freq::ghz(3), MappingMode::Intervals);
+    let it = integrate(
+        &bundle,
+        machine.symtab(),
+        Freq::ghz(3),
+        MappingMode::Intervals,
+    );
     let table = EstimateTable::from_integrated(&it);
 
     println!("Fig. 8 — per-query elapsed time broken down by function (R = 8000)\n");
     let mut tbl = Table::new(vec![
-        "query", "n", "f1 (us)", "f2 (us)", "f3 (us)", "total-marks (us)",
+        "query",
+        "n",
+        "f1 (us)",
+        "f2 (us)",
+        "f3 (us)",
+        "total-marks (us)",
     ]);
     let mut fig = Figure::new(
         "fig8",
@@ -44,7 +54,10 @@ fn main() {
     let mut s2 = Series::new("f2");
     let mut s3 = Series::new("f3");
     let mut stot = Series::new("total");
-    let fmt = |v: Option<f64>| v.map(|x| format!("{x:.2}")).unwrap_or_else(|| "<2 samples".into());
+    let fmt = |v: Option<f64>| {
+        v.map(|x| format!("{x:.2}"))
+            .unwrap_or_else(|| "<2 samples".into())
+    };
     for q in &queries {
         let ie = table.item(ItemId(q.id));
         let of = |f| {
@@ -71,10 +84,8 @@ fn main() {
     println!("{tbl}");
 
     // The stacked-bar view of the same data (the paper's actual figure).
-    let mut chart = fluctrace_analysis::StackedBars::new(
-        60,
-        vec![("f1", '.'), ("f2", 'o'), ("f3", '#')],
-    );
+    let mut chart =
+        fluctrace_analysis::StackedBars::new(60, vec![("f1", '.'), ("f2", 'o'), ("f3", '#')]);
     for q in &queries {
         let ie = table.item(ItemId(q.id));
         let val = |f| {
@@ -120,7 +131,10 @@ fn main() {
         3.0,
         SimDuration::from_us(2),
     );
-    println!("\nfluctuation detector: {} outlier(s) flagged:", report.outliers.len());
+    println!(
+        "\nfluctuation detector: {} outlier(s) flagged:",
+        report.outliers.len()
+    );
     for o in &report.outliers {
         println!(
             "  query {} in group {} — {} took {:.1} us (group median {:.1} us)",

@@ -9,7 +9,7 @@
 use fluctrace_analysis::{Figure, Series, Table};
 use fluctrace_apps::PacketType;
 use fluctrace_bench::acl_experiment::{run_acl, AclRunConfig, PAPER_RESETS};
-use fluctrace_bench::{emit, Scale};
+use fluctrace_bench::{emit, print_pipeline_throughput, run_sweep, Scale};
 
 fn main() {
     let scale = Scale::from_env();
@@ -27,11 +27,26 @@ fn main() {
         "elapsed time (us)",
     );
     let mut tbl = Table::new(vec![
-        "reset", "type", "mean (us)", "std (us)", "estimable/total",
+        "reset",
+        "type",
+        "mean (us)",
+        "std (us)",
+        "estimable/total",
     ]);
 
-    // Baseline: no profiling, exact instrumented times.
-    let baseline = run_acl(AclRunConfig::new(None, per_type, table3));
+    // All six runs (instrumented baseline + five reset values) are
+    // independent — each owns a freshly seeded simulator — so they fan
+    // out over the worker pool. Assembly below consumes the results in
+    // input order, keeping table and artifact byte-identical to the old
+    // sequential loop.
+    let mut configs = vec![AclRunConfig::new(None, per_type, table3)];
+    configs.extend(
+        PAPER_RESETS
+            .iter()
+            .map(|&r| AclRunConfig::new(Some(r), per_type, table3)),
+    );
+    let mut results = run_sweep(configs, run_acl);
+    let baseline = results.remove(0);
     println!(
         "rule set: {} rules in {} tries",
         baseline.rules, baseline.tries
@@ -50,8 +65,7 @@ fn main() {
     }
     fig.add(baseline_series);
 
-    for &reset in &PAPER_RESETS {
-        let r = run_acl(AclRunConfig::new(Some(reset), per_type, table3));
+    for (r, &reset) in results.iter().zip(&PAPER_RESETS) {
         for t in PacketType::ALL {
             let s = r.for_type(t);
             tbl.row(vec![
@@ -65,11 +79,7 @@ fn main() {
             if fig.series(&name).is_none() {
                 fig.add(Series::new(name.clone()));
             }
-            let series = fig
-                .series
-                .iter_mut()
-                .find(|s| s.name == name)
-                .unwrap();
+            let series = fig.series.iter_mut().find(|s| s.name == name).unwrap();
             series.push_err(reset as f64, s.classify_us.mean(), s.classify_us.std_dev());
         }
     }
@@ -81,11 +91,7 @@ fn main() {
         60,
         vec![("type A", 'A'), ("type B", 'B'), ("type C", 'C')],
     );
-    let series_y = |name: &str, x: f64| {
-        fig.series(name)
-            .and_then(|s| s.y_at(x))
-            .unwrap_or(0.0)
-    };
+    let series_y = |name: &str, x: f64| fig.series(name).and_then(|s| s.y_at(x)).unwrap_or(0.0);
     {
         let b = &fig.series("baseline").unwrap().points;
         chart.row("baseline", vec![b[0].y, b[1].y, b[2].y]);
@@ -111,6 +117,12 @@ fn main() {
         a,
         c,
         (a / c - 1.0) * 100.0
+    );
+    print_pipeline_throughput(
+        &results
+            .iter()
+            .filter_map(|r| r.pipeline)
+            .collect::<Vec<_>>(),
     );
     emit(&fig);
 }

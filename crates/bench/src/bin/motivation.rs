@@ -53,7 +53,12 @@ fn main() {
         table3,
     );
 
-    let mut t = Table::new(vec!["tracer", "mean latency (us)", "overhead (us)", "overhead %"]);
+    let mut t = Table::new(vec![
+        "tracer",
+        "mean latency (us)",
+        "overhead (us)",
+        "overhead %",
+    ]);
     let mut row = |name: &str, lat: f64| {
         t.row(vec![
             name.to_string(),

@@ -9,7 +9,9 @@ fn main() {
     let (sports, dports, tail) = Scale::from_env().table3_params();
     let rules = table3_rules(sports, dports, tail);
     println!("Table III — installed ACL rules\n");
-    let mut t = Table::new(vec!["src addr", "dst addr", "src port", "dst port", "action"]);
+    let mut t = Table::new(vec![
+        "src addr", "dst addr", "src port", "dst port", "action",
+    ]);
     t.row(vec!["192.168.10.0/24", "192.168.11.0/24", "1", "1", "Drop"]);
     t.row(vec!["...", "...", "...", "...", "..."]);
     t.row(vec![

@@ -48,7 +48,10 @@ fn main() {
     }
 
     let report = tail_report(&latencies_us).expect("non-empty");
-    println!("tail latency of {} queries (cache-warmth fluctuations):\n", report.count);
+    println!(
+        "tail latency of {} queries (cache-warmth fluctuations):\n",
+        report.count
+    );
     let mut t = Table::new(vec!["metric", "value", "Huang et al. (TPC-C on real DBs)"]);
     t.row(vec![
         "mean".to_string(),
@@ -67,14 +70,22 @@ fn main() {
     ]);
     t.row(vec![
         "p50 / p99 / p999".to_string(),
-        format!("{:.1} / {:.1} / {:.1} us", report.p50, report.p99, report.p999),
+        format!(
+            "{:.1} / {:.1} / {:.1} us",
+            report.p50, report.p99, report.p999
+        ),
         "-".into(),
     ]);
     println!("{t}");
 
     // Diagnose: integrate and group by query size.
     let (bundle, _) = machine.collect();
-    let it = integrate(&bundle, machine.symtab(), Freq::ghz(3), MappingMode::Intervals);
+    let it = integrate(
+        &bundle,
+        machine.symtab(),
+        Freq::ghz(3),
+        MappingMode::Intervals,
+    );
     let table = EstimateTable::from_integrated(&it);
     let fluct = detect(
         &table,

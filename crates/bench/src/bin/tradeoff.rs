@@ -38,7 +38,11 @@ fn main() {
     // (2) Overhead predictability → pick a reset for a budget.
     println!("(2) reset value for a given overhead budget (ACL-like core, 4.5 G uops/s):");
     let model = OverheadModel::new(4.5e9);
-    let mut t2 = Table::new(vec!["overhead budget", "min reset value", "sample interval"]);
+    let mut t2 = Table::new(vec![
+        "overhead budget",
+        "min reset value",
+        "sample interval",
+    ]);
     for budget in [0.20, 0.10, 0.05, 0.02, 0.01] {
         let reset = model.min_reset_for_overhead(budget);
         t2.row(vec![

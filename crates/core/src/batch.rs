@@ -139,8 +139,8 @@ mod tests {
     use super::*;
     use crate::integrate::{integrate, MappingMode};
     use fluctrace_cpu::{
-        CoreId, FuncId, HwEvent, MarkKind, MarkRecord, PebsRecord, SymbolTable,
-        SymbolTableBuilder, TraceBundle, NO_TAG,
+        CoreId, FuncId, HwEvent, MarkKind, MarkRecord, PebsRecord, SymbolTable, SymbolTableBuilder,
+        TraceBundle, NO_TAG,
     };
     use fluctrace_sim::Freq;
 

@@ -14,6 +14,7 @@ use fluctrace_cpu::{FuncId, ItemId};
 use fluctrace_sim::{Freq, SimDuration};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 /// Estimated elapsed time of one function for one data-item.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -37,7 +38,7 @@ impl FuncEstimate {
 }
 
 /// Everything estimated about one data-item.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ItemEstimate {
     /// The data-item.
     pub item: ItemId,
@@ -66,11 +67,17 @@ impl ItemEstimate {
 }
 
 /// Per-item per-function estimates for a whole trace.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EstimateTable {
     items: BTreeMap<ItemId, ItemEstimate>,
     /// TSC frequency the estimates were converted with.
     pub freq: Freq,
+    /// Interval-mode samples that carried an item but no interval index.
+    /// Such samples are internally inconsistent (integration always sets
+    /// both or neither), so instead of silently aliasing them onto span
+    /// 0 — which would bridge unrelated timestamps into one bogus
+    /// first→last difference — they are skipped and counted here.
+    pub samples_missing_span: u64,
 }
 
 impl EstimateTable {
@@ -80,14 +87,155 @@ impl EstimateTable {
         items: BTreeMap<ItemId, ItemEstimate>,
         freq: Freq,
     ) -> EstimateTable {
-        EstimateTable { items, freq }
+        EstimateTable {
+            items,
+            freq,
+            samples_missing_span: 0,
+        }
     }
 
     /// Build the table from an integrated trace.
     pub fn from_integrated(it: &IntegratedTrace) -> Self {
-        // Span key: interval index in interval mode; synthetic run id in
-        // register mode (increments whenever the attributed item changes
-        // on a core).
+        Self::from_integrated_timed(it).0
+    }
+
+    /// [`Self::from_integrated`] plus the wall time the estimation took,
+    /// in nanoseconds (fed into
+    /// [`PipelineStats::estimate_ns`](crate::PipelineStats) by the
+    /// benchmark harness). Timing lives outside the table so tables stay
+    /// directly comparable with `==`.
+    ///
+    /// ## Algorithm
+    ///
+    /// Samples arrive in `(core, tsc)` order, and their span ids — the
+    /// interval index in interval mode, the item-run id in register
+    /// mode — are non-decreasing in that order, so all samples of one
+    /// occupancy span are **contiguous**. Instead of a `BTreeMap` insert
+    /// per sample (the previous implementation, kept as
+    /// [`Self::from_integrated_reference`]), one linear scan folds each
+    /// span's per-function `(first, last, count)` into a small scratch
+    /// vector, flushing it whenever the span id advances. The flat span
+    /// list is then sorted once by `(item, func)` and group-folded into
+    /// the final table — the only tree left is at the API boundary.
+    pub fn from_integrated_timed(it: &IntegratedTrace) -> (Self, u64) {
+        let t0 = Instant::now();
+        // All flushed spans: (item, func, first, last, count).
+        let mut flat: Vec<(ItemId, FuncId, u64, u64, u32)> = Vec::new();
+        // The current span's per-function accumulator. Spans touch few
+        // distinct functions, so a linear probe beats any map.
+        let mut scratch: Vec<(FuncId, u64, u64, u32)> = Vec::new();
+        let mut unknown: BTreeMap<ItemId, u32> = BTreeMap::new();
+        let mut samples_missing_span = 0u64;
+
+        let mut run_id = 0u64;
+        let mut last: Option<(fluctrace_cpu::CoreId, Option<ItemId>)> = None;
+        let mut cur_span: Option<(ItemId, u64)> = None;
+        for s in &it.samples {
+            // Track register-mode runs (for *all* samples: a gap of
+            // unattributed samples still splits a run).
+            let cur = (s.core, s.item);
+            if last != Some(cur) {
+                run_id += 1;
+                last = Some(cur);
+            }
+            let Some(item) = s.item else { continue };
+            let Some(func) = s.func else {
+                *unknown.entry(item).or_insert(0) += 1;
+                continue;
+            };
+            let span = match it.mode {
+                MappingMode::Intervals => match s.interval_idx {
+                    Some(idx) => idx as u64,
+                    None => {
+                        samples_missing_span += 1;
+                        continue;
+                    }
+                },
+                MappingMode::RegisterTag => run_id,
+            };
+            if cur_span != Some((item, span)) {
+                flush_span(&mut scratch, cur_span, &mut flat);
+                cur_span = Some((item, span));
+            }
+            match scratch.iter_mut().find(|e| e.0 == func) {
+                Some(e) => {
+                    e.1 = e.1.min(s.tsc);
+                    e.2 = e.2.max(s.tsc);
+                    e.3 += 1;
+                }
+                None => scratch.push((func, s.tsc, s.tsc, 1)),
+            }
+        }
+        flush_span(&mut scratch, cur_span, &mut flat);
+
+        // Fold spans into per-(item, func) estimates; convert cycles to
+        // time once at the end so truncation does not accumulate per
+        // span. Sorting the span list groups equal (item, func) pairs
+        // and yields the ascending push order the table guarantees.
+        flat.sort_unstable_by_key(|&(item, func, _, _, _)| (item, func));
+
+        // Exact totals from marks.
+        let mut totals: BTreeMap<ItemId, u64> = BTreeMap::new();
+        for iv in &it.intervals {
+            *totals.entry(iv.item).or_insert(0) += iv.cycles();
+        }
+
+        let mut items: BTreeMap<ItemId, ItemEstimate> = BTreeMap::new();
+        let mut i = 0;
+        while i < flat.len() {
+            let (item, func, ..) = flat[i];
+            let mut samples = 0u32;
+            let mut cycles = 0u64;
+            while i < flat.len() && flat[i].0 == item && flat[i].1 == func {
+                let (_, _, first, last, count) = flat[i];
+                samples += count;
+                cycles += last - first;
+                i += 1;
+            }
+            items
+                .entry(item)
+                .or_insert_with(|| ItemEstimate {
+                    item,
+                    marked_total: totals.get(&item).map(|&c| it.freq.cycles_to_dur(c)),
+                    funcs: Vec::new(),
+                    unknown_func_samples: 0,
+                })
+                .funcs
+                .push(FuncEstimate {
+                    item,
+                    func,
+                    samples,
+                    elapsed: it.freq.cycles_to_dur(cycles),
+                });
+        }
+        // Items that have intervals but no attributable samples still
+        // appear (with empty func lists) so totals stay queryable.
+        for (&item, &cycles) in &totals {
+            items.entry(item).or_insert_with(|| ItemEstimate {
+                item,
+                marked_total: Some(it.freq.cycles_to_dur(cycles)),
+                funcs: Vec::new(),
+                unknown_func_samples: 0,
+            });
+        }
+        for (item, n) in unknown {
+            if let Some(ie) = items.get_mut(&item) {
+                ie.unknown_func_samples = n;
+            }
+        }
+        let table = EstimateTable {
+            items,
+            freq: it.freq,
+            samples_missing_span,
+        };
+        (table, t0.elapsed().as_nanos() as u64)
+    }
+
+    /// The previous `BTreeMap`-per-sample implementation, kept as an
+    /// independently-written oracle for the linear-scan estimator (see
+    /// the equivalence property test and the `estimate` benchmark).
+    #[doc(hidden)]
+    pub fn from_integrated_reference(it: &IntegratedTrace) -> Self {
         #[derive(PartialEq, Eq, PartialOrd, Ord)]
         struct SpanKey {
             item: ItemId,
@@ -96,6 +244,7 @@ impl EstimateTable {
         }
         let mut spans: BTreeMap<SpanKey, (u64, u64, u32)> = BTreeMap::new(); // (first, last, count)
         let mut unknown: BTreeMap<ItemId, u32> = BTreeMap::new();
+        let mut samples_missing_span = 0u64;
 
         let mut run_id = 0u64;
         let mut last: Option<(fluctrace_cpu::CoreId, Option<ItemId>)> = None;
@@ -112,7 +261,13 @@ impl EstimateTable {
                 continue;
             };
             let span = match it.mode {
-                MappingMode::Intervals => s.interval_idx.unwrap_or(0) as u64,
+                MappingMode::Intervals => match s.interval_idx {
+                    Some(idx) => idx as u64,
+                    None => {
+                        samples_missing_span += 1;
+                        continue;
+                    }
+                },
                 MappingMode::RegisterTag => run_id,
             };
             let key = SpanKey { item, func, span };
@@ -182,6 +337,7 @@ impl EstimateTable {
         EstimateTable {
             items,
             freq: it.freq,
+            samples_missing_span,
         }
     }
 
@@ -220,6 +376,22 @@ impl EstimateTable {
                     .map(|fe| (ie.item, fe.elapsed))
             })
             .collect()
+    }
+}
+
+/// Move a finished span's per-function accumulators into the flat span
+/// list (tagged with the span's item), clearing the scratch for reuse.
+fn flush_span(
+    scratch: &mut Vec<(FuncId, u64, u64, u32)>,
+    span: Option<(ItemId, u64)>,
+    flat: &mut Vec<(ItemId, FuncId, u64, u64, u32)>,
+) {
+    let Some((item, _)) = span else {
+        debug_assert!(scratch.is_empty());
+        return;
+    };
+    for (func, first, last, count) in scratch.drain(..) {
+        flat.push((item, func, first, last, count));
     }
 }
 
@@ -331,8 +503,14 @@ mod tests {
         bundle.sort();
         let it = integrate(&bundle, &symtab, freq(), MappingMode::Intervals);
         let table = EstimateTable::from_integrated(&it);
-        assert_eq!(table.get(ItemId(1), f).unwrap().elapsed, freq().cycles_to_dur(15_000));
-        assert_eq!(table.get(ItemId(1), g).unwrap().elapsed, freq().cycles_to_dur(30_000));
+        assert_eq!(
+            table.get(ItemId(1), f).unwrap().elapsed,
+            freq().cycles_to_dur(15_000)
+        );
+        assert_eq!(
+            table.get(ItemId(1), g).unwrap().elapsed,
+            freq().cycles_to_dur(30_000)
+        );
         let ie = table.item(ItemId(1)).unwrap();
         assert_eq!(ie.funcs.len(), 2);
     }
@@ -424,6 +602,81 @@ mod tests {
         let it = integrate(&bundle, &symtab, freq(), MappingMode::Intervals);
         let table = EstimateTable::from_integrated(&it);
         assert_eq!(table.item(ItemId(1)).unwrap().unknown_func_samples, 1);
+    }
+
+    #[test]
+    fn missing_interval_idx_is_skipped_and_counted_not_aliased() {
+        use crate::integrate::AttributedSample;
+        let (symtab, f, _) = setup();
+        let _ = symtab;
+        // Hand-built inconsistent trace: interval-mode samples carrying
+        // an item but no interval index. The old estimator aliased these
+        // onto span 0, bridging tsc 1_000 and 900_000 into one bogus
+        // 299.67 µs estimate.
+        let mk = |tsc: u64, idx: Option<u32>| AttributedSample {
+            core: CoreId(0),
+            tsc,
+            item: Some(ItemId(1)),
+            func: Some(f),
+            interval_idx: idx,
+        };
+        let it = IntegratedTrace {
+            samples: vec![
+                mk(1_000, Some(0)),
+                mk(4_000, Some(0)),
+                mk(900_000, None), // inconsistent straggler
+            ],
+            intervals: vec![],
+            errors: vec![],
+            freq: freq(),
+            mode: MappingMode::Intervals,
+            stats: Default::default(),
+            item_index: vec![],
+        };
+        for table in [
+            EstimateTable::from_integrated(&it),
+            EstimateTable::from_integrated_reference(&it),
+        ] {
+            assert_eq!(table.samples_missing_span, 1);
+            let fe = table.get(ItemId(1), f).unwrap();
+            assert_eq!(fe.samples, 2, "straggler not counted");
+            assert_eq!(fe.elapsed, SimDuration::from_us(1), "span not bridged");
+        }
+    }
+
+    #[test]
+    fn linear_scan_matches_reference_on_messy_trace() {
+        // Multi-core, preemption, unknown IPs, gap samples, both modes.
+        let (symtab, f, g) = setup();
+        let ips = [symtab.range(f).start, symtab.range(g).start, VirtAddr(0x2)];
+        for mode in [MappingMode::Intervals, MappingMode::RegisterTag] {
+            let mut bundle = TraceBundle::default();
+            let mut item = 0u64;
+            for core in 0..4u32 {
+                let mut tsc = 31u64 * core as u64;
+                for rep in 0..25u64 {
+                    bundle
+                        .marks
+                        .push(mark(core, tsc, item % 7, MarkKind::Start));
+                    for k in 0..(rep % 5) {
+                        let ip = ips[(rep + k) as usize % 3];
+                        let tag = encode_tag(ItemId(item % 7));
+                        bundle.samples.push(sample(core, tsc + 1 + k * 13, ip, tag));
+                    }
+                    tsc += 80;
+                    bundle.marks.push(mark(core, tsc, item % 7, MarkKind::End));
+                    // Gap sample between items: no tag, no interval.
+                    bundle.samples.push(sample(core, tsc + 3, ips[0], NO_TAG));
+                    tsc += 10;
+                    item += 1;
+                }
+            }
+            bundle.sort();
+            let it = integrate(&bundle, &symtab, freq(), mode);
+            let (fast, _ns) = EstimateTable::from_integrated_timed(&it);
+            let reference = EstimateTable::from_integrated_reference(&it);
+            assert_eq!(fast, reference, "mode {mode:?}");
+        }
     }
 
     #[test]

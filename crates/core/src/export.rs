@@ -18,19 +18,11 @@ use fluctrace_cpu::SymbolTable;
 use serde_json::{json, Value};
 
 /// Options for the export.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct ExportOptions {
     /// Include one instant event per sample (large traces get big fast:
     /// ~100 B of JSON per sample).
     pub include_samples: bool,
-}
-
-impl Default for ExportOptions {
-    fn default() -> Self {
-        ExportOptions {
-            include_samples: false,
-        }
-    }
 }
 
 /// Build the trace-event JSON document.
@@ -77,11 +69,12 @@ pub fn chrome_trace(
             if !fe.is_estimable() {
                 continue;
             }
-            // First sample of {item, func}.
+            // First sample of {item, func} — the per-item index hands
+            // back just this item's samples in trace order, instead of
+            // rescanning the whole sample array per function.
             let first = it
-                .samples
-                .iter()
-                .find(|s| s.item == Some(ie.item) && s.func == Some(fe.func));
+                .samples_of_item(ie.item)
+                .find(|s| s.func == Some(fe.func));
             let Some(first) = first else { continue };
             events.push(json!({
                 "name": symtab.name(fe.func),
@@ -127,12 +120,13 @@ pub fn chrome_trace_string(
 }
 
 #[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
 mod tests {
     use super::*;
     use crate::integrate::{integrate, MappingMode};
     use fluctrace_cpu::{
-        CoreId, HwEvent, ItemId, MarkKind, MarkRecord, PebsRecord, SymbolTableBuilder,
-        TraceBundle, NO_TAG,
+        CoreId, HwEvent, ItemId, MarkKind, MarkRecord, PebsRecord, SymbolTableBuilder, TraceBundle,
+        NO_TAG,
     };
     use fluctrace_sim::Freq;
 
@@ -143,12 +137,34 @@ mod tests {
         let ip = symtab.range(f).start;
         let mut bundle = TraceBundle::default();
         bundle.marks = vec![
-            MarkRecord { core: CoreId(0), tsc: 3_000, item: ItemId(1), kind: MarkKind::Start },
-            MarkRecord { core: CoreId(0), tsc: 33_000, item: ItemId(1), kind: MarkKind::End },
+            MarkRecord {
+                core: CoreId(0),
+                tsc: 3_000,
+                item: ItemId(1),
+                kind: MarkKind::Start,
+            },
+            MarkRecord {
+                core: CoreId(0),
+                tsc: 33_000,
+                item: ItemId(1),
+                kind: MarkKind::End,
+            },
         ];
         bundle.samples = vec![
-            PebsRecord { core: CoreId(0), tsc: 6_000, ip, r13: NO_TAG, event: HwEvent::UopsRetired },
-            PebsRecord { core: CoreId(0), tsc: 30_000, ip, r13: NO_TAG, event: HwEvent::UopsRetired },
+            PebsRecord {
+                core: CoreId(0),
+                tsc: 6_000,
+                ip,
+                r13: NO_TAG,
+                event: HwEvent::UopsRetired,
+            },
+            PebsRecord {
+                core: CoreId(0),
+                tsc: 30_000,
+                ip,
+                r13: NO_TAG,
+                event: HwEvent::UopsRetired,
+            },
         ];
         bundle.sort();
         let it = integrate(&bundle, &symtab, Freq::ghz(3), MappingMode::Intervals);
@@ -166,7 +182,10 @@ mod tests {
         let item = events.iter().find(|e| e["cat"] == "item").unwrap();
         assert_eq!(item["ph"], "X");
         assert_eq!(item["tid"], 0);
-        assert!((item["ts"].as_f64().unwrap() - 1.0).abs() < 1e-9, "3000 cycles = 1 us");
+        assert!(
+            (item["ts"].as_f64().unwrap() - 1.0).abs() < 1e-9,
+            "3000 cycles = 1 us"
+        );
         assert!((item["dur"].as_f64().unwrap() - 10.0).abs() < 1e-9);
         let func = events.iter().find(|e| e["cat"] == "function").unwrap();
         assert_eq!(func["name"], "handle");

@@ -124,7 +124,9 @@ pub fn detect(
     // Collect (group, func) -> [(item, elapsed_ps)].
     let mut pops: BTreeMap<(String, FuncId), Vec<(ItemId, u64)>> = BTreeMap::new();
     for ie in table.items() {
-        let Some(group) = group_of(ie.item) else { continue };
+        let Some(group) = group_of(ie.item) else {
+            continue;
+        };
         for fe in &ie.funcs {
             if fe.is_estimable() {
                 pops.entry((group.clone(), fe.func))
@@ -195,8 +197,12 @@ pub fn detect(
     // Total-latency populations per group (from marks, where present).
     let mut total_pops: BTreeMap<String, Vec<(ItemId, u64)>> = BTreeMap::new();
     for ie in table.items() {
-        let Some(total) = ie.marked_total else { continue };
-        let Some(group) = group_of(ie.item) else { continue };
+        let Some(total) = ie.marked_total else {
+            continue;
+        };
+        let Some(group) = group_of(ie.item) else {
+            continue;
+        };
         total_pops
             .entry(group)
             .or_default()
@@ -392,12 +398,7 @@ mod tests {
     #[test]
     fn too_small_population_not_flagged() {
         let (table, _) = table_with_times(&[3000, 30_000]);
-        let report = detect(
-            &table,
-            |_| Some("g".into()),
-            3.0,
-            SimDuration::from_ns(100),
-        );
+        let report = detect(&table, |_| Some("g".into()), 3.0, SimDuration::from_ns(100));
         assert!(!report.any());
     }
 
@@ -407,12 +408,7 @@ mod tests {
         cycles[2] = 30_000;
         cycles[9] = 90_000;
         let (table, _) = table_with_times(&cycles);
-        let report = detect(
-            &table,
-            |_| Some("g".into()),
-            5.0,
-            SimDuration::from_ns(100),
-        );
+        let report = detect(&table, |_| Some("g".into()), 5.0, SimDuration::from_ns(100));
         assert_eq!(report.outliers.len(), 2);
         assert_eq!(report.outliers[0].item, ItemId(9));
         assert_eq!(report.outliers[1].item, ItemId(2));

@@ -91,7 +91,11 @@ impl fmt::Display for IntervalError {
             IntervalError::UnclosedStart { core, item, tsc } => {
                 write!(f, "{core}: Start({item}) at tsc {tsc} was never closed")
             }
-            IntervalError::Mismatched { core, started, ended } => {
+            IntervalError::Mismatched {
+                core,
+                started,
+                ended,
+            } => {
                 write!(f, "{core}: Start({started}) closed by End({ended})")
             }
             IntervalError::TruncatedStart { core, item } => {

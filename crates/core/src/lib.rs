@@ -51,6 +51,7 @@ pub mod interval;
 pub mod metrics;
 pub mod online;
 pub mod overhead;
+pub mod parallel;
 pub mod profile;
 pub mod report;
 
@@ -58,10 +59,14 @@ pub use batch::{split_batches, BatchMap};
 pub use estimate::{EstimateTable, FuncEstimate, ItemEstimate};
 pub use export::{chrome_trace, chrome_trace_string, ExportOptions};
 pub use fluct::{detect, FluctuationReport, GroupFuncStats, Outlier, TotalOutlier};
-pub use integrate::{integrate, AttributedSample, IntegratedTrace, MappingMode};
+pub use integrate::{
+    integrate, integrate_with_threads, AttributedSample, IntegratedTrace, MappingMode,
+    PipelineStats,
+};
 pub use interval::{build_intervals, IntervalError, ItemInterval};
 pub use metrics::{metric_counts, MetricTable};
 pub use online::{OnlineConfig, OnlineReport, OnlineTracer};
 pub use overhead::{fit_inverse_reset, OverheadModel};
+pub use parallel::{configured_threads, run_indexed};
 pub use profile::{FlatProfile, ProfileEntry};
-pub use report::{diagnosis, item_breakdown};
+pub use report::{diagnosis, item_breakdown, item_breakdown_with_trace};

@@ -64,8 +64,7 @@ mod tests {
     use super::*;
     use crate::integrate::{integrate, MappingMode};
     use fluctrace_cpu::{
-        CoreId, HwEvent, MarkKind, MarkRecord, PebsRecord, SymbolTableBuilder, TraceBundle,
-        NO_TAG,
+        CoreId, HwEvent, MarkKind, MarkRecord, PebsRecord, SymbolTableBuilder, TraceBundle, NO_TAG,
     };
     use fluctrace_sim::Freq;
 
@@ -77,10 +76,30 @@ mod tests {
         let symtab = b.build();
         let mut bundle = TraceBundle::default();
         bundle.marks = vec![
-            MarkRecord { core: CoreId(0), tsc: 0, item: ItemId(1), kind: MarkKind::Start },
-            MarkRecord { core: CoreId(0), tsc: 1000, item: ItemId(1), kind: MarkKind::End },
-            MarkRecord { core: CoreId(0), tsc: 2000, item: ItemId(2), kind: MarkKind::Start },
-            MarkRecord { core: CoreId(0), tsc: 3000, item: ItemId(2), kind: MarkKind::End },
+            MarkRecord {
+                core: CoreId(0),
+                tsc: 0,
+                item: ItemId(1),
+                kind: MarkKind::Start,
+            },
+            MarkRecord {
+                core: CoreId(0),
+                tsc: 1000,
+                item: ItemId(1),
+                kind: MarkKind::End,
+            },
+            MarkRecord {
+                core: CoreId(0),
+                tsc: 2000,
+                item: ItemId(2),
+                kind: MarkKind::Start,
+            },
+            MarkRecord {
+                core: CoreId(0),
+                tsc: 3000,
+                item: ItemId(2),
+                kind: MarkKind::End,
+            },
         ];
         let mk = |tsc, func| PebsRecord {
             core: CoreId(0),

@@ -316,7 +316,13 @@ mod tests {
     }
 
     /// Build a batch with one item whose f-span is `cycles` long.
-    fn item_batch(symtab: &SymbolTable, f: FuncId, item: u64, base: u64, cycles: u64) -> TraceBundle {
+    fn item_batch(
+        symtab: &SymbolTable,
+        f: FuncId,
+        item: u64,
+        base: u64,
+        cycles: u64,
+    ) -> TraceBundle {
         let mut bundle = TraceBundle::default();
         bundle.marks.push(MarkRecord {
             core: CoreId(0),

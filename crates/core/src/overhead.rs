@@ -93,7 +93,10 @@ pub fn fit_inverse_reset(points: &[(u64, f64)]) -> (f64, f64) {
         sxy += x * y;
     }
     let denom = n * sxx - sx * sx;
-    assert!(denom.abs() > 1e-30, "degenerate fit (all reset values equal)");
+    assert!(
+        denom.abs() > 1e-30,
+        "degenerate fit (all reset values equal)"
+    );
     let b = (n * sxy - sx * sy) / denom;
     let a = (sy - b * sx) / n;
     (a, b)

@@ -1,0 +1,123 @@
+//! Bounded worker-pool helpers for the parallel analysis pipeline.
+//!
+//! Both the per-core sharded integration ([`crate::integrate`]) and the
+//! figure sweep runner in `fluctrace-bench` fan independent units of
+//! work over a small pool of scoped threads. The helpers here guarantee
+//! the property everything downstream relies on: **results are
+//! collected by task index**, so the output is identical to running the
+//! tasks sequentially, regardless of the worker count or scheduling.
+//!
+//! The pool size comes from `FLUCTRACE_THREADS` (default: the machine's
+//! available parallelism; `1` reproduces fully sequential behaviour).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker count selected via the `FLUCTRACE_THREADS` environment
+/// variable. Unset or unparsable values fall back to the machine's
+/// available parallelism; values are clamped to at least 1.
+pub fn configured_threads() -> usize {
+    std::env::var("FLUCTRACE_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Run `f` over every task on up to `threads` scoped workers and return
+/// the results **in task order**.
+///
+/// Tasks are claimed from a shared atomic cursor (dynamic load
+/// balancing — shard sizes are rarely uniform), but each result lands
+/// in the slot of its input index, so the returned vector is
+/// bit-identical to `tasks.into_iter().enumerate().map(f).collect()`.
+/// A panicking task propagates out of the scope, as with sequential
+/// execution.
+pub fn run_indexed<T, R, F>(tasks: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = tasks.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 || n <= 1 {
+        return tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+    // Slot-per-task mutexes are uncontended: exactly one worker claims
+    // each index, so the locks only pay their uncontended fast path.
+    let task_slots: Vec<Mutex<Option<T>>> =
+        tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let result_slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let task = task_slots[i]
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("each task index is claimed exactly once");
+                let result = f(i, task);
+                *result_slots[i].lock().unwrap() = Some(result);
+            });
+        }
+    });
+    result_slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("every slot is filled before the scope ends")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        let tasks: Vec<u64> = (0..100).collect();
+        for threads in [1, 2, 4, 7] {
+            let out = run_indexed(tasks.clone(), threads, |i, t| {
+                assert_eq!(i as u64, t);
+                t * t
+            });
+            let expected: Vec<u64> = (0..100).map(|t| t * t).collect();
+            assert_eq!(out, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_task_sets() {
+        let out: Vec<u32> = run_indexed(Vec::<u32>::new(), 8, |_, t| t);
+        assert!(out.is_empty());
+        let out = run_indexed(vec![41u32], 8, |_, t| t + 1);
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn more_threads_than_tasks_is_fine() {
+        let out = run_indexed(vec![1u32, 2, 3], 64, |_, t| t * 10);
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn configured_threads_is_positive() {
+        assert!(configured_threads() >= 1);
+    }
+}

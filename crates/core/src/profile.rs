@@ -67,7 +67,11 @@ impl FlatProfile {
         let entries = counts
             .into_iter()
             .map(|(func, n)| {
-                let share = if total == 0 { 0.0 } else { n as f64 / total as f64 };
+                let share = if total == 0 {
+                    0.0
+                } else {
+                    n as f64 / total as f64
+                };
                 (
                     func,
                     ProfileEntry {
@@ -119,9 +123,7 @@ impl FlatProfile {
 mod tests {
     use super::*;
     use crate::integrate::{integrate, MappingMode};
-    use fluctrace_cpu::{
-        CoreId, HwEvent, PebsRecord, SymbolTableBuilder, TraceBundle, NO_TAG,
-    };
+    use fluctrace_cpu::{CoreId, HwEvent, PebsRecord, SymbolTableBuilder, TraceBundle, NO_TAG};
     use fluctrace_sim::Freq;
 
     #[test]
@@ -208,7 +210,11 @@ mod tests {
             event: HwEvent::UopsRetired,
         }];
         let it = integrate(&bundle, &symtab, Freq::ghz(3), MappingMode::Intervals);
-        let p = FlatProfile::from_integrated_with_window(&it, fluctrace_sim::SimDuration::from_us(44));
-        assert_eq!(p.get(f).unwrap().total_time, fluctrace_sim::SimDuration::from_us(44));
+        let p =
+            FlatProfile::from_integrated_with_window(&it, fluctrace_sim::SimDuration::from_us(44));
+        assert_eq!(
+            p.get(f).unwrap().total_time,
+            fluctrace_sim::SimDuration::from_us(44)
+        );
     }
 }

@@ -4,6 +4,7 @@
 
 use crate::estimate::EstimateTable;
 use crate::fluct::FluctuationReport;
+use crate::integrate::IntegratedTrace;
 use fluctrace_cpu::{ItemId, SymbolTable};
 use std::fmt::Write as _;
 
@@ -48,6 +49,30 @@ pub fn item_breakdown(table: &EstimateTable, symtab: &SymbolTable, item: ItemId)
             out,
             "  {:<24} {:>12}   ({} samples outside the symbol table)",
             "<unknown>", "-", ie.unknown_func_samples
+        );
+    }
+    out
+}
+
+/// [`item_breakdown`] plus the item's raw-sample window from the
+/// integrated trace. The window is answered by the trace's per-item
+/// sample index, so pulling it for one suspicious item costs
+/// `O(log r + k)` rather than a scan of every sample in the trace.
+pub fn item_breakdown_with_trace(
+    table: &EstimateTable,
+    it: &IntegratedTrace,
+    symtab: &SymbolTable,
+    item: ItemId,
+) -> String {
+    let mut out = item_breakdown(table, symtab, item);
+    let window = it.samples_of_item(item).fold(None, |acc, s| match acc {
+        None => Some((1u64, s.tsc, s.tsc)),
+        Some((n, lo, hi)) => Some((n + 1, lo.min(s.tsc), hi.max(s.tsc))),
+    });
+    if let Some((n, lo, hi)) = window {
+        let _ = writeln!(
+            out,
+            "  {n} raw sample(s) attributed, tsc window [{lo}, {hi}]"
         );
     }
     out
@@ -125,12 +150,11 @@ mod tests {
     use crate::fluct::detect;
     use crate::integrate::{integrate, MappingMode};
     use fluctrace_cpu::{
-        CoreId, HwEvent, MarkKind, MarkRecord, PebsRecord, SymbolTableBuilder, TraceBundle,
-        NO_TAG,
+        CoreId, HwEvent, MarkKind, MarkRecord, PebsRecord, SymbolTableBuilder, TraceBundle, NO_TAG,
     };
     use fluctrace_sim::{Freq, SimDuration};
 
-    fn setup() -> (EstimateTable, SymbolTable) {
+    fn setup() -> (EstimateTable, IntegratedTrace, SymbolTable) {
         let mut b = SymbolTableBuilder::new();
         let f = b.add("fetch_rows", 100);
         let symtab = b.build();
@@ -139,28 +163,42 @@ mod tests {
         let mut t = 0u64;
         for (i, cycles) in [3_000u64, 3_000, 60_000, 3_000, 3_000].iter().enumerate() {
             bundle.marks.push(MarkRecord {
-                core: CoreId(0), tsc: t, item: ItemId(i as u64), kind: MarkKind::Start,
+                core: CoreId(0),
+                tsc: t,
+                item: ItemId(i as u64),
+                kind: MarkKind::Start,
             });
             bundle.samples.push(PebsRecord {
-                core: CoreId(0), tsc: t + 5, ip, r13: NO_TAG, event: HwEvent::UopsRetired,
+                core: CoreId(0),
+                tsc: t + 5,
+                ip,
+                r13: NO_TAG,
+                event: HwEvent::UopsRetired,
             });
             bundle.samples.push(PebsRecord {
-                core: CoreId(0), tsc: t + 5 + cycles, ip, r13: NO_TAG, event: HwEvent::UopsRetired,
+                core: CoreId(0),
+                tsc: t + 5 + cycles,
+                ip,
+                r13: NO_TAG,
+                event: HwEvent::UopsRetired,
             });
             t += cycles + 500;
             bundle.marks.push(MarkRecord {
-                core: CoreId(0), tsc: t, item: ItemId(i as u64), kind: MarkKind::End,
+                core: CoreId(0),
+                tsc: t,
+                item: ItemId(i as u64),
+                kind: MarkKind::End,
             });
             t += 100;
         }
         bundle.sort();
         let it = integrate(&bundle, &symtab, Freq::ghz(3), MappingMode::Intervals);
-        (EstimateTable::from_integrated(&it), symtab)
+        (EstimateTable::from_integrated(&it), it, symtab)
     }
 
     #[test]
     fn breakdown_mentions_function_and_total() {
-        let (table, symtab) = setup();
+        let (table, _, symtab) = setup();
         let text = item_breakdown(&table, &symtab, ItemId(2));
         assert!(text.contains("#2"));
         assert!(text.contains("fetch_rows"));
@@ -170,8 +208,19 @@ mod tests {
     }
 
     #[test]
+    fn breakdown_with_trace_adds_sample_window() {
+        let (table, it, symtab) = setup();
+        let text = item_breakdown_with_trace(&table, &it, &symtab, ItemId(2));
+        assert!(text.contains("fetch_rows"));
+        assert!(text.contains("2 raw sample(s) attributed"));
+        // An item with no samples gets no window line.
+        let text = item_breakdown_with_trace(&table, &it, &symtab, ItemId(99));
+        assert!(!text.contains("raw sample"));
+    }
+
+    #[test]
     fn diagnosis_names_the_culprit() {
-        let (table, symtab) = setup();
+        let (table, _, symtab) = setup();
         let report = detect(&table, |_| Some("q".into()), 3.0, SimDuration::from_us(1));
         let text = diagnosis(&report, &symtab);
         assert!(text.contains("1 function-level fluctuation(s)"));
@@ -183,7 +232,7 @@ mod tests {
 
     #[test]
     fn clean_run_reports_no_fluctuations() {
-        let (table, symtab) = setup();
+        let (table, _, symtab) = setup();
         // Absurd absolute guard: nothing flagged (the group's MAD is 0,
         // so the sigma threshold alone would still fire on any item —
         // the min_abs guard is what turns detection off).

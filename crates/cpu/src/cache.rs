@@ -245,7 +245,7 @@ mod tests {
     #[test]
     fn working_set_larger_than_capacity_thrashes() {
         let mut c = tiny(); // 512 B capacity
-        // Stream 4 KiB twice; second pass should still miss heavily.
+                            // Stream 4 KiB twice; second pass should still miss heavily.
         for pass in 0..2 {
             let before = c.stats().misses;
             for addr in (0..4096u64).step_by(64) {

@@ -14,7 +14,9 @@ use crate::pmu::{EventCounts, HwEvent};
 use crate::storage::{SinkKind, StorageSink};
 use crate::swsample::{SwSampleStats, SwSampler, SwSamplerConfig};
 use crate::symtab::{FuncId, SymbolTable};
-use crate::trace::{encode_tag, CoreId, ItemId, MarkKind, MarkRecord, PebsRecord, TraceBundle, NO_TAG};
+use crate::trace::{
+    encode_tag, CoreId, ItemId, MarkKind, MarkRecord, PebsRecord, TraceBundle, NO_TAG,
+};
 use fluctrace_sim::{Freq, Rng, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -357,7 +359,8 @@ impl Core {
                 let lines = if bytes == 0 {
                     0
                 } else {
-                    (addr + bytes - 1) / cache.config().line_bytes - addr / cache.config().line_bytes
+                    (addr + bytes - 1) / cache.config().line_bytes
+                        - addr / cache.config().line_bytes
                         + 1
                 };
                 (cache.access_range(addr, bytes), lines)
@@ -404,11 +407,7 @@ impl Core {
                     r13: self.r13,
                     event,
                 };
-                overhead += self
-                    .pebs
-                    .as_mut()
-                    .unwrap()
-                    .deposit(rec, t, &mut self.sink);
+                overhead += self.pebs.as_mut().unwrap().deposit(rec, t, &mut self.sink);
                 n_samples += 1;
             }
         }

@@ -4,8 +4,8 @@
 
 use crate::corerun::{Core, CoreConfig, CoreReport};
 use crate::symtab::SymbolTable;
-use crate::trace::TraceBundle;
 pub use crate::trace::CoreId;
+use crate::trace::TraceBundle;
 use fluctrace_sim::{Rng, SimTime};
 use std::sync::Arc;
 

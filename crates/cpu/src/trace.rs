@@ -130,7 +130,8 @@ impl TraceBundle {
     /// chronological order.
     pub fn sort(&mut self) {
         self.samples.sort_by_key(|s| (s.core, s.tsc));
-        self.marks.sort_by_key(|m| (m.core, m.tsc, matches!(m.kind, MarkKind::Start) as u8));
+        self.marks
+            .sort_by_key(|m| (m.core, m.tsc, matches!(m.kind, MarkKind::Start) as u8));
     }
 
     /// Total bytes of PEBS data, for the data-volume accounting.

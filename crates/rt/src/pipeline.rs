@@ -81,7 +81,9 @@ mod tests {
         let tx = b.add("tx_loop", 256);
         let mut machine = Machine::new(MachineConfig::new(3, CoreConfig::bare()), b.build());
 
-        let input = arrival_schedule(SimTime::from_us(1), SimDuration::from_us(10), 20, |i| i as u64);
+        let input = arrival_schedule(SimTime::from_us(1), SimDuration::from_us(10), 20, |i| {
+            i as u64
+        });
         let report = Pipeline::run(
             &mut machine,
             input,

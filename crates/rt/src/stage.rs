@@ -94,9 +94,7 @@ pub fn run_stage<T, U>(
         }
         if let Some(result) = process(core, value) {
             if opts.push_uops > 0 {
-                core.exec(
-                    Exec::new(opts.poll_func, opts.push_uops).ipc_milli(opts.poll_ipc_milli),
-                );
+                core.exec(Exec::new(opts.poll_func, opts.push_uops).ipc_milli(opts.poll_ipc_milli));
             }
             out.push(Timed::new(core.now(), result));
         }
@@ -189,7 +187,9 @@ mod tests {
     #[test]
     fn stage_processes_every_item_in_order() {
         let (mut core, poll, work) = core_with(None);
-        let input = arrival_schedule(SimTime::from_us(1), SimDuration::from_us(10), 5, |i| i as u64);
+        let input = arrival_schedule(SimTime::from_us(1), SimDuration::from_us(10), 5, |i| {
+            i as u64
+        });
         let out = run_stage(&mut core, input, StageOpts::new(poll), |core, v| {
             core.mark_item_start(ItemId(v));
             core.exec(Exec::new(work, 3000).ipc_milli(1000));
@@ -271,7 +271,9 @@ mod tests {
     #[test]
     fn spin_samples_fall_outside_item_intervals() {
         let (mut core, poll, work) = core_with(Some(PebsConfig::new(2000)));
-        let input = arrival_schedule(SimTime::from_us(5), SimDuration::from_us(20), 3, |i| i as u64);
+        let input = arrival_schedule(SimTime::from_us(5), SimDuration::from_us(20), 3, |i| {
+            i as u64
+        });
         run_stage(&mut core, input, StageOpts::new(poll), |core, v| {
             core.mark_item_start(ItemId(v));
             core.exec(Exec::new(work, 6000).ipc_milli(1000));
@@ -285,8 +287,16 @@ mod tests {
         let symtab = core.symtab().clone();
         let poll_range = symtab.range(poll);
         let work_range = symtab.range(work);
-        let poll_samples = bundle.samples.iter().filter(|s| poll_range.contains(s.ip)).count();
-        let work_samples = bundle.samples.iter().filter(|s| work_range.contains(s.ip)).count();
+        let poll_samples = bundle
+            .samples
+            .iter()
+            .filter(|s| poll_range.contains(s.ip))
+            .count();
+        let work_samples = bundle
+            .samples
+            .iter()
+            .filter(|s| work_range.contains(s.ip))
+            .count();
         assert!(poll_samples > 0, "spin produced samples");
         assert!(work_samples > 0, "work produced samples");
     }

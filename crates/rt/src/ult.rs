@@ -114,10 +114,7 @@ impl UltScheduler {
 
         loop {
             // Admit arrivals.
-            while pending
-                .front()
-                .is_some_and(|j| j.arrival <= core.now())
-            {
+            while pending.front().is_some_and(|j| j.arrival <= core.now()) {
                 ready.push_back(pending.pop_front().unwrap());
             }
             let Some(mut job) = ready.pop_front() else {
@@ -144,7 +141,9 @@ impl UltScheduler {
             // Run one quantum.
             let slice_start = core.now();
             while core.now().since(slice_start) < cfg.quantum {
-                let Some(chunk) = job.chunks.pop_front() else { break };
+                let Some(chunk) = job.chunks.pop_front() else {
+                    break;
+                };
                 core.exec(chunk);
             }
 
@@ -171,9 +170,7 @@ impl UltScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fluctrace_cpu::{
-        decode_tag, CoreConfig, CoreId, PebsConfig, SymbolTableBuilder,
-    };
+    use fluctrace_cpu::{decode_tag, CoreConfig, CoreId, PebsConfig, SymbolTableBuilder};
     use fluctrace_sim::Rng;
 
     fn setup(pebs: Option<PebsConfig>) -> (Core, FuncId, FuncId) {

@@ -43,7 +43,12 @@ fn main() {
     );
 
     let (bundle, _) = machine.collect();
-    let it = integrate(&bundle, machine.symtab(), Freq::ghz(3), MappingMode::Intervals);
+    let it = integrate(
+        &bundle,
+        machine.symtab(),
+        Freq::ghz(3),
+        MappingMode::Intervals,
+    );
     let estimates = EstimateTable::from_integrated(&it);
 
     println!("\ntype  latency(us)  rte_acl_classify estimate (us)");

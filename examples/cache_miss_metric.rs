@@ -34,16 +34,28 @@ fn main() {
     for item in 0..8u64 {
         core.mark_item_start(ItemId(item));
         core.exec(Exec::new(parse, 4_000));
-        let addr = if item % 2 == 0 { 0 } else { 0x1000_0000 + item * 0x10000 };
+        let addr = if item % 2 == 0 {
+            0
+        } else {
+            0x1000_0000 + item * 0x10000
+        };
         core.exec(Exec::new(scan, 40_000).mem_range(addr, 64 * 1024));
         core.mark_item_end(ItemId(item));
     }
 
     let (bundle, reports) = machine.collect();
-    let it = integrate(&bundle, machine.symtab(), Freq::ghz(3), MappingMode::Intervals);
+    let it = integrate(
+        &bundle,
+        machine.symtab(),
+        Freq::ghz(3),
+        MappingMode::Intervals,
+    );
     let metrics = metric_counts(&it, RESET);
 
-    println!("per-item cache-miss estimates (PEBS event: {}):\n", HwEvent::CacheMisses);
+    println!(
+        "per-item cache-miss estimates (PEBS event: {}):\n",
+        HwEvent::CacheMisses
+    );
     println!("item  kind  f_parse misses  f_scan misses (samples x {RESET})");
     for item in 0..8u64 {
         let kind = if item % 2 == 0 { "warm" } else { "cold" };

@@ -39,7 +39,11 @@ fn main() {
                 }
             }
             5..=7 => DbQuery::Lookup {
-                key: if live_keys.is_empty() { 0 } else { *rng.choose(&live_keys) },
+                key: if live_keys.is_empty() {
+                    0
+                } else {
+                    *rng.choose(&live_keys)
+                },
             },
             _ if !live_keys.is_empty() => {
                 let idx = rng.gen_below(live_keys.len() as u64) as usize;
@@ -66,7 +70,12 @@ fn main() {
     );
 
     let (bundle, _) = machine.collect();
-    let it = integrate(&bundle, machine.symtab(), Freq::ghz(3), MappingMode::Intervals);
+    let it = integrate(
+        &bundle,
+        machine.symtab(),
+        Freq::ghz(3),
+        MappingMode::Intervals,
+    );
     let table = EstimateTable::from_integrated(&it);
 
     // Group queries by kind — identical-looking inserts should behave

@@ -28,7 +28,12 @@ fn main() {
     );
 
     let (bundle, _) = machine.collect();
-    let it = integrate(&bundle, machine.symtab(), Freq::ghz(3), MappingMode::Intervals);
+    let it = integrate(
+        &bundle,
+        machine.symtab(),
+        Freq::ghz(3),
+        MappingMode::Intervals,
+    );
     let table = EstimateTable::from_integrated(&it);
 
     println!("query  n  f1        f2        f3        total(marks)");

@@ -31,7 +31,9 @@ fn main() {
 
     // 3. Run a two-stage pipeline. Only the worker stage is
     //    instrumented — two marks per item, nothing per function.
-    let input = arrival_schedule(SimTime::from_us(1), SimDuration::from_us(40), 8, |i| i as u64);
+    let input = arrival_schedule(SimTime::from_us(1), SimDuration::from_us(40), 8, |i| {
+        i as u64
+    });
     Pipeline::run(
         &mut machine,
         input,
@@ -56,7 +58,12 @@ fn main() {
         bundle.samples.len(),
         bundle.marks.len()
     );
-    let it = integrate(&bundle, machine.symtab(), Freq::ghz(3), MappingMode::Intervals);
+    let it = integrate(
+        &bundle,
+        machine.symtab(),
+        Freq::ghz(3),
+        MappingMode::Intervals,
+    );
     let estimates = EstimateTable::from_integrated(&it);
 
     // 5. Per-item, per-function elapsed times — the paper's output.
@@ -85,7 +92,10 @@ fn main() {
     );
     let path = std::env::temp_dir().join("fluctrace_quickstart.json");
     match std::fs::write(&path, json) {
-        Ok(()) => println!("trace written to {} (load it in chrome://tracing)", path.display()),
+        Ok(()) => println!(
+            "trace written to {} (load it in chrome://tracing)",
+            path.display()
+        ),
         Err(e) => eprintln!("could not write trace: {e}"),
     }
 }

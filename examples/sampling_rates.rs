@@ -33,16 +33,16 @@ fn measure(kernel: Kernel, pebs: bool, reset: u64) -> (f64, u64) {
 
 fn main() {
     println!("achieved sample interval (us) — PEBS vs perf-style software sampling\n");
-    println!("{:>8}  {:<7} {:>12} {:>12}", "reset", "kernel", "PEBS", "perf");
+    println!(
+        "{:>8}  {:<7} {:>12} {:>12}",
+        "reset", "kernel", "PEBS", "perf"
+    );
     for kernel in Kernel::ALL {
         for power in [10u32, 12, 14, 16] {
             let reset = 1u64 << power;
             let (hw, _) = measure(kernel, true, reset);
             let (sw, _) = measure(kernel, false, reset);
-            println!(
-                "{reset:>8}  {:<7} {hw:>11.2}  {sw:>11.2}",
-                kernel.label()
-            );
+            println!("{reset:>8}  {:<7} {hw:>11.2}  {sw:>11.2}", kernel.label());
         }
         println!();
     }

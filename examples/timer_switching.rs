@@ -45,10 +45,7 @@ fn main() {
         UltJob::new(ItemId(item), SimTime::from_us(arrival_us), work)
     };
     let scheduler = UltScheduler::new(UltSchedulerConfig::new(sched));
-    let completions = scheduler.run(
-        &mut core,
-        vec![job(0, 0, 45), job(1, 5, 6), job(2, 10, 6)],
-    );
+    let completions = scheduler.run(&mut core, vec![job(0, 0, 45), job(1, 5, 6), job(2, 10, 6)]);
 
     println!("completion order (timer switching lets light items overtake):");
     for c in &completions {
@@ -71,7 +68,12 @@ fn main() {
     );
 
     // Integrate via register tags instead.
-    let it = integrate(&bundle, machine.symtab(), Freq::ghz(3), MappingMode::RegisterTag);
+    let it = integrate(
+        &bundle,
+        machine.symtab(),
+        Freq::ghz(3),
+        MappingMode::RegisterTag,
+    );
     let table = EstimateTable::from_integrated(&it);
     println!("register-tag mapping still attributes every sample:\n");
     println!("item  function          samples  elapsed");
@@ -86,5 +88,7 @@ fn main() {
             );
         }
     }
-    println!("\nitem 0's handler/render dwarf items 1-2, even though all three interleaved on one core.");
+    println!(
+        "\nitem 0's handler/render dwarf items 1-2, even though all three interleaved on one core."
+    );
 }

@@ -1,0 +1,202 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `throughput`, `sample_size`, `bench_function`,
+//! `Bencher::iter`, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!`/`criterion_main!` macros — as a simple wall-clock
+//! harness: warm up, time a calibrated batch per sample, report the
+//! median ns/iter (and derived throughput) on stdout.
+//!
+//! No statistics beyond the median, no HTML reports, no saved
+//! baselines; benches compile and produce usable numbers offline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Benchmark identifier.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Id rendered from a parameter's `Display`.
+    pub fn from_parameter<D: fmt::Display>(p: D) -> BenchmarkId {
+        BenchmarkId(p.to_string())
+    }
+
+    /// Function + parameter id.
+    pub fn new<D: fmt::Display>(name: &str, p: D) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId(s)
+    }
+}
+
+/// Throughput basis for a group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 20,
+        }
+    }
+
+    /// Stand-alone benchmark (no group).
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id, f);
+        g.finish();
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the throughput basis used for reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Set the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let mut b = Bencher {
+            samples_wanted: self.sample_size,
+            ns_per_iter: f64::NAN,
+        };
+        f(&mut b);
+        let label = if self.name.is_empty() {
+            id.0
+        } else {
+            format!("{}/{}", self.name, id.0)
+        };
+        let per_iter = b.ns_per_iter;
+        let extra = match self.throughput {
+            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                format!("  ({:.3} Melem/s)", n as f64 / per_iter * 1e3)
+            }
+            Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+                format!("  ({:.1} MB/s)", n as f64 / per_iter * 1e3)
+            }
+            _ => String::new(),
+        };
+        println!("{label:<48} {:>14.1} ns/iter{extra}", per_iter);
+    }
+
+    /// End the group (formatting no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; times the routine.
+pub struct Bencher {
+    samples_wanted: usize,
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Measure `routine`: calibrate a batch size targeting ~5 ms per
+    /// sample, take `sample_size` samples, record the median.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration.
+        let mut batch = 1u64;
+        let batch_target = Duration::from_millis(5);
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= batch_target || batch >= 1 << 20 {
+                break;
+            }
+            // Grow geometrically toward the target.
+            let grow = if elapsed.is_zero() {
+                16
+            } else {
+                (batch_target.as_nanos() / elapsed.as_nanos().max(1)).clamp(2, 16) as u64
+            };
+            batch = batch.saturating_mul(grow);
+        }
+        let mut samples: Vec<f64> = (0..self.samples_wanted)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..batch {
+                    std::hint::black_box(routine());
+                }
+                start.elapsed().as_nanos() as f64 / batch as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions into a runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` / `cargo bench` pass harness flags; a bare
+            // `--test` run must not execute the full measurement.
+            let test_mode = std::env::args().any(|a| a == "--test");
+            if test_mode {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}

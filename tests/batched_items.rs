@@ -55,7 +55,12 @@ fn weighted_split_recovers_per_type_costs_in_mixed_bursts() {
     let (run, batches) = fw.run_batched(&mut machine, ingress, 4);
     assert_eq!(run.dropped, 0);
     let (bundle, _) = machine.collect();
-    let it = integrate(&bundle, machine.symtab(), Freq::ghz(3), MappingMode::Intervals);
+    let it = integrate(
+        &bundle,
+        machine.symtab(),
+        Freq::ghz(3),
+        MappingMode::Intervals,
+    );
     let per_batch = EstimateTable::from_integrated(&it);
     // Before splitting, only synthetic batch ids have estimates.
     assert!(per_batch.item(ItemId(0)).is_none());
@@ -109,7 +114,12 @@ fn uniform_split_is_biased_on_mixed_bursts() {
         }
     }
     let (bundle, _) = machine.collect();
-    let it = integrate(&bundle, machine.symtab(), Freq::ghz(3), MappingMode::Intervals);
+    let it = integrate(
+        &bundle,
+        machine.symtab(),
+        Freq::ghz(3),
+        MappingMode::Intervals,
+    );
     let per_batch = EstimateTable::from_integrated(&it);
     let (_, funcs) = Firewall::symtab();
 

@@ -20,7 +20,12 @@ fn run_fig8() -> (Machine, EstimateTable, Vec<Query>) {
         SimDuration::from_us(200),
     );
     let (bundle, _) = machine.collect();
-    let it = integrate(&bundle, machine.symtab(), Freq::ghz(3), MappingMode::Intervals);
+    let it = integrate(
+        &bundle,
+        machine.symtab(),
+        Freq::ghz(3),
+        MappingMode::Intervals,
+    );
     let table = EstimateTable::from_integrated(&it);
     (machine, table, queries)
 }
@@ -73,8 +78,7 @@ fn fig8_f3_is_the_root_cause() {
         assert!(f3 > f2.elapsed * 3);
     }
     // The detector, grouping by n, flags exactly queries 1 and 5 on f3.
-    let by_n: std::collections::HashMap<u64, u64> =
-        queries.iter().map(|q| (q.id, q.n)).collect();
+    let by_n: std::collections::HashMap<u64, u64> = queries.iter().map(|q| (q.id, q.n)).collect();
     let report = detect(
         &table,
         |item| by_n.get(&item.0).map(|n| format!("n={n}")),

@@ -74,7 +74,9 @@ fn ult_machine(emit_marks: bool) -> (Machine, fluctrace::cpu::FuncId) {
             UltJob::new(
                 ItemId(i),
                 SimTime::from_us(i),
-                (0..30).map(|_| Exec::new(work, 6_000).ipc_milli(1000)).collect(),
+                (0..30)
+                    .map(|_| Exec::new(work, 6_000).ipc_milli(1000))
+                    .collect(),
             )
         })
         .collect();
@@ -128,7 +130,11 @@ fn scheduler_marks_recover_intervals_under_preemption() {
     ));
     // The two §V mechanisms agree about per-item work.
     for item in 0..4u64 {
-        let a = by_marks.get(ItemId(item), work).unwrap().elapsed.as_us_f64();
+        let a = by_marks
+            .get(ItemId(item), work)
+            .unwrap()
+            .elapsed
+            .as_us_f64();
         let b = by_tags.get(ItemId(item), work).unwrap().elapsed.as_us_f64();
         assert!(
             (a - b).abs() < 3.0,

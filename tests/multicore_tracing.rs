@@ -44,8 +44,7 @@ fn two_acl_workers_trace_independently_and_merge() {
                 let mut meter = CountingMeter::new();
                 acl.decide(&p.key, &mut meter);
                 core.exec(
-                    Exec::new(funcs.rte_acl_classify, cost.uops(&meter))
-                        .ipc_milli(cost.ipc_milli),
+                    Exec::new(funcs.rte_acl_classify, cost.uops(&meter)).ipc_milli(cost.ipc_milli),
                 );
                 core.mark_item_end(ItemId(p.seq));
                 Some(p)
@@ -59,7 +58,12 @@ fn two_acl_workers_trace_independently_and_merge() {
     assert!(reports[0].marks == 60 && reports[1].marks == 60);
     assert!(reports[0].pebs.samples > 0 && reports[1].pebs.samples > 0);
 
-    let it = integrate(&bundle, machine.symtab(), Freq::ghz(3), MappingMode::Intervals);
+    let it = integrate(
+        &bundle,
+        machine.symtab(),
+        Freq::ghz(3),
+        MappingMode::Intervals,
+    );
     assert!(it.errors.is_empty(), "{:?}", it.errors);
     // The two cores' intervals overlap in wall time; the per-core
     // mapping must still attribute every contained sample uniquely.
@@ -83,10 +87,10 @@ fn two_acl_workers_trace_independently_and_merge() {
         }
     }
     for label in ["A", "B"] {
-        let m0: f64 = by_type_core[&(label, 0)].iter().sum::<f64>()
-            / by_type_core[&(label, 0)].len() as f64;
-        let m1: f64 = by_type_core[&(label, 1)].iter().sum::<f64>()
-            / by_type_core[&(label, 1)].len() as f64;
+        let m0: f64 =
+            by_type_core[&(label, 0)].iter().sum::<f64>() / by_type_core[&(label, 0)].len() as f64;
+        let m1: f64 =
+            by_type_core[&(label, 1)].iter().sum::<f64>() / by_type_core[&(label, 1)].len() as f64;
         assert!(
             (m0 - m1).abs() < 1.5,
             "type {label}: core0 {m0:.2} vs core1 {m1:.2}"
@@ -110,7 +114,12 @@ fn cross_core_interval_overlap_does_not_confuse_attribution() {
         core.mark_item_end(item);
     }
     let (bundle, _) = machine.collect();
-    let it = integrate(&bundle, machine.symtab(), Freq::ghz(3), MappingMode::Intervals);
+    let it = integrate(
+        &bundle,
+        machine.symtab(),
+        Freq::ghz(3),
+        MappingMode::Intervals,
+    );
     for s in &it.samples {
         if let Some(item) = s.item {
             assert_eq!(
