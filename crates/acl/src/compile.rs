@@ -59,7 +59,9 @@ impl CompiledTrie {
                     .collect();
                 matches.sort_by_key(|m| m.rule);
                 matches.dedup_by_key(|m| m.rule);
-                out.nodes[cidx as usize].matches = matches;
+                if let Some(n) = out.nodes.get_mut(cidx as usize) {
+                    n.matches = matches;
+                }
                 continue;
             }
             // Gather constituent edges and cut the byte range at every
@@ -77,7 +79,8 @@ impl CompiledTrie {
             bounds.dedup();
             let mut cedges = Vec::new();
             for w in bounds.windows(2) {
-                let (lo, hi) = (w[0], w[1] - 1);
+                let &[lo, hi_next] = w else { continue };
+                let hi = hi_next - 1;
                 debug_assert!(hi <= 255);
                 let mut targets: Vec<u32> = edges
                     .iter()
@@ -106,7 +109,9 @@ impl CompiledTrie {
                     child,
                 });
             }
-            out.nodes[cidx as usize].edges = cedges;
+            if let Some(n) = out.nodes.get_mut(cidx as usize) {
+                n.edges = cedges;
+            }
         }
         out
     }
@@ -129,10 +134,12 @@ impl CompiledTrie {
         let mut node = 0u32;
         for (depth, &b) in bytes.iter().enumerate() {
             meter.on_node_visit(depth);
-            let edges = &self.nodes[node as usize].edges;
+            let Some(edges) = self.nodes.get(node as usize).map(|n| &n.edges) else {
+                return;
+            };
             // Binary search: last edge with lo <= b.
             let idx = edges.partition_point(|e| e.lo <= b);
-            let Some(edge) = idx.checked_sub(1).map(|i| &edges[i]) else {
+            let Some(edge) = idx.checked_sub(1).and_then(|i| edges.get(i)) else {
                 return;
             };
             if b > edge.hi {
@@ -140,7 +147,12 @@ impl CompiledTrie {
             }
             node = edge.child;
         }
-        for m in &self.nodes[node as usize].matches {
+        let matches = self
+            .nodes
+            .get(node as usize)
+            .map(|n| n.matches.as_slice())
+            .unwrap_or_default();
+        for m in matches {
             meter.on_match();
             let better = match best {
                 None => true,

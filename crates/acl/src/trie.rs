@@ -80,22 +80,27 @@ impl Trie {
     /// rule list, recorded in the match entry.
     pub fn insert(&mut self, rule_idx: u32, rule: &AclRule) {
         // Byte-range constraints for the 8 address bytes.
-        let mut addr_path = [(0u8, 0u8); 8];
-        for i in 0..4 {
-            addr_path[i] = rule.src.byte_range(i);
-            addr_path[4 + i] = rule.dst.byte_range(i);
-        }
+        let sb = |i: usize| rule.src.byte_range(i);
+        let db = |i: usize| rule.dst.byte_range(i);
         // Port parts expand into alternative segment pairs.
         let src_segs = rule.src_port.byte_segments();
         let dst_segs = rule.dst_port.byte_segments();
-        for (s_hi, s_lo) in &src_segs {
-            for (d_hi, d_lo) in &dst_segs {
-                let mut path = [(0u8, 0u8); KEY_BYTES];
-                path[..8].copy_from_slice(&addr_path);
-                path[8] = *s_hi;
-                path[9] = *s_lo;
-                path[10] = *d_hi;
-                path[11] = *d_lo;
+        for &(s_hi, s_lo) in &src_segs {
+            for &(d_hi, d_lo) in &dst_segs {
+                let path: [(u8, u8); KEY_BYTES] = [
+                    sb(0),
+                    sb(1),
+                    sb(2),
+                    sb(3),
+                    db(0),
+                    db(1),
+                    db(2),
+                    db(3),
+                    s_hi,
+                    s_lo,
+                    d_hi,
+                    d_lo,
+                ];
                 self.insert_path(&path, rule_idx, rule);
             }
         }
@@ -107,29 +112,32 @@ impl Trie {
         for &(lo, hi) in path {
             node = self.child_for(node, lo, hi);
         }
-        self.nodes[node as usize].matches.push(MatchEntry {
-            priority: rule.priority,
-            action: rule.action,
-            rule: rule_idx,
-        });
+        if let Some(n) = self.nodes.get_mut(node as usize) {
+            n.matches.push(MatchEntry {
+                priority: rule.priority,
+                action: rule.action,
+                rule: rule_idx,
+            });
+        }
     }
 
     /// Find or create the child of `node` reached by exactly the range
     /// `[lo, hi]`. Only identical labels share children; overlapping
     /// labels coexist as separate edges.
     fn child_for(&mut self, node: u32, lo: u8, hi: u8) -> u32 {
-        if let Some(e) = self.nodes[node as usize]
-            .edges
-            .iter()
-            .find(|e| e.lo == lo && e.hi == hi)
+        if let Some(e) = self
+            .nodes
+            .get(node as usize)
+            .and_then(|n| n.edges.iter().find(|e| e.lo == lo && e.hi == hi))
         {
             return e.child;
         }
         let child = self.nodes.len() as u32;
         self.nodes.push(Node::default());
-        let edges = &mut self.nodes[node as usize].edges;
-        let pos = edges.partition_point(|e| (e.lo, e.hi) < (lo, hi));
-        edges.insert(pos, Edge { lo, hi, child });
+        if let Some(n) = self.nodes.get_mut(node as usize) {
+            let pos = n.edges.partition_point(|e| (e.lo, e.hi) < (lo, hi));
+            n.edges.insert(pos, Edge { lo, hi, child });
+        }
         child
     }
 
@@ -147,7 +155,9 @@ impl Trie {
         // Iterative DFS over (node, depth).
         let mut stack: Vec<(u32, usize)> = vec![(0, 0)];
         while let Some((node_idx, depth)) = stack.pop() {
-            let node = &self.nodes[node_idx as usize];
+            let Some(node) = self.nodes.get(node_idx as usize) else {
+                continue;
+            };
             if depth == KEY_BYTES {
                 for m in &node.matches {
                     meter.on_match();
@@ -164,7 +174,7 @@ impl Trie {
                 continue;
             }
             meter.on_node_visit(depth);
-            let b = bytes[depth];
+            let Some(&b) = bytes.get(depth) else { continue };
             for e in &node.edges {
                 if e.lo <= b && b <= e.hi {
                     stack.push((e.child, depth + 1));
@@ -182,15 +192,20 @@ impl Trie {
 
     /// Edges of a node as `(lo, hi, child)` triples (for the compiler).
     pub(crate) fn edges_of(&self, node: u32) -> impl Iterator<Item = (u8, u8, u32)> + '_ {
-        self.nodes[node as usize]
-            .edges
+        self.nodes
+            .get(node as usize)
+            .map(|n| n.edges.as_slice())
+            .unwrap_or_default()
             .iter()
             .map(|e| (e.lo, e.hi, e.child))
     }
 
     /// Match entries of a node (for the compiler).
     pub(crate) fn matches_of(&self, node: u32) -> &[MatchEntry] {
-        &self.nodes[node as usize].matches
+        self.nodes
+            .get(node as usize)
+            .map(|n| n.matches.as_slice())
+            .unwrap_or_default()
     }
 }
 

@@ -123,7 +123,7 @@ fn main() {
     );
 
     // Run the detector with the content grouping "same n".
-    let by_n: std::collections::HashMap<u64, u64> =
+    let by_n: std::collections::BTreeMap<u64, u64> =
         queries.iter().map(|q: &Query| (q.id, q.n)).collect();
     let report = detect(
         &table,

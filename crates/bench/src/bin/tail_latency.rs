@@ -29,7 +29,9 @@ fn main() {
     let mut app = QueryApp::new(funcs);
     let mut rng = Rng::new(0xDB);
     let mut latencies_us = Vec::with_capacity(n_queries as usize);
-    let mut sizes = std::collections::HashMap::new();
+    // BTreeMap, not HashMap: this binary writes figure artifacts and
+    // every collection on that path must iterate deterministically.
+    let mut sizes = std::collections::BTreeMap::new();
     for id in 0..n_queries {
         // Occasional invalidation events (evictions, fragmentation
         // fixes); the cache then re-warms over the following queries.

@@ -181,16 +181,17 @@ impl EstimateTable {
         }
 
         let mut items: BTreeMap<ItemId, ItemEstimate> = BTreeMap::new();
-        let mut i = 0;
-        while i < flat.len() {
-            let (item, func, ..) = flat[i];
-            let mut samples = 0u32;
-            let mut cycles = 0u64;
-            while i < flat.len() && flat[i].0 == item && flat[i].1 == func {
-                let (_, _, first, last, count) = flat[i];
+        let mut spans = flat.iter().peekable();
+        while let Some(&(item, func, first_tsc, last_tsc, count)) = spans.next() {
+            let mut samples = count;
+            let mut cycles = last_tsc.wrapping_sub(first_tsc);
+            while let Some(&&(i2, f2, first_tsc, last_tsc, count)) = spans.peek() {
+                if i2 != item || f2 != func {
+                    break;
+                }
                 samples += count;
-                cycles += last - first;
-                i += 1;
+                cycles += last_tsc.wrapping_sub(first_tsc);
+                spans.next();
             }
             items
                 .entry(item)
@@ -280,10 +281,10 @@ impl EstimateTable {
         // Fold spans into per-(item, func) cycle totals; convert to time
         // once at the end so truncation does not accumulate per span.
         let mut cycle_sums: BTreeMap<(ItemId, FuncId), (u32, u64)> = BTreeMap::new();
-        for (key, (first, last, count)) in spans {
+        for (key, (first_tsc, last_tsc, count)) in spans {
             let e = cycle_sums.entry((key.item, key.func)).or_insert((0, 0));
             e.0 += count;
-            e.1 += last - first;
+            e.1 += last_tsc.wrapping_sub(first_tsc);
         }
         let funcs: BTreeMap<(ItemId, FuncId), FuncEstimate> = cycle_sums
             .into_iter()

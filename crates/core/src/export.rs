@@ -58,7 +58,7 @@ pub fn chrome_trace(
             "pid": 1,
             "tid": iv.core.0,
             "ts": us(iv.start_tsc),
-            "dur": us(iv.end_tsc) - us(iv.start_tsc),
+            "dur": us(iv.cycles()),
             "args": {"item": iv.item.0},
         }));
     }

@@ -187,9 +187,10 @@ pub fn integrate_with_threads(
     // at core boundaries either way).
     let mut intervals = Vec::with_capacity(built.iter().map(|(ivs, _)| ivs.len()).sum());
     let mut errors = Vec::new();
-    let mut bases = Vec::with_capacity(built.len());
+    // (global base, length) of each shard's interval range.
+    let mut shard_bounds: Vec<(usize, usize)> = Vec::with_capacity(built.len());
     for (ivs, errs) in &built {
-        bases.push(intervals.len() as u32);
+        shard_bounds.push((intervals.len(), ivs.len()));
         intervals.extend_from_slice(ivs);
         errors.extend_from_slice(errs);
     }
@@ -202,9 +203,9 @@ pub fn integrate_with_threads(
         shards.iter().map(|sh| sh.samples).collect(),
         threads,
         |shard_idx, samples| {
-            let base = bases[shard_idx] as usize;
-            let shard_intervals = &intervals[base..base + built[shard_idx].0.len()];
-            attribute_shard(samples, shard_intervals, bases[shard_idx], symtab, mode)
+            let (base, len) = shard_bounds.get(shard_idx).copied().unwrap_or((0, 0));
+            let shard_intervals = intervals.get(base..base + len).unwrap_or_default();
+            attribute_shard(samples, shard_intervals, base as u32, symtab, mode)
         },
     );
     let mut samples = Vec::with_capacity(bundle.samples.len());
@@ -254,11 +255,19 @@ fn shard_by_core<'a>(
             (None, Some(s)) => s.core,
             (None, None) => break,
         };
-        let m_end = mi + marks[mi..].partition_point(|m| m.core <= core);
-        let s_end = si + samples[si..].partition_point(|s| s.core <= core);
+        let m_end = mi
+            + marks
+                .get(mi..)
+                .unwrap_or_default()
+                .partition_point(|m| m.core <= core);
+        let s_end = si
+            + samples
+                .get(si..)
+                .unwrap_or_default()
+                .partition_point(|s| s.core <= core);
         shards.push(Shard {
-            marks: &marks[mi..m_end],
-            samples: &samples[si..s_end],
+            marks: marks.get(mi..m_end).unwrap_or_default(),
+            samples: samples.get(si..s_end).unwrap_or_default(),
         });
         mi = m_end;
         si = s_end;
@@ -286,13 +295,17 @@ fn attribute_shard(
     for s in samples {
         let (item, interval_idx) = match mode {
             MappingMode::Intervals => {
-                while started < intervals.len() && intervals[started].start_tsc <= s.tsc {
+                while intervals
+                    .get(started)
+                    .is_some_and(|iv| iv.start_tsc <= s.tsc)
+                {
                     started += 1;
                 }
-                match started.checked_sub(1) {
-                    Some(i) if intervals[i].contains(s.tsc) => {
-                        (Some(intervals[i].item), Some(base + i as u32))
-                    }
+                let cand = started
+                    .checked_sub(1)
+                    .and_then(|i| intervals.get(i).map(|iv| (i, iv)));
+                match cand {
+                    Some((i, iv)) if iv.contains(s.tsc) => (Some(iv.item), Some(base + i as u32)),
                     _ => (None, None),
                 }
             }
@@ -335,10 +348,17 @@ impl IntegratedTrace {
         let lo = self
             .item_index
             .partition_point(|&(run_item, _, _)| run_item < item);
-        self.item_index[lo..]
+        self.item_index
+            .get(lo..)
+            .unwrap_or_default()
             .iter()
             .take_while(move |&&(run_item, _, _)| run_item == item)
-            .flat_map(move |&(_, start, end)| self.samples[start as usize..end as usize].iter())
+            .flat_map(move |&(_, start, end)| {
+                self.samples
+                    .get(start as usize..end as usize)
+                    .unwrap_or_default()
+                    .iter()
+            })
     }
 
     /// Fraction of samples that were attributed to some item.

@@ -35,9 +35,9 @@ impl ItemInterval {
         self.start_tsc <= tsc && tsc <= self.end_tsc
     }
 
-    /// Interval length in TSC cycles.
+    /// Interval length in TSC cycles, correct across a counter wrap.
     pub fn cycles(&self) -> u64 {
-        self.end_tsc - self.start_tsc
+        self.end_tsc.wrapping_sub(self.start_tsc)
     }
 }
 
@@ -168,18 +168,16 @@ pub fn build_intervals(marks: &[MarkRecord]) -> (Vec<ItemInterval>, Vec<Interval
 /// must be sorted by `(core, start_tsc)` and non-overlapping per core
 /// (guaranteed by [`build_intervals`] on well-formed marks).
 pub fn find_interval(intervals: &[ItemInterval], core: CoreId, tsc: u64) -> Option<&ItemInterval> {
-    find_interval_idx(intervals, core, tsc).map(|i| &intervals[i])
+    find_interval_idx(intervals, core, tsc).and_then(|i| intervals.get(i))
 }
 
 /// Like [`find_interval`] but returns the index into `intervals`.
 pub fn find_interval_idx(intervals: &[ItemInterval], core: CoreId, tsc: u64) -> Option<usize> {
     // Last interval with (core, start_tsc) <= (core, tsc).
     let idx = intervals.partition_point(|iv| (iv.core, iv.start_tsc) <= (core, tsc));
-    if idx == 0 {
-        return None;
-    }
-    let cand = &intervals[idx - 1];
-    (cand.core == core && cand.contains(tsc)).then_some(idx - 1)
+    let i = idx.checked_sub(1)?;
+    let cand = intervals.get(i)?;
+    (cand.core == core && cand.contains(tsc)).then_some(i)
 }
 
 #[cfg(test)]

@@ -4,7 +4,10 @@
 //! linear-scan estimator reproduces the reference implementation
 //! exactly.
 
-use fluctrace_core::{integrate_with_threads, run_indexed, EstimateTable, MappingMode};
+use fluctrace_core::{
+    chrome_trace_string, integrate_with_threads, run_indexed, EstimateTable, ExportOptions,
+    MappingMode,
+};
 use fluctrace_cpu::{
     CoreConfig, Exec, FuncId, ItemId, Machine, MachineConfig, PebsConfig, SymbolTable,
     SymbolTableBuilder, TraceBundle,
@@ -97,6 +100,22 @@ proptest! {
             let (fast, _ns) = EstimateTable::from_integrated_timed(&it);
             let reference = EstimateTable::from_integrated_reference(&it);
             prop_assert_eq!(fast, reference, "estimators disagree ({:?})", mode);
+        }
+    }
+
+    #[test]
+    fn exported_artifact_bytes_are_thread_count_invariant(w in arb_workload()) {
+        let (bundle, symtab) = trace(&w);
+        let render = |threads: usize| {
+            let it = integrate_with_threads(
+                &bundle, &symtab, Freq::ghz(3), MappingMode::Intervals, threads);
+            let (table, _ns) = EstimateTable::from_integrated_timed(&it);
+            chrome_trace_string(&it, &table, &symtab, ExportOptions { include_samples: true })
+        };
+        let reference = render(1);
+        for threads in [4usize, 16] {
+            prop_assert_eq!(&render(threads), &reference,
+                "exported artifact bytes differ at {} threads", threads);
         }
     }
 

@@ -1,0 +1,196 @@
+//! `lint.toml` — per-rule file scoping.
+//!
+//! The linter is std-only, so this module implements the small TOML
+//! subset the config actually uses: `[section]` headers, string values,
+//! booleans, and (possibly multi-line) arrays of strings. Anything else
+//! is a hard configuration error — a CI gate must not guess.
+
+use std::fmt;
+
+/// Parsed `lint.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Files/dirs where `HashMap`/`HashSet` are banned (artifact paths).
+    pub determinism_paths: Vec<String>,
+    /// Hot-path files where `unwrap`/`expect`/indexing are banned.
+    pub panic_safety_paths: Vec<String>,
+    /// Scope of the TSC-arithmetic rule; empty = whole workspace.
+    pub tsc_arithmetic_paths: Vec<String>,
+    /// Scope of the unsafe-hygiene rule; empty = whole workspace.
+    pub unsafe_hygiene_paths: Vec<String>,
+    /// Directory holding the offline shim crates; `None` disables the
+    /// shim-drift rule.
+    pub shim_dir: Option<String>,
+    /// Path prefixes the walker skips entirely.
+    pub exclude: Vec<String>,
+}
+
+/// A malformed `lint.toml`.
+#[derive(Debug)]
+pub struct ConfigError {
+    /// 1-based line of the problem.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl Config {
+    /// Parse the configuration text.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let mut cfg = Config::default();
+        let mut section = String::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            let lineno = idx + 1;
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = name.trim().to_string();
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: format!("expected `key = value`, got `{line}`"),
+                });
+            };
+            let key = key.trim();
+            let mut value = value.trim().to_string();
+            // Multi-line array: keep consuming until the closing `]`.
+            while value.starts_with('[') && !value.ends_with(']') {
+                let Some((_, cont)) = lines.next() else {
+                    return Err(ConfigError {
+                        line: lineno,
+                        message: "unterminated array".into(),
+                    });
+                };
+                value.push(' ');
+                value.push_str(strip_comment(cont).trim());
+            }
+            cfg.apply(&section, key, &value, lineno)?;
+        }
+        Ok(cfg)
+    }
+
+    fn apply(
+        &mut self,
+        section: &str,
+        key: &str,
+        value: &str,
+        line: usize,
+    ) -> Result<(), ConfigError> {
+        let err = |message: String| ConfigError { line, message };
+        match (section, key) {
+            ("determinism", "paths") => self.determinism_paths = parse_array(value, line)?,
+            ("panic-safety", "paths") => self.panic_safety_paths = parse_array(value, line)?,
+            ("tsc-arithmetic", "paths") => self.tsc_arithmetic_paths = parse_array(value, line)?,
+            ("unsafe-hygiene", "paths") => self.unsafe_hygiene_paths = parse_array(value, line)?,
+            ("shim-drift", "dir") => self.shim_dir = Some(parse_string(value, line)?),
+            ("engine", "exclude") => self.exclude = parse_array(value, line)?,
+            _ => {
+                return Err(err(format!(
+                    "unknown configuration key `{key}` in section `[{section}]`"
+                )))
+            }
+        }
+        Ok(())
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    // Good enough for this config: none of our values contain `#`.
+    line.split('#').next().unwrap_or("")
+}
+
+fn parse_string(value: &str, line: usize) -> Result<String, ConfigError> {
+    value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| ConfigError {
+            line,
+            message: format!("expected a quoted string, got `{value}`"),
+        })
+}
+
+fn parse_array(value: &str, line: usize) -> Result<Vec<String>, ConfigError> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| ConfigError {
+            line,
+            message: format!("expected an array, got `{value}`"),
+        })?;
+    inner
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| parse_string(s, line))
+        .collect()
+}
+
+/// True when `rel` (a `/`-separated path relative to the root) falls
+/// under one of `prefixes` — an exact file match or a directory prefix.
+pub fn path_matches(rel: &str, prefixes: &[String]) -> bool {
+    prefixes
+        .iter()
+        .any(|p| rel == p || rel.starts_with(&format!("{p}/")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_config() {
+        let cfg = Config::parse(
+            r#"
+# comment
+[determinism]
+paths = ["a.rs", "dir"]
+
+[panic-safety]
+paths = [
+    "hot/one.rs",  # trailing comment
+    "hot/two.rs",
+]
+
+[shim-drift]
+dir = "shims"
+
+[engine]
+exclude = ["target"]
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.determinism_paths, vec!["a.rs", "dir"]);
+        assert_eq!(cfg.panic_safety_paths, vec!["hot/one.rs", "hot/two.rs"]);
+        assert_eq!(cfg.shim_dir.as_deref(), Some("shims"));
+        assert_eq!(cfg.exclude, vec!["target"]);
+    }
+
+    #[test]
+    fn rejects_unknown_keys() {
+        assert!(Config::parse("[determinism]\nfoo = \"x\"\n").is_err());
+        assert!(Config::parse("just garbage\n").is_err());
+    }
+
+    #[test]
+    fn path_matching_is_prefix_or_exact() {
+        let p = vec!["crates/bench/src/bin".to_string(), "a.rs".to_string()];
+        assert!(path_matches("crates/bench/src/bin/fig8.rs", &p));
+        assert!(path_matches("a.rs", &p));
+        assert!(!path_matches("a.rs.bak", &p));
+        assert!(!path_matches("crates/bench/src/binary.rs", &p));
+    }
+}

@@ -1,0 +1,92 @@
+//! Diagnostics: the violation record, human-readable rendering, and the
+//! machine-readable `--fix-report` JSON (hand-rolled — this crate is
+//! std-only by design).
+
+use std::fmt;
+
+/// One rule violation at one source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule identifier, e.g. `panic-safety`.
+    pub rule: &'static str,
+    /// Path relative to the lint root, `/`-separated.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What is wrong and how to fix it.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Render violations as a JSON array for tooling (`--fix-report`).
+pub fn to_json(violations: &[Violation]) -> String {
+    let mut out = String::from("[\n");
+    for (i, v) in violations.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            escape(v.rule),
+            escape(&v.path),
+            v.line,
+            escape(&v.message)
+        ));
+        if i + 1 < violations.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_escaped_and_well_formed() {
+        let v = vec![
+            Violation {
+                rule: "determinism",
+                path: "a/b.rs".into(),
+                line: 3,
+                message: "uses \"HashMap\"".into(),
+            },
+            Violation {
+                rule: "panic-safety",
+                path: "c.rs".into(),
+                line: 9,
+                message: "back\\slash".into(),
+            },
+        ];
+        let json = to_json(&v);
+        assert!(json.starts_with('['));
+        assert!(json.contains("\\\"HashMap\\\""));
+        assert!(json.contains("back\\\\slash"));
+        assert!(json.trim_end().ends_with(']'));
+        assert_eq!(to_json(&[]), "[\n]");
+    }
+}

@@ -1,0 +1,322 @@
+//! A lightweight line-oriented Rust lexer.
+//!
+//! The rules in this crate do not need a full parse tree; they need to
+//! know, for every source line, *which characters are code and which
+//! are comments*, with string/char-literal contents blanked so that a
+//! `"HashMap"` inside a string never trips the determinism rule and a
+//! `// lint:allow` inside a string never silences one.
+//!
+//! The state machine handles the lexical features that matter for that
+//! split: line comments, nested block comments, string literals with
+//! escapes, raw strings (`r"…"`, `r#"…"#`, any hash depth), byte and
+//! byte-raw strings, char literals, and the char-vs-lifetime ambiguity
+//! (`'a'` vs `'a`).
+
+/// One source line, split into its code part (string/char contents
+/// blanked, comments replaced by a single space) and its comment text.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Code with literal contents blanked; delimiters (`"`) are kept so
+    /// token adjacency survives.
+    pub code: String,
+    /// Concatenated comment text of the line (without `//` / `/*`).
+    pub comment: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    CharLit,
+}
+
+/// Split `src` into classified lines.
+pub fn split_lines(src: &str) -> Vec<Line> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut lines = Vec::new();
+    let mut line = Line::default();
+    let mut state = State::Code;
+    let mut i = 0usize;
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            lines.push(std::mem::take(&mut line));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    line.code.push(' ');
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    line.code.push(' ');
+                    i += 2;
+                } else if c == '"' {
+                    line.code.push('"');
+                    state = State::Str;
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && !prev_is_ident(&line.code) {
+                    match scan_literal_prefix(&chars, i) {
+                        Some(Prefix::Raw { hashes, after }) => {
+                            line.code.push('"');
+                            state = State::RawStr(hashes);
+                            i = after;
+                        }
+                        Some(Prefix::Cooked { after }) => {
+                            line.code.push('"');
+                            state = State::Str;
+                            i = after;
+                        }
+                        Some(Prefix::Byte { after }) => {
+                            line.code.push('\'');
+                            state = State::CharLit;
+                            i = after;
+                        }
+                        None => {
+                            line.code.push(c);
+                            i += 1;
+                        }
+                    }
+                } else if c == '\'' {
+                    // Char literal iff it closes within two chars
+                    // (`'x'`) or starts with an escape; otherwise it is
+                    // a lifetime and stays plain code.
+                    let is_char = next == Some('\\') || chars.get(i + 2).copied() == Some('\'');
+                    line.code.push('\'');
+                    if is_char {
+                        state = State::CharLit;
+                    }
+                    i += 1;
+                } else {
+                    line.code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                line.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    line.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    // Skip the escaped char (possibly a quote) — unless
+                    // it is a line-continuation newline, which the top
+                    // of the loop must see to keep line counts right.
+                    i += if chars.get(i + 1) == Some(&'\n') {
+                        1
+                    } else {
+                        2
+                    };
+                } else if c == '"' {
+                    line.code.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    line.code.push('"');
+                    state = State::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    i += 1;
+                }
+            }
+            State::CharLit => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '\'' {
+                    line.code.push('\'');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !line.code.is_empty() || !line.comment.is_empty() {
+        lines.push(line);
+    }
+    lines
+}
+
+enum Prefix {
+    /// `r"`, `r#"`, `br##"`, … — raw string with `hashes` hashes.
+    Raw { hashes: u32, after: usize },
+    /// `b"` — byte string with normal escapes.
+    Cooked { after: usize },
+    /// `b'` — byte char literal.
+    Byte { after: usize },
+}
+
+/// At `chars[i] ∈ {r, b}`: does a string/char literal prefix start here?
+fn scan_literal_prefix(chars: &[char], i: usize) -> Option<Prefix> {
+    let mut j = i;
+    let mut raw = false;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+        if chars.get(j) == Some(&'\'') {
+            return Some(Prefix::Byte { after: j + 1 });
+        }
+        if chars.get(j) == Some(&'"') {
+            return Some(Prefix::Cooked { after: j + 1 });
+        }
+    }
+    if chars.get(j) == Some(&'r') {
+        j += 1;
+        raw = true;
+    }
+    if !raw {
+        return None;
+    }
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some(Prefix::Raw {
+            hashes,
+            after: j + 1,
+        })
+    } else {
+        None
+    }
+}
+
+/// At `chars[i] == '"'` inside a raw string: is it followed by enough
+/// hashes to close the literal?
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+fn prev_is_ident(code: &str) -> bool {
+    code.chars()
+        .next_back()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// True if `needle` occurs in `code` as a standalone identifier (not a
+/// substring of a longer identifier).
+pub fn has_word(code: &str, needle: &str) -> bool {
+    find_word(code, needle).is_some()
+}
+
+/// Byte offset of the first standalone occurrence of `needle` in `code`.
+pub fn find_word(code: &str, needle: &str) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(needle) {
+        let start = from + pos;
+        let end = start + needle.len();
+        let before_ok = start == 0 || !is_ident_byte(bytes[start - 1]);
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            return Some(start);
+        }
+        from = start + 1;
+    }
+    None
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_split_out() {
+        let lines = split_lines("let x = 1; // trailing\n// full line\nlet y = 2;\n");
+        assert_eq!(lines[0].code.trim_end(), "let x = 1;");
+        assert_eq!(lines[0].comment, " trailing");
+        assert_eq!(lines[1].code.trim(), "");
+        assert_eq!(lines[1].comment, " full line");
+        assert_eq!(lines[2].code, "let y = 2;");
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let lines = split_lines("let s = \"HashMap // not a comment\";\n");
+        assert!(!lines[0].code.contains("HashMap"));
+        assert!(lines[0].comment.is_empty());
+        assert!(lines[0].code.contains("\"\""), "delimiters kept");
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let src = "let s = r#\"quote \" and // slash\"#; let t = 1;\n";
+        let lines = split_lines(src);
+        assert!(lines[0].code.contains("let t = 1;"));
+        assert!(lines[0].comment.is_empty());
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still comment */ b\n";
+        let lines = split_lines(src);
+        assert_eq!(
+            lines[0].code.split_whitespace().collect::<Vec<_>>(),
+            ["a", "b"]
+        );
+        assert!(lines[0].comment.contains("inner"));
+    }
+
+    #[test]
+    fn multiline_block_comment_and_string() {
+        let src = "x /* one\ntwo */ y\nlet s = \"a\nb\"; z\n";
+        let lines = split_lines(src);
+        assert_eq!(lines[0].code.trim(), "x");
+        assert_eq!(lines[1].code.trim(), "y");
+        assert!(lines[2].code.contains("let s = \""));
+        assert!(lines[3].code.contains("; z"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lines = split_lines("fn f<'a>(x: &'a str) -> &'a str { x }\n");
+        assert!(lines[0].code.contains("-> &'a str"));
+        let lines = split_lines("let c = 'x'; let d = '\\n'; let e = b'q'; code\n");
+        assert!(lines[0].code.contains("code"));
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(has_word("use std::collections::HashMap;", "HashMap"));
+        assert!(!has_word("MyHashMapLike", "HashMap"));
+        assert!(!has_word("HashMapper", "HashMap"));
+        assert_eq!(find_word("a tsc b", "tsc"), Some(2));
+    }
+}

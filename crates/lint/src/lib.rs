@@ -1,0 +1,34 @@
+//! `fluctrace-lint` — workspace-native static analysis.
+//!
+//! The paper's tracer makes claims the compiler cannot enforce: figure
+//! artifacts are byte-identical across `FLUCTRACE_THREADS` settings,
+//! hot paths never panic mid-item, TSC deltas survive counter wrap, and
+//! the offline shims stay exactly as large as the workspace needs. This
+//! crate checks those invariants at CI time with a lightweight lexer —
+//! no rustc plugin, no external dependencies, std only.
+//!
+//! Rules (see `LINTS.md` at the repo root for the full rationale):
+//!
+//! * `determinism` — no `HashMap`/`HashSet` in artifact-writing paths;
+//! * `panic-safety` — no `unwrap`/`expect`/explicit-panic/indexing in
+//!   hot-path modules;
+//! * `tsc-arithmetic` — raw `-` never touches a TSC operand;
+//! * `unsafe-hygiene` — every `unsafe` carries a `// SAFETY:` comment;
+//! * `shim-drift` — shim crates expose no `pub fn` nobody calls.
+//!
+//! Escape hatch: `// lint:allow(<rule>): <reason>` — the engine rejects
+//! allows without a reason, with an unknown rule name, or that no
+//! longer suppress anything.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use config::Config;
+pub use diag::{to_json, Violation};
+pub use engine::run;

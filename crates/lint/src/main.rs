@@ -1,0 +1,117 @@
+//! CLI for `fluctrace-lint`.
+//!
+//! ```text
+//! fluctrace-lint [--root DIR] [--config FILE] [--deny] [--fix-report FILE|-]
+//! ```
+//!
+//! Without `--deny` the tool reports violations and exits 0 (advisory
+//! mode); with `--deny` any violation makes it exit 1 — that is the CI
+//! gate. `--fix-report` writes the violations as JSON for tooling
+//! (`-` for stdout).
+
+use fluctrace_lint::{engine, to_json, Config};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    deny: bool,
+    fix_report: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        config: None,
+        deny: false,
+        fix_report: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deny" => args.deny = true,
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
+            }
+            "--config" => {
+                args.config = Some(PathBuf::from(it.next().ok_or("--config needs a file")?));
+            }
+            "--fix-report" => {
+                args.fix_report = Some(it.next().ok_or("--fix-report needs a file or `-`")?);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "fluctrace-lint [--root DIR] [--config FILE] [--deny] [--fix-report FILE|-]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("fluctrace-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let config_path = args
+        .config
+        .clone()
+        .unwrap_or_else(|| args.root.join("lint.toml"));
+    let config_text = match std::fs::read_to_string(&config_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("fluctrace-lint: cannot read {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let config = match Config::parse(&config_text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("fluctrace-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let violations = match engine::run(&args.root, &config) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("fluctrace-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(target) = &args.fix_report {
+        let json = to_json(&violations);
+        if target == "-" {
+            println!("{json}");
+        } else if let Err(e) = std::fs::write(target, json) {
+            eprintln!("fluctrace-lint: cannot write {target}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    for v in &violations {
+        eprintln!("{v}");
+    }
+    if violations.is_empty() {
+        eprintln!("fluctrace-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "fluctrace-lint: {} violation(s){}",
+            violations.len(),
+            if args.deny { " (--deny)" } else { "" }
+        );
+        if args.deny {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}

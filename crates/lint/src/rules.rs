@@ -1,0 +1,516 @@
+//! The five project rules.
+//!
+//! | rule             | invariant                                                        |
+//! |------------------|------------------------------------------------------------------|
+//! | `determinism`    | no `HashMap`/`HashSet` in artifact/figure-writing modules        |
+//! | `panic-safety`   | no `unwrap`/`expect`/explicit-panic/indexing in hot-path modules |
+//! | `tsc-arithmetic` | raw `-` never touches a TSC-typed operand (use `wrapping_sub`)   |
+//! | `unsafe-hygiene` | every `unsafe` is preceded by a `// SAFETY:` comment             |
+//! | `shim-drift`     | shim crates expose no `pub fn` the workspace never calls         |
+//!
+//! All rules work on the lexer's code/comment split, so literals and
+//! comments can never produce false positives, and all of them honour
+//! the `// lint:allow(<rule>): <reason>` escape hatch (enforced by the
+//! engine, which also rejects reason-less allows).
+
+use crate::diag::Violation;
+use crate::lexer::{find_word, has_word, Line};
+
+/// Rule identifiers, in reporting order.
+pub const RULE_NAMES: [&str; 5] = [
+    "determinism",
+    "panic-safety",
+    "tsc-arithmetic",
+    "unsafe-hygiene",
+    "shim-drift",
+];
+
+/// A lexed source file plus the file-level facts rules share.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the lint root, `/`-separated.
+    pub rel: String,
+    /// Classified lines.
+    pub lines: Vec<Line>,
+    /// Per line: inside a `#[cfg(test)]` item.
+    pub in_test: Vec<bool>,
+    /// Whole file is test/bench/example code (by directory).
+    pub is_test_code: bool,
+}
+
+impl SourceFile {
+    fn prod_lines(&self) -> impl Iterator<Item = (usize, &Line)> {
+        self.lines
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !self.is_test_code && !self.in_test.get(i).copied().unwrap_or(false))
+    }
+}
+
+/// L1 — `determinism`: artifact-writing modules must not use hashed
+/// collections; their iteration order varies run to run (and by seed),
+/// which breaks byte-identical figures.
+pub fn determinism(file: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, line) in file.prod_lines() {
+        for ty in ["HashMap", "HashSet"] {
+            if has_word(&line.code, ty) {
+                out.push(Violation {
+                    rule: "determinism",
+                    path: file.rel.clone(),
+                    line: i + 1,
+                    message: format!(
+                        "`{ty}` in an artifact-writing path: iteration order is \
+                         nondeterministic; use `BTreeMap`/`BTreeSet` or sort explicitly"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// L2 — `panic-safety`: hot-path modules process items in a loop; a
+/// panic mid-item poisons the whole pipeline. Ban the constructs that
+/// panic on bad input: `unwrap`, `expect`, explicit panic macros, and
+/// `[]` indexing/slicing.
+pub fn panic_safety(file: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, line) in file.prod_lines() {
+        let code = &line.code;
+        let mut push = |what: &str, fix: &str| {
+            out.push(Violation {
+                rule: "panic-safety",
+                path: file.rel.clone(),
+                line: i + 1,
+                message: format!("{what} in a hot-path module; {fix}"),
+            });
+        };
+        if method_call(code, "unwrap") {
+            push("`.unwrap()`", "return a `Result`, or match on the `Option`");
+        }
+        if method_call(code, "expect") {
+            push(
+                "`.expect(..)`",
+                "return a `Result`, or match on the `Option`",
+            );
+        }
+        for mac in ["panic", "unreachable", "todo", "unimplemented"] {
+            if macro_call(code, mac) {
+                push(
+                    &format!("`{mac}!`"),
+                    "restructure so the impossible case is unrepresentable",
+                );
+            }
+        }
+        if has_index_expr(code) {
+            push(
+                "`[..]` indexing (panics when out of bounds)",
+                "use `.get()`/slice patterns, or prove the bound and `lint:allow` it",
+            );
+        }
+    }
+    out
+}
+
+/// L3 — `tsc-arithmetic`: timestamp counters are free-running `u64`s
+/// that can wrap (and per-core offsets can make deltas "negative");
+/// raw `-` on a TSC operand is either a panic (debug) or a silent
+/// corruption (release). Require `wrapping_sub`/`checked_sub`.
+pub fn tsc_arithmetic(file: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, line) in file.prod_lines() {
+        if let Some(operand) = raw_tsc_subtraction(&line.code) {
+            out.push(Violation {
+                rule: "tsc-arithmetic",
+                path: file.rel.clone(),
+                line: i + 1,
+                message: format!(
+                    "raw `-` on TSC operand `{operand}`; \
+                     use `wrapping_sub` (or `checked_sub`) for timestamp deltas"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// L4 — `unsafe-hygiene`: every `unsafe` keyword must be covered by a
+/// `// SAFETY:` comment on the same line or the contiguous lines above
+/// (attributes and chained `unsafe impl`s may sit in between).
+pub fn unsafe_hygiene(file: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, line) in file.lines.iter().enumerate() {
+        if !has_word(&line.code, "unsafe") {
+            continue;
+        }
+        if !safety_comment_covers(&file.lines, i) {
+            out.push(Violation {
+                rule: "unsafe-hygiene",
+                path: file.rel.clone(),
+                line: i + 1,
+                message: "`unsafe` without a preceding `// SAFETY:` comment \
+                          stating why the invariants hold"
+                    .into(),
+            });
+        }
+    }
+    out
+}
+
+/// L5 — `shim-drift`: the offline shims exist to mirror exactly the API
+/// subset the workspace uses. A `pub fn` in a shim that nothing outside
+/// the shim's own crate calls is drift — untested surface that will rot.
+pub fn shim_drift(files: &[SourceFile], shim_dir: &str) -> Vec<Violation> {
+    // (file index, line index, crate, fn name) for every shim `pub fn`.
+    let mut defs: Vec<(usize, usize, String, String)> = Vec::new();
+    for (fi, file) in files.iter().enumerate() {
+        let Some(rest) = file.rel.strip_prefix(&format!("{shim_dir}/")) else {
+            continue;
+        };
+        let krate = rest.split('/').next().unwrap_or(rest).to_string();
+        for (li, line) in file.prod_lines() {
+            if let Some(name) = pub_fn_name(&line.code) {
+                defs.push((fi, li, krate.clone(), name));
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for (fi, li, krate, name) in defs {
+        let in_crate_prefix = format!("{shim_dir}/{krate}/");
+        let used = files.iter().enumerate().any(|(oi, other)| {
+            oi != fi
+                && !other.rel.starts_with(&in_crate_prefix)
+                && other.lines.iter().any(|l| has_word(&l.code, &name))
+        });
+        if !used {
+            out.push(Violation {
+                rule: "shim-drift",
+                path: files[fi].rel.clone(),
+                line: li + 1,
+                message: format!(
+                    "shim `{krate}` exposes `pub fn {name}` but nothing in the \
+                     workspace calls it; remove it or shrink it to `pub(crate)`"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// `.name(` with optional whitespace around the method name.
+fn method_call(code: &str, name: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(&format!(".{name}")) {
+        let start = from + pos;
+        let after = start + 1 + name.len();
+        let next_ident = code.as_bytes().get(after).copied().unwrap_or(b' ');
+        if !(next_ident.is_ascii_alphanumeric() || next_ident == b'_') {
+            let rest = code[after..].trim_start();
+            if rest.starts_with('(') {
+                return true;
+            }
+        }
+        from = start + 1;
+    }
+    false
+}
+
+/// `name!(`, `name![` or `name!{`.
+fn macro_call(code: &str, name: &str) -> bool {
+    find_word(code, name).is_some_and(|pos| code[pos + name.len()..].starts_with('!'))
+}
+
+/// An index/slice expression: `[` immediately following an identifier,
+/// `)`, `]` or `?` (attributes `#[..]`, macros `vec![..]`, array types
+/// and literals all start after other characters).
+fn has_index_expr(code: &str) -> bool {
+    if code.trim_start().starts_with('#') {
+        return false; // attribute line
+    }
+    let bytes = code.as_bytes();
+    for (pos, &b) in bytes.iter().enumerate() {
+        if b != b'[' || pos == 0 {
+            continue;
+        }
+        let prev = bytes[..pos]
+            .iter()
+            .rev()
+            .copied()
+            .find(|&c| c != b' ')
+            .unwrap_or(b' ');
+        if !(prev.is_ascii_alphanumeric() || prev == b'_' || prev == b')' || prev == b']') {
+            continue;
+        }
+        // `&mut [u8]`, `dyn [..]` etc.: a keyword before `[` starts a
+        // slice type or expression, not an index.
+        if is_keyword(&ident_chain_ending_at(code, pos)) {
+            continue;
+        }
+        // `&'a [T]`: a lifetime before `[` is a slice type too.
+        let mut j = pos;
+        while j > 0 && bytes[j - 1] == b' ' {
+            j -= 1;
+        }
+        while j > 0 && (bytes[j - 1].is_ascii_alphanumeric() || bytes[j - 1] == b'_') {
+            j -= 1;
+        }
+        if j > 0 && bytes[j - 1] == b'\'' {
+            continue;
+        }
+        return true;
+    }
+    false
+}
+
+fn is_keyword(chain: &str) -> bool {
+    matches!(
+        chain,
+        "mut"
+            | "ref"
+            | "dyn"
+            | "impl"
+            | "return"
+            | "break"
+            | "in"
+            | "as"
+            | "move"
+            | "else"
+            | "match"
+            | "const"
+            | "static"
+            | "if"
+            | "where"
+    )
+}
+
+/// If the line contains a binary `-`/`-=` whose adjacent operand chain
+/// mentions a TSC field, return that chain.
+fn raw_tsc_subtraction(code: &str) -> Option<String> {
+    let bytes = code.as_bytes();
+    for (pos, &b) in bytes.iter().enumerate() {
+        if b != b'-' {
+            continue;
+        }
+        // `->` return arrows are not subtraction.
+        if bytes.get(pos + 1) == Some(&b'>') {
+            continue;
+        }
+        // Binary only: the previous non-space char must end an operand.
+        let prev = bytes[..pos]
+            .iter()
+            .rev()
+            .copied()
+            .find(|&c| c != b' ')
+            .unwrap_or(b' ');
+        if !(prev.is_ascii_alphanumeric() || prev == b'_' || prev == b')' || prev == b']') {
+            continue;
+        }
+        let left = ident_chain_ending_at(code, pos);
+        if is_keyword(&left) {
+            continue; // `return -x`, `match -x` …: unary minus
+        }
+        let mut right_start = pos + 1;
+        if bytes.get(right_start) == Some(&b'=') {
+            right_start += 1; // `-=`
+        }
+        let right = ident_chain_starting_at(code, right_start);
+        for chain in [left, right] {
+            if chain_mentions_tsc(&chain) {
+                return Some(chain);
+            }
+        }
+    }
+    None
+}
+
+/// The `a.b.c`-style chain whose last char is the last non-space char
+/// before byte `end` (empty when the operand is not a plain chain).
+fn ident_chain_ending_at(code: &str, end: usize) -> String {
+    let bytes = code.as_bytes();
+    let mut j = end;
+    while j > 0 && bytes[j - 1] == b' ' {
+        j -= 1;
+    }
+    let stop = j;
+    while j > 0 {
+        let c = bytes[j - 1];
+        if c.is_ascii_alphanumeric() || c == b'_' || c == b'.' {
+            j -= 1;
+        } else {
+            break;
+        }
+    }
+    code[j..stop].to_string()
+}
+
+/// The `a.b.c`-style chain starting at the first non-space char at or
+/// after byte `start`.
+fn ident_chain_starting_at(code: &str, start: usize) -> String {
+    let bytes = code.as_bytes();
+    let mut j = start;
+    while j < bytes.len() && bytes[j] == b' ' {
+        j += 1;
+    }
+    let begin = j;
+    while j < bytes.len() {
+        let c = bytes[j];
+        if c.is_ascii_alphanumeric() || c == b'_' || c == b'.' {
+            j += 1;
+        } else {
+            break;
+        }
+    }
+    code[begin..j].to_string()
+}
+
+fn chain_mentions_tsc(chain: &str) -> bool {
+    chain.split('.').any(|seg| {
+        seg == "tsc" || seg.ends_with("_tsc") || (seg.starts_with("tsc_") && seg.len() > 4)
+    })
+}
+
+/// Walk upward from the `unsafe` at `idx` looking for its SAFETY
+/// comment; attributes, chained `unsafe` lines, and the trailing lines
+/// of a multi-line comment are transparent.
+fn safety_comment_covers(lines: &[Line], idx: usize) -> bool {
+    if lines[idx].comment.contains("SAFETY:") {
+        return true;
+    }
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let line = &lines[j];
+        if line.comment.contains("SAFETY:") {
+            return true;
+        }
+        let code = line.code.trim();
+        let comment_only = code.is_empty() && !line.comment.is_empty();
+        let attribute = code.starts_with("#[") || code.starts_with("#![");
+        let chained_unsafe = has_word(code, "unsafe");
+        if comment_only || attribute || chained_unsafe {
+            continue;
+        }
+        break;
+    }
+    false
+}
+
+/// The identifier of a `pub fn` declaration on this line, if any
+/// (`pub(crate)`/`pub(super)` are not public surface).
+fn pub_fn_name(code: &str) -> Option<String> {
+    let pos = find_word(code, "pub")?;
+    let mut rest = code[pos + 3..].trim_start();
+    if rest.starts_with('(') {
+        return None; // pub(crate) / pub(super)
+    }
+    loop {
+        if let Some(r) = trim_any_prefix(rest, &["const ", "unsafe ", "async "]) {
+            rest = r.trim_start();
+            continue;
+        }
+        break;
+    }
+    let body = rest.strip_prefix("fn ")?;
+    let name: String = body
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty()).then_some(name)
+}
+
+fn trim_any_prefix<'a>(s: &'a str, prefixes: &[&str]) -> Option<&'a str> {
+    prefixes.iter().find_map(|p| s.strip_prefix(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        let lines = crate::lexer::split_lines(src);
+        let in_test = crate::engine::test_mask(&lines);
+        SourceFile {
+            rel: "x.rs".into(),
+            lines,
+            in_test,
+            is_test_code: false,
+        }
+    }
+
+    #[test]
+    fn determinism_flags_hashed_collections_outside_strings() {
+        let f = file("use std::collections::HashMap;\nlet s = \"HashMap\";\n");
+        let v = determinism(&f);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn panic_safety_patterns() {
+        let f = file("x.unwrap();\ny.expect(\"m\");\npanic!(\"no\");\nlet a = v[i];\nvec![1];\n#[derive(Debug)]\nlet b: [u8; 4] = [0; 4];\nmatch s { [a, b] => a, _ => 0 };\n");
+        let v = panic_safety(&f);
+        let lines: Vec<usize> = v.iter().map(|v| v.line).collect();
+        assert_eq!(lines, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn slice_types_with_lifetimes_are_not_indexing() {
+        let f = file("struct S<'a> { marks: &'a [MarkRecord], n: u32 }\nfn f<'a>(xs: &'a [u8]) -> &'a [u8] { xs }\n");
+        assert!(panic_safety(&f).is_empty());
+    }
+
+    #[test]
+    fn tsc_subtraction_found() {
+        let f = file("let d = self.end_tsc - self.start_tsc;\nlet ok = end_tsc.wrapping_sub(start_tsc);\nlet t = a - b;\nlet u = s.tsc - base;\nacc -= cur.tsc;\n");
+        let v = tsc_arithmetic(&f);
+        let lines: Vec<usize> = v.iter().map(|v| v.line).collect();
+        assert_eq!(lines, vec![1, 4, 5]);
+    }
+
+    #[test]
+    fn arrow_and_unary_minus_are_not_subtraction() {
+        let f = file("fn f(tsc: u64) -> u64 { tsc }\nlet x = -1;\nlet y = (a, -tsc_val);\n");
+        assert!(tsc_arithmetic(&f).is_empty());
+    }
+
+    #[test]
+    fn unsafe_needs_safety_comment() {
+        let covered = file("// SAFETY: single owner.\nunsafe { do_it() };\n");
+        assert!(unsafe_hygiene(&covered).is_empty());
+        let chained = file("// SAFETY: one producer, one consumer.\nunsafe impl<T> Send for R<T> {}\nunsafe impl<T> Sync for R<T> {}\n");
+        assert!(unsafe_hygiene(&chained).is_empty());
+        let bare = file("let x = 1;\nunsafe { do_it() };\n");
+        assert_eq!(unsafe_hygiene(&bare).len(), 1);
+    }
+
+    #[test]
+    fn pub_fn_names_extracted() {
+        assert_eq!(pub_fn_name("    pub fn foo(&self) {"), Some("foo".into()));
+        assert_eq!(
+            pub_fn_name("pub const fn bar() -> u8 {"),
+            Some("bar".into())
+        );
+        assert_eq!(pub_fn_name("pub(crate) fn hidden() {"), None);
+        assert_eq!(pub_fn_name("fn private() {"), None);
+    }
+
+    #[test]
+    fn shim_drift_cross_file() {
+        let shim = SourceFile {
+            rel: "shims/foo/src/lib.rs".into(),
+            lines: crate::lexer::split_lines("pub fn used() {}\npub fn dead() {}\n"),
+            in_test: vec![false; 2],
+            is_test_code: false,
+        };
+        let user = SourceFile {
+            rel: "crates/app/src/lib.rs".into(),
+            lines: crate::lexer::split_lines("fn main() { used(); }\n"),
+            in_test: vec![false; 1],
+            is_test_code: false,
+        };
+        let v = shim_drift(&[shim, user], "shims");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("dead"));
+    }
+}

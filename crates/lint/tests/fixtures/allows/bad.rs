@@ -1,0 +1,12 @@
+// Fixture: every way the allow escape hatch can be misused.
+pub fn reasonless(xs: &[u64]) -> u64 {
+    xs[0] // lint:allow(panic-safety)
+}
+
+pub fn unknown_rule(xs: &[u64]) -> u64 {
+    xs[0] // lint:allow(bogus-rule): no such rule exists
+}
+
+pub fn stale(xs: &[u64]) -> u64 {
+    xs.iter().sum() // lint:allow(panic-safety): suppresses nothing
+}

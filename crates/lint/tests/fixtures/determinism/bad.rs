@@ -1,0 +1,18 @@
+// Fixture: hashed collections in an artifact-writing path.
+use std::collections::{HashMap, HashSet};
+
+pub fn histogram(xs: &[u64]) -> HashMap<u64, u64> {
+    let mut m = HashMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}
+
+pub fn distinct(xs: &[u64]) -> HashSet<u64> {
+    xs.iter().copied().collect()
+}
+
+pub fn named_in_string() -> &'static str {
+    "HashMap is fine inside a string literal"
+}

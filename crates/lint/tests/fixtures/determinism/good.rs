@@ -1,0 +1,14 @@
+// Fixture: ordered collections keep artifact bytes deterministic.
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn histogram(xs: &[u64]) -> BTreeMap<u64, u64> {
+    let mut m = BTreeMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}
+
+pub fn distinct(xs: &[u64]) -> BTreeSet<u64> {
+    xs.iter().copied().collect()
+}

@@ -1,0 +1,9 @@
+// Fixture: every way a hot path can panic mid-item.
+pub fn pick(xs: &[u64], i: usize) -> u64 {
+    let first = xs.first().unwrap();
+    let second = xs.get(1).expect("second element");
+    if i > xs.len() {
+        panic!("index out of range");
+    }
+    first + second + xs[i]
+}

@@ -1,0 +1,21 @@
+// Fixture: panic-free equivalents, the allow escape hatch, and the
+// test-code exemption.
+pub fn pick(xs: &[u64], i: usize) -> u64 {
+    let first = xs.first().copied().unwrap_or(0);
+    let second = xs.get(1).copied().unwrap_or(0);
+    first + second + xs.get(i).copied().unwrap_or(0)
+}
+
+pub fn head(xs: &[u64]) -> u64 {
+    xs[0] // lint:allow(panic-safety): callers guarantee non-empty input
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_test_code_is_exempt() {
+        let v = vec![1u64];
+        assert_eq!(*v.first().unwrap(), 1);
+        assert_eq!(v[0], 1);
+    }
+}

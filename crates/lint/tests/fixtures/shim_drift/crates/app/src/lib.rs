@@ -1,0 +1,4 @@
+// Fixture consumer: calls `used` but never `dead` or `expanded`.
+pub fn run() -> u32 {
+    used()
+}

@@ -1,0 +1,13 @@
+// Fixture shim: one used export, one dead export, one allowed export.
+pub fn used() -> u32 {
+    1
+}
+
+pub fn dead() -> u32 {
+    2
+}
+
+// lint:allow(shim-drift): called from macro expansions at use sites
+pub fn expanded() -> u32 {
+    3
+}

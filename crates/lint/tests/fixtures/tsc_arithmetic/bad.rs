@@ -1,0 +1,17 @@
+// Fixture: raw subtraction on timestamp-counter operands.
+pub struct Span {
+    pub start_tsc: u64,
+    pub end_tsc: u64,
+}
+
+pub fn cycles(s: &Span) -> u64 {
+    s.end_tsc - s.start_tsc
+}
+
+pub fn drift(now_tsc: u64, base: u64) -> u64 {
+    now_tsc - base
+}
+
+pub fn accumulate(acc: &mut u64, cur_tsc: u64) {
+    *acc -= cur_tsc;
+}

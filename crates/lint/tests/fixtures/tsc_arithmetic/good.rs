@@ -1,0 +1,18 @@
+// Fixture: wrap-safe timestamp arithmetic (and non-TSC subtraction,
+// which the rule must leave alone).
+pub struct Span {
+    pub start_tsc: u64,
+    pub end_tsc: u64,
+}
+
+pub fn cycles(s: &Span) -> u64 {
+    s.end_tsc.wrapping_sub(s.start_tsc)
+}
+
+pub fn drift(now_tsc: u64, base: u64) -> Option<u64> {
+    now_tsc.checked_sub(base)
+}
+
+pub fn plain_math(a: u64, b: u64) -> u64 {
+    a - b
+}

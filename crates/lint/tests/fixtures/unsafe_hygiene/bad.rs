@@ -1,0 +1,8 @@
+// Fixture: uncommented unsafe.
+pub fn read_first(xs: &[u64]) -> u64 {
+    unsafe { *xs.as_ptr() }
+}
+
+pub struct Wrapper(*mut u64);
+
+unsafe impl Send for Wrapper {}

@@ -1,0 +1,13 @@
+// Fixture: every unsafe site carries a SAFETY comment, including a
+// chained pair of unsafe impls sharing one.
+pub fn read_first(xs: &[u64]) -> u64 {
+    assert!(!xs.is_empty());
+    // SAFETY: the assert above guarantees at least one element.
+    unsafe { *xs.as_ptr() }
+}
+
+pub struct Wrapper(*mut u64);
+
+// SAFETY: the pointer is owned exclusively by the wrapper.
+unsafe impl Send for Wrapper {}
+unsafe impl Sync for Wrapper {}

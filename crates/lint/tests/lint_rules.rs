@@ -1,0 +1,125 @@
+//! Fixture-driven end-to-end tests: each rule runs over a known-bad and
+//! a known-good file through the full engine (walk → lex → rules →
+//! allows), asserting exactly which lines are flagged.
+
+use fluctrace_lint::{run, Config, Violation};
+use std::path::PathBuf;
+
+fn fixture_root(sub: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(sub)
+}
+
+fn lint_fixture(sub: &str, config_toml: &str) -> Vec<Violation> {
+    let config = Config::parse(config_toml).expect("fixture config parses");
+    run(&fixture_root(sub), &config).expect("fixture lints")
+}
+
+/// `(path, line, rule)` triples for compact assertions.
+fn keys(violations: &[Violation]) -> Vec<(String, usize, &'static str)> {
+    violations
+        .iter()
+        .map(|v| (v.path.clone(), v.line, v.rule))
+        .collect()
+}
+
+#[test]
+fn determinism_fixture() {
+    let v = lint_fixture(
+        "determinism",
+        "[determinism]\npaths = [\"bad.rs\", \"good.rs\"]\n",
+    );
+    let keys = keys(&v);
+    assert_eq!(
+        keys,
+        vec![
+            // The use-line imports both hashed types → two findings.
+            ("bad.rs".to_string(), 2, "determinism"),
+            ("bad.rs".to_string(), 2, "determinism"),
+            ("bad.rs".to_string(), 4, "determinism"),
+            ("bad.rs".to_string(), 5, "determinism"),
+            ("bad.rs".to_string(), 12, "determinism"),
+        ],
+        "HashMap/HashSet flagged in bad.rs only, never inside strings: {v:?}"
+    );
+}
+
+#[test]
+fn panic_safety_fixture() {
+    let v = lint_fixture(
+        "panic_safety",
+        "[panic-safety]\npaths = [\"bad.rs\", \"good.rs\"]\n",
+    );
+    let keys = keys(&v);
+    assert_eq!(
+        keys,
+        vec![
+            ("bad.rs".to_string(), 3, "panic-safety"),
+            ("bad.rs".to_string(), 4, "panic-safety"),
+            ("bad.rs".to_string(), 6, "panic-safety"),
+            ("bad.rs".to_string(), 8, "panic-safety"),
+        ],
+        "unwrap/expect/panic!/indexing flagged; allow + test code exempt: {v:?}"
+    );
+}
+
+#[test]
+fn tsc_arithmetic_fixture() {
+    let v = lint_fixture("tsc_arithmetic", "[tsc-arithmetic]\n");
+    let keys = keys(&v);
+    assert_eq!(
+        keys,
+        vec![
+            ("bad.rs".to_string(), 8, "tsc-arithmetic"),
+            ("bad.rs".to_string(), 12, "tsc-arithmetic"),
+            ("bad.rs".to_string(), 16, "tsc-arithmetic"),
+        ],
+        "raw `-`/`-=` on TSC operands flagged; wrapping/checked and \
+         non-TSC subtraction pass: {v:?}"
+    );
+}
+
+#[test]
+fn unsafe_hygiene_fixture() {
+    let v = lint_fixture("unsafe_hygiene", "[unsafe-hygiene]\n");
+    let keys = keys(&v);
+    assert_eq!(
+        keys,
+        vec![
+            ("bad.rs".to_string(), 3, "unsafe-hygiene"),
+            ("bad.rs".to_string(), 8, "unsafe-hygiene"),
+        ],
+        "uncovered unsafe flagged; SAFETY-commented (incl. chained \
+         impls) pass: {v:?}"
+    );
+}
+
+#[test]
+fn shim_drift_fixture() {
+    let v = lint_fixture("shim_drift", "[shim-drift]\ndir = \"shims\"\n");
+    assert_eq!(v.len(), 1, "only the dead export is flagged: {v:?}");
+    assert_eq!(v[0].rule, "shim-drift");
+    assert_eq!(v[0].path, "shims/widget/src/lib.rs");
+    assert!(v[0].message.contains("dead"));
+}
+
+#[test]
+fn allow_misuse_fixture() {
+    let v = lint_fixture("allows", "[panic-safety]\npaths = [\"bad.rs\"]\n");
+    let keys = keys(&v);
+    assert_eq!(
+        keys,
+        vec![
+            // Reasonless allow: rejected, so the indexing still fires.
+            ("bad.rs".to_string(), 3, "allow-syntax"),
+            ("bad.rs".to_string(), 3, "panic-safety"),
+            // Unknown rule name: rejected, indexing still fires.
+            ("bad.rs".to_string(), 7, "allow-syntax"),
+            ("bad.rs".to_string(), 7, "panic-safety"),
+            // Valid allow that suppresses nothing: flagged as stale.
+            ("bad.rs".to_string(), 11, "allow-syntax"),
+        ],
+        "malformed, unknown-rule, and stale allows all surface: {v:?}"
+    );
+}

@@ -1,0 +1,78 @@
+//! The gate the CI `lint` job enforces, as a test: the real workspace
+//! with the real `lint.toml` must be violation-free, and the CLI must
+//! exit with the right codes.
+
+use fluctrace_lint::{run, Config};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn repo_root() -> PathBuf {
+    // crates/lint → workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists")
+        .to_path_buf()
+}
+
+#[test]
+fn real_workspace_is_violation_free() {
+    let root = repo_root();
+    let config_text =
+        std::fs::read_to_string(root.join("lint.toml")).expect("lint.toml at the repo root");
+    let config = Config::parse(&config_text).expect("lint.toml parses");
+    let violations = run(&root, &config).expect("workspace lints");
+    assert!(
+        violations.is_empty(),
+        "workspace must stay lint-clean:\n{}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn deny_exits_zero_on_clean_workspace() {
+    let out = Command::new(env!("CARGO_BIN_EXE_fluctrace-lint"))
+        .args(["--root"])
+        .arg(repo_root())
+        .arg("--deny")
+        .output()
+        .expect("lint binary runs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "expected exit 0, stderr:\n{stderr}");
+    assert!(stderr.contains("clean"), "stderr:\n{stderr}");
+}
+
+#[test]
+fn deny_exits_one_on_bad_fixture() {
+    let fixture = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/determinism");
+    let out = Command::new(env!("CARGO_BIN_EXE_fluctrace-lint"))
+        .arg("--root")
+        .arg(&fixture)
+        .args(["--deny", "--fix-report", "-"])
+        .output()
+        .expect("lint binary runs");
+    assert_eq!(out.status.code(), Some(1), "violations + --deny → exit 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bad.rs"), "stderr:\n{stderr}");
+    assert!(!stderr.contains("good.rs:"), "stderr:\n{stderr}");
+    // --fix-report - emits a JSON array on stdout.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let trimmed = stdout.trim();
+    assert!(trimmed.starts_with('[') && trimmed.ends_with(']'));
+    assert!(trimmed.contains("\"rule\": \"determinism\""));
+}
+
+#[test]
+fn advisory_mode_exits_zero_even_with_violations() {
+    let fixture = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/determinism");
+    let out = Command::new(env!("CARGO_BIN_EXE_fluctrace-lint"))
+        .arg("--root")
+        .arg(&fixture)
+        .output()
+        .expect("lint binary runs");
+    assert!(out.status.success(), "advisory mode never fails the build");
+}

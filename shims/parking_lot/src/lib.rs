@@ -2,7 +2,7 @@
 //! with parking_lot's non-poisoning API (a panicked holder does not
 //! poison the lock for everyone else).
 
-use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{self, MutexGuard, RwLockWriteGuard};
 
 /// Mutual exclusion, `lock()` returning the guard directly.
 #[derive(Debug, Default)]
@@ -17,15 +17,6 @@ impl<T> Mutex<T> {
     /// Acquire, ignoring poisoning like the real parking_lot.
     pub fn lock(&self) -> MutexGuard<'_, T> {
         self.0.lock().unwrap_or_else(sync::PoisonError::into_inner)
-    }
-
-    /// Try to acquire without blocking.
-    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(g) => Some(g),
-            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
-            Err(sync::TryLockError::WouldBlock) => None,
-        }
     }
 
     /// Consume, returning the inner value.
@@ -44,11 +35,6 @@ impl<T> RwLock<T> {
     /// New lock holding `value`.
     pub fn new(value: T) -> RwLock<T> {
         RwLock(sync::RwLock::new(value))
-    }
-
-    /// Shared read access.
-    pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(sync::PoisonError::into_inner)
     }
 
     /// Exclusive write access.
@@ -70,9 +56,9 @@ mod tests {
     }
 
     #[test]
-    fn rwlock_read_write() {
+    fn rwlock_write() {
         let l = RwLock::new(1);
         *l.write() = 2;
-        assert_eq!(*l.read(), 2);
+        assert_eq!(*l.write(), 2);
     }
 }

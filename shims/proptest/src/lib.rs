@@ -20,6 +20,8 @@ pub struct TestRng {
 
 impl TestRng {
     /// RNG for one test case.
+    // lint:allow(shim-drift): called as `$crate::TestRng::for_case` from
+    // `proptest!` macro expansions at use sites, invisible to a lexical scan
     pub fn for_case(case: u32) -> TestRng {
         TestRng {
             state: 0x5DEECE66D_u64
@@ -38,13 +40,13 @@ impl TestRng {
     }
 
     /// Uniform in `[0, bound)`; `bound` must be non-zero.
-    pub fn below(&mut self, bound: u64) -> u64 {
+    pub(crate) fn below(&mut self, bound: u64) -> u64 {
         // Modulo bias is irrelevant for test-input sampling.
         self.next_u64() % bound
     }
 
     /// Uniform float in `[0, 1)`.
-    pub fn unit_f64(&mut self) -> f64 {
+    pub(crate) fn unit_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 }

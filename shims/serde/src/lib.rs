@@ -140,7 +140,7 @@ impl Value {
     }
 
     /// The members, for objects.
-    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+    pub(crate) fn as_object(&self) -> Option<&Vec<(String, Value)>> {
         match self {
             Value::Object(m) => Some(m),
             _ => None,
@@ -180,7 +180,7 @@ impl Value {
     }
 
     /// Boolean contents.
-    pub fn as_bool(&self) -> Option<bool> {
+    pub(crate) fn as_bool(&self) -> Option<bool> {
         match self {
             Value::Bool(b) => Some(*b),
             _ => None,
@@ -432,6 +432,9 @@ pub trait Deserialize: Sized {
 }
 
 /// Fetch + deserialize one struct field (used by derived code).
+// lint:allow(shim-drift): derive-generated code calls `::serde::from_field`;
+// the call sites live in string literals inside serde_derive, which the
+// lexer blanks out
 pub fn from_field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
     match v.get(name) {
         Some(x) => T::from_value(x),

@@ -211,6 +211,8 @@ fn parse_input(ts: TokenStream) -> Input {
 }
 
 #[proc_macro_derive(Serialize)]
+// lint:allow(shim-drift): proc-macro entry point, invoked by
+// `#[derive(Serialize)]` attribute expansion rather than by name
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let body = match parse_input(input) {
         Input::Struct { name, shape } => {
@@ -298,6 +300,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 #[proc_macro_derive(Deserialize)]
+// lint:allow(shim-drift): proc-macro entry point, invoked by
+// `#[derive(Deserialize)]` attribute expansion rather than by name
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let body = match parse_input(input) {
         Input::Struct { name, shape } => {
