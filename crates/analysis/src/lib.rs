@@ -14,6 +14,7 @@
 #![forbid(unsafe_code)]
 
 pub mod chart;
+pub mod loss;
 pub mod regression;
 pub mod series;
 pub mod shape;
@@ -21,6 +22,7 @@ pub mod table;
 pub mod tail;
 
 pub use chart::{DotRows, StackedBars};
+pub use loss::{accounting_exact, loss_table, LossRow};
 pub use regression::{linear_fit, LinearFit};
 pub use series::{Figure, Series};
 pub use shape::{

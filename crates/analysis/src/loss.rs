@@ -1,0 +1,94 @@
+//! Loss-accounting tables for overload experiments.
+//!
+//! An overload-robust tracer is allowed to shed data; it is not allowed
+//! to shed data *silently*. The check that makes that property testable
+//! is an injected-vs-observed ledger: the experiment knows exactly what
+//! it injected (from a deterministic fault schedule) and the component
+//! under test reports exactly what it counted — the two columns must
+//! agree to the unit. This module renders that ledger and provides the
+//! exactness predicate, domain-free (rows are just labelled counters).
+
+use crate::table::Table;
+
+/// One ledger line: a loss category with its injected ground truth and
+/// the count the component under test reported.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LossRow {
+    /// Loss category (e.g. "marks orphaned", "samples evicted").
+    pub label: String,
+    /// Ground-truth count from the fault schedule.
+    pub injected: u64,
+    /// Count reported by the component under test.
+    pub observed: u64,
+}
+
+impl LossRow {
+    /// Build a row.
+    pub fn new(label: impl Into<String>, injected: u64, observed: u64) -> Self {
+        LossRow {
+            label: label.into(),
+            injected,
+            observed,
+        }
+    }
+
+    /// True when the observation matches the ground truth exactly.
+    pub fn exact(&self) -> bool {
+        self.injected == self.observed
+    }
+}
+
+/// True when every category was accounted exactly.
+pub fn accounting_exact(rows: &[LossRow]) -> bool {
+    rows.iter().all(LossRow::exact)
+}
+
+/// Render the ledger as a table with a per-row exactness verdict.
+pub fn loss_table(rows: &[LossRow]) -> Table {
+    let mut t = Table::new(vec!["category", "injected", "observed", "exact"]);
+    for r in rows {
+        t.row(vec![
+            r.label.clone(),
+            r.injected.to_string(),
+            r.observed.to_string(),
+            if r.exact() {
+                "yes".into()
+            } else {
+                "NO".to_string()
+            },
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactness_over_all_rows() {
+        let rows = vec![
+            LossRow::new("marks orphaned", 12, 12),
+            LossRow::new("samples evicted", 400, 400),
+        ];
+        assert!(accounting_exact(&rows));
+        let mut bad = rows.clone();
+        bad.push(LossRow::new("batches dropped", 3, 2));
+        assert!(!accounting_exact(&bad));
+    }
+
+    #[test]
+    fn table_flags_mismatches() {
+        let rows = vec![LossRow::new("a", 1, 1), LossRow::new("b", 5, 4)];
+        let rendered = loss_table(&rows).render();
+        assert!(rendered.contains("yes"));
+        assert!(rendered.contains("NO"));
+        assert!(rendered.lines().count() == 4, "{rendered}");
+    }
+
+    #[test]
+    fn empty_ledger_is_exact() {
+        assert!(accounting_exact(&[]));
+        assert!(loss_table(&[]).is_empty());
+    }
+}

@@ -151,9 +151,9 @@ fn bench_online_filtering(c: &mut Criterion) {
             let tracer = OnlineTracer::spawn(symtab.clone(), OnlineConfig::new(Freq::ghz(3)));
             for i in 0..2_000u64 {
                 let cycles = if i % 100 == 7 { 30_000 } else { 3_000 };
-                tracer.submit(make_batch(i, cycles));
+                tracer.submit(make_batch(i, cycles)).expect("worker alive");
             }
-            black_box(tracer.finish())
+            black_box(tracer.finish().expect("worker exits cleanly"))
         })
     });
     g.finish();
@@ -163,9 +163,9 @@ fn bench_online_filtering(c: &mut Criterion) {
     let tracer = OnlineTracer::spawn(symtab.clone(), OnlineConfig::new(Freq::ghz(3)));
     for i in 0..2_000u64 {
         let cycles = if i % 100 == 7 { 30_000 } else { 3_000 };
-        tracer.submit(make_batch(i, cycles));
+        tracer.submit(make_batch(i, cycles)).expect("worker alive");
     }
-    let report = tracer.finish();
+    let report = tracer.finish().expect("worker exits cleanly");
     assert!(
         report.reduction_factor() > 20.0,
         "reduction only {}x",

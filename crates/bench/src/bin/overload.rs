@@ -1,0 +1,161 @@
+//! Overload robustness of the online tracer (§IV.C.3 under fault
+//! injection).
+//!
+//! Sweeps fault rates (lost Start marks, corrupted End marks, sample
+//! bursts) through the online tracer and prints the injected-vs-observed
+//! loss ledger — every category must match to the unit. Also runs the
+//! slow-consumer stall scenario (exact `try_submit` drop accounting) and
+//! the adaptive effective-reset policy under a scripted occupancy wave.
+//!
+//! Artifacts (`overload.json`, `overload_degrade.json`) contain only
+//! content-derived counts, so they are byte-identical across
+//! `FLUCTRACE_THREADS` settings — CI diffs them.
+
+use fluctrace_analysis::{accounting_exact, loss_table, Figure, LossRow, Series};
+use fluctrace_bench::overload_experiment::{
+    run_degradation, run_overload, run_stall, OverloadConfig,
+};
+use fluctrace_bench::{emit, run_sweep, Scale};
+use fluctrace_core::AdaptiveConfig;
+use fluctrace_sim::FaultPlan;
+
+const SEED: u64 = 0x0b5e_55ed;
+const MAX_PENDING: usize = 64;
+const BURST_LEN: u32 = 100; // > MAX_PENDING, so bursts force eviction
+
+fn main() {
+    let scale = Scale::from_env();
+    let items = match scale {
+        Scale::Quick => 2_000,
+        Scale::Paper => 20_000,
+    };
+
+    println!("§IV.C.3 under fault injection — online loss accounting ({items} items)\n");
+
+    // Sweep total fault rate; split evenly across the three classes.
+    let rates_per_mille: Vec<u32> = vec![0, 30, 90, 150, 300];
+    let configs: Vec<OverloadConfig> = rates_per_mille
+        .iter()
+        .map(|&rate| {
+            let plan = FaultPlan {
+                drop_open_per_mille: rate / 3,
+                corrupt_close_per_mille: rate / 3,
+                burst_per_mille: rate / 3,
+                burst_len: BURST_LEN,
+            };
+            OverloadConfig {
+                items,
+                schedule: plan.schedule(items, SEED),
+                max_pending: MAX_PENDING,
+            }
+        })
+        .collect();
+    let results = run_sweep(configs, |cfg| run_overload(&cfg));
+
+    let mut fig = Figure::new(
+        "overload",
+        "Online loss accounting vs injected fault rate",
+        "fault rate (per mille)",
+        "count",
+    );
+    let mut lost = Series::new("samples_lost");
+    let mut faulted_marks = Series::new("marks_faulted");
+    let mut boundary = Series::new("boundary_samples");
+    let mut processed = Series::new("items_processed");
+    let mut all_exact = true;
+    for (&rate, r) in rates_per_mille.iter().zip(&results) {
+        let x = rate as f64;
+        lost.push(x, r.report.loss.samples_lost() as f64);
+        faulted_marks.push(
+            x,
+            (r.report.loss.marks_orphaned + r.report.loss.marks_mismatched) as f64,
+        );
+        boundary.push(x, r.report.loss.boundary_samples as f64);
+        processed.push(x, r.report.items_processed as f64);
+        all_exact &= r.accounting_exact();
+    }
+
+    // Ledger for the harshest sweep point.
+    let worst = results.last().expect("non-empty sweep");
+    let rows = vec![
+        LossRow::new(
+            "items processed",
+            worst.expected.items_processed,
+            worst.report.items_processed,
+        ),
+        LossRow::new(
+            "samples seen",
+            worst.expected.samples_seen,
+            worst.report.samples_seen,
+        ),
+        LossRow::new(
+            "marks orphaned",
+            worst.expected.marks_orphaned,
+            worst.report.loss.marks_orphaned,
+        ),
+        LossRow::new(
+            "marks mismatched",
+            worst.expected.marks_mismatched,
+            worst.report.loss.marks_mismatched,
+        ),
+        LossRow::new(
+            "samples discarded",
+            worst.expected.samples_discarded,
+            worst.report.loss.samples_discarded,
+        ),
+        LossRow::new(
+            "samples evicted",
+            worst.expected.samples_evicted,
+            worst.report.loss.samples_evicted,
+        ),
+        LossRow::new(
+            "boundary samples",
+            worst.expected.boundary_samples,
+            worst.report.loss.boundary_samples,
+        ),
+    ];
+    println!(
+        "loss ledger at {} per-mille faults:",
+        rates_per_mille.last().expect("non-empty sweep")
+    );
+    println!("{}", loss_table(&rows));
+    assert!(
+        accounting_exact(&rows) && all_exact,
+        "loss accounting must match the injected schedule exactly"
+    );
+
+    // Slow-consumer stall: exact drop accounting through try_submit.
+    let stall = run_stall(200, 16);
+    println!(
+        "stall: {} batches offered to a parked worker over a 16-batch channel -> \
+         {} dropped (expected {}), {} items processed",
+        200, stall.batches_dropped, stall.expected_dropped, stall.items_processed
+    );
+    assert_eq!(stall.batches_dropped, stall.expected_dropped);
+
+    // Adaptive effective-reset policy under a scripted occupancy wave.
+    let (trace, degrade) = run_degradation(120, 40, 1.0, AdaptiveConfig::new());
+    println!(
+        "adaptive-R under a triangle occupancy wave: {} episodes, peak factor {}x, \
+         final factor {}x",
+        degrade.episodes, degrade.peak_factor, degrade.final_factor
+    );
+    let mut degrade_fig = Figure::new(
+        "overload_degrade",
+        "Adaptive effective-reset factor under scripted occupancy",
+        "step",
+        "thinning factor",
+    );
+    let mut factor = Series::new("factor");
+    for (i, &v) in trace.iter().enumerate() {
+        factor.push(i as f64, v as f64);
+    }
+    degrade_fig.add(factor);
+
+    fig.add(lost);
+    fig.add(faulted_marks);
+    fig.add(boundary);
+    fig.add(processed);
+    emit(&fig);
+    emit(&degrade_fig);
+}

@@ -1,0 +1,344 @@
+//! Overload/fault-injection experiment for the online tracer (§IV.C.3).
+//!
+//! Three deterministic scenarios exercise the tracer's robustness
+//! guarantees:
+//!
+//! * [`run_overload`] replays an item stream mutated by a
+//!   [`FaultSchedule`] (lost Start marks, corrupted End marks, sample
+//!   bursts) and returns the tracer's [`OnlineReport`] together with the
+//!   [`ExpectedLosses`] computed *independently* from the schedule — the
+//!   two must agree to the unit.
+//! * [`run_stall`] parks the worker thread on a gate so channel
+//!   occupancy is exact, then uses the lossy `try_submit` path; the
+//!   number of dropped batches is a pure function of the batch count and
+//!   channel capacity.
+//! * [`run_degradation`] drives the adaptive effective-reset policy with
+//!   a scripted occupancy waveform and returns the factor trace —
+//!   reproducible because no real queue timing is involved.
+//!
+//! Everything an artifact is built from here is content-derived (counts,
+//! schedules, policy state), never wall-clock, so the emitted JSON is
+//! byte-identical across `FLUCTRACE_THREADS` settings.
+
+use fluctrace_core::online::{AdaptiveConfig, AdaptiveR, OnlineConfig, OnlineReport, OnlineTracer};
+use fluctrace_cpu::{
+    CoreId, FuncId, HwEvent, ItemId, MarkKind, MarkRecord, PebsRecord, SymbolTable,
+    SymbolTableBuilder, TraceBundle, NO_TAG,
+};
+use fluctrace_sim::{occupancy_wave, Fault, FaultSchedule, Freq};
+use std::sync::mpsc;
+use std::sync::Arc;
+
+/// Cycles between an item's Start and End mark.
+pub const ITEM_CYCLES: u64 = 3_000;
+/// Offset added to the item id of a corrupted End mark.
+const WRONG_ITEM_OFFSET: u64 = 1 << 32;
+
+/// Configuration of a fault-replay run.
+#[derive(Debug, Clone)]
+pub struct OverloadConfig {
+    /// Items in the stream.
+    pub items: usize,
+    /// Per-item faults to apply while building the stream.
+    pub schedule: FaultSchedule,
+    /// `pending` bound handed to the tracer (small values force
+    /// eviction under bursts).
+    pub max_pending: usize,
+}
+
+/// Ground-truth loss totals implied by a fault schedule — computed from
+/// the schedule alone, with no knowledge of what the tracer observed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExpectedLosses {
+    /// Items that complete (no DropOpen/CorruptClose fault).
+    pub items_processed: u64,
+    /// Samples in the stream (2 per item + burst extras).
+    pub samples_seen: u64,
+    /// End marks left orphaned by dropped Starts.
+    pub marks_orphaned: u64,
+    /// Corrupted End marks.
+    pub marks_mismatched: u64,
+    /// Samples discarded with mismatched items.
+    pub samples_discarded: u64,
+    /// Oldest-sample evictions forced by bursts against `max_pending`.
+    pub samples_evicted: u64,
+    /// Samples attributed exactly at an interval bound.
+    pub boundary_samples: u64,
+}
+
+/// Result of [`run_overload`]: what the tracer reported next to what
+/// the schedule says it should have reported.
+#[derive(Debug, Clone)]
+pub struct OverloadResult {
+    /// The tracer's report.
+    pub report: OnlineReport,
+    /// Ground truth from the schedule.
+    pub expected: ExpectedLosses,
+}
+
+impl OverloadResult {
+    /// True when every loss category matches the ground truth exactly.
+    pub fn accounting_exact(&self) -> bool {
+        let r = &self.report;
+        let e = &self.expected;
+        r.items_processed == e.items_processed
+            && r.samples_seen == e.samples_seen
+            && r.loss.marks_orphaned == e.marks_orphaned
+            && r.loss.marks_mismatched == e.marks_mismatched
+            && r.loss.samples_discarded == e.samples_discarded
+            && r.loss.samples_evicted == e.samples_evicted
+            && r.loss.boundary_samples == e.boundary_samples
+    }
+}
+
+/// One-function symbol table shared by the overload scenarios.
+pub fn overload_symtab() -> (Arc<SymbolTable>, FuncId) {
+    let mut b = SymbolTableBuilder::new();
+    let f = b.add("handle", 100);
+    (b.build().into_shared(), f)
+}
+
+fn sample(symtab: &SymbolTable, f: FuncId, tsc: u64) -> PebsRecord {
+    PebsRecord {
+        core: CoreId(0),
+        tsc,
+        ip: symtab.range(f).start,
+        r13: NO_TAG,
+        event: HwEvent::UopsRetired,
+    }
+}
+
+fn mark(tsc: u64, item: u64, kind: MarkKind) -> MarkRecord {
+    MarkRecord {
+        core: CoreId(0),
+        tsc,
+        item: ItemId(item),
+        kind,
+    }
+}
+
+/// Build item `i`'s batch with its scheduled fault applied. The two
+/// regular samples sit exactly on the Start and End timestamps, so every
+/// completed item contributes two boundary samples (one, if a burst
+/// evicted the older of them).
+pub fn faulted_batch(symtab: &SymbolTable, f: FuncId, i: usize, fault: Fault) -> TraceBundle {
+    let base = (i as u64 + 1) * 1_000_000;
+    let end = base + ITEM_CYCLES;
+    let mut bundle = TraceBundle::default();
+    if fault != Fault::DropOpen {
+        bundle.marks.push(mark(base, i as u64, MarkKind::Start));
+    }
+    bundle.samples.push(sample(symtab, f, base));
+    if let Fault::Burst(n) = fault {
+        for j in 0..u64::from(n) {
+            // Strictly inside the interval; wraps within it for huge
+            // bursts so ordering stays sane.
+            bundle
+                .samples
+                .push(sample(symtab, f, base + 1 + j % (ITEM_CYCLES - 1)));
+        }
+    }
+    bundle.samples.push(sample(symtab, f, end));
+    let end_item = match fault {
+        Fault::CorruptClose => i as u64 + WRONG_ITEM_OFFSET,
+        _ => i as u64,
+    };
+    bundle.marks.push(mark(end, end_item, MarkKind::End));
+    bundle
+}
+
+/// Compute the ground-truth [`ExpectedLosses`] of a schedule, given the
+/// tracer's `max_pending` bound.
+pub fn expected_losses(schedule: &FaultSchedule, max_pending: usize) -> ExpectedLosses {
+    let mut e = ExpectedLosses::default();
+    for fault in schedule.iter() {
+        match fault {
+            Fault::None => {
+                e.items_processed += 1;
+                e.samples_seen += 2;
+                e.boundary_samples += 2;
+            }
+            Fault::DropOpen => {
+                // End arrives with no open item; the item's samples are
+                // never attributed but also never *discarded* — they are
+                // cleared as pre-item spin samples by the next Start.
+                e.marks_orphaned += 1;
+                e.samples_seen += 2;
+            }
+            Fault::CorruptClose => {
+                e.marks_mismatched += 1;
+                e.samples_seen += 2;
+                e.samples_discarded += 2;
+            }
+            Fault::Burst(n) => {
+                e.items_processed += 1;
+                let pushed = 2 + u64::from(n);
+                e.samples_seen += pushed;
+                let evicted = pushed.saturating_sub(max_pending.max(1) as u64);
+                e.samples_evicted += evicted;
+                // Eviction drops oldest-first, so the start-boundary
+                // sample goes first; the end-boundary sample is always
+                // the newest and survives.
+                e.boundary_samples += if evicted > 0 { 1 } else { 2 };
+            }
+        }
+    }
+    e
+}
+
+/// Replay a faulted item stream through the tracer (one batch per item,
+/// blocking `submit`) and pair the report with the schedule's ground
+/// truth.
+pub fn run_overload(cfg: &OverloadConfig) -> OverloadResult {
+    let (symtab, f) = overload_symtab();
+    let mut online_cfg = OnlineConfig::new(Freq::ghz(3));
+    online_cfg.max_pending = cfg.max_pending;
+    let tracer = OnlineTracer::spawn(Arc::clone(&symtab), online_cfg);
+    for i in 0..cfg.items {
+        let batch = faulted_batch(&symtab, f, i, cfg.schedule.get(i));
+        tracer.submit(batch).expect("worker alive");
+    }
+    let report = tracer.finish().expect("no worker panic in replay");
+    let expected = expected_losses(&cfg.schedule, cfg.max_pending);
+    OverloadResult { report, expected }
+}
+
+/// Result of the slow-consumer stall scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallResult {
+    /// Batches `try_submit` reported as dropped.
+    pub batches_dropped: u64,
+    /// `total_batches - 1 - channel_capacity`, the exact expected count.
+    pub expected_dropped: u64,
+    /// Items the tracer still processed (everything that fit).
+    pub items_processed: u64,
+}
+
+/// Slow-consumer stall with exact drop accounting.
+///
+/// The worker parks on a gate after taking the first batch, so the
+/// channel's occupancy during the stall is exact (not scheduler-timing
+/// dependent): of the remaining `total_batches - 1` lossy submissions,
+/// precisely `channel_capacity` fit and the rest are dropped and
+/// counted.
+pub fn run_stall(total_batches: usize, channel_capacity: usize) -> StallResult {
+    assert!(total_batches >= 1);
+    let (symtab, f) = overload_symtab();
+    let mut cfg = OnlineConfig::new(Freq::ghz(3));
+    cfg.channel_capacity = channel_capacity;
+    let (parked_tx, parked_rx) = mpsc::channel::<()>();
+    let (resume_tx, resume_rx) = mpsc::channel::<()>();
+    let mut first = true;
+    let tracer = OnlineTracer::spawn_with_inspector(Arc::clone(&symtab), cfg, move |_batch| {
+        if first {
+            first = false;
+            let _ = parked_tx.send(());
+            let _ = resume_rx.recv();
+        }
+    });
+    tracer
+        .submit(faulted_batch(&symtab, f, 0, Fault::None))
+        .expect("worker alive");
+    parked_rx.recv().expect("worker parks on the gate");
+    // Worker holds batch 0 and is parked; the channel is empty.
+    for i in 1..total_batches {
+        let batch = faulted_batch(&symtab, f, i, Fault::None);
+        let _outcome = tracer.try_submit(batch).expect("worker alive");
+    }
+    resume_tx.send(()).expect("worker waits on resume");
+    let report = tracer.finish().expect("no worker panic in stall run");
+    StallResult {
+        batches_dropped: report.loss.batches_dropped,
+        expected_dropped: (total_batches as u64 - 1).saturating_sub(channel_capacity as u64),
+        items_processed: report.items_processed,
+    }
+}
+
+/// The factor trace of the adaptive effective-reset policy under a
+/// scripted occupancy waveform, plus its episode stats.
+pub fn run_degradation(
+    steps: usize,
+    period: usize,
+    peak: f64,
+    config: AdaptiveConfig,
+) -> (Vec<u32>, fluctrace_core::DegradeStats) {
+    let mut policy = AdaptiveR::new(config);
+    let trace: Vec<u32> = occupancy_wave(steps, period, peak)
+        .into_iter()
+        .map(|occ| policy.observe(occ))
+        .collect();
+    (trace, policy.stats())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fluctrace_sim::FaultPlan;
+
+    #[test]
+    fn clean_schedule_accounts_exactly() {
+        let cfg = OverloadConfig {
+            items: 200,
+            schedule: FaultPlan::none().schedule(200, 1),
+            max_pending: 1 << 16,
+        };
+        let r = run_overload(&cfg);
+        assert!(
+            r.accounting_exact(),
+            "{:?} vs {:?}",
+            r.report.loss,
+            r.expected
+        );
+        assert_eq!(r.report.items_processed, 200);
+        assert!(r.report.loss.samples_lost() == 0);
+    }
+
+    #[test]
+    fn faulted_schedule_accounts_exactly() {
+        let plan = FaultPlan {
+            drop_open_per_mille: 100,
+            corrupt_close_per_mille: 100,
+            burst_per_mille: 100,
+            burst_len: 40,
+        };
+        let cfg = OverloadConfig {
+            items: 500,
+            schedule: plan.schedule(500, 99),
+            max_pending: 16, // force eviction on 42-sample bursts
+        };
+        let r = run_overload(&cfg);
+        assert!(
+            r.accounting_exact(),
+            "{:?} vs {:?}",
+            r.report.loss,
+            r.expected
+        );
+        assert!(
+            r.report.loss.marks_orphaned > 0,
+            "schedule exercised orphans"
+        );
+        assert!(
+            r.report.loss.samples_evicted > 0,
+            "schedule exercised eviction"
+        );
+    }
+
+    #[test]
+    fn stall_drops_exactly_the_overflow() {
+        let r = run_stall(40, 8);
+        assert_eq!(r.batches_dropped, r.expected_dropped);
+        assert_eq!(r.batches_dropped, 40 - 1 - 8);
+        // Everything that was not dropped got processed.
+        assert_eq!(r.items_processed, 1 + 8);
+    }
+
+    #[test]
+    fn degradation_trace_is_reproducible() {
+        let (a, stats_a) = run_degradation(60, 20, 1.0, AdaptiveConfig::new());
+        let (b, stats_b) = run_degradation(60, 20, 1.0, AdaptiveConfig::new());
+        assert_eq!(a, b);
+        assert_eq!(stats_a, stats_b);
+        assert!(stats_a.episodes >= 1, "the wave crosses high water");
+        assert!(stats_a.peak_factor > 1);
+    }
+}

@@ -14,7 +14,9 @@
 
 use crate::estimate::EstimateTable;
 use crate::integrate::IntegratedTrace;
+use crate::online::OnlineReport;
 use fluctrace_cpu::SymbolTable;
+use fluctrace_sim::Freq;
 use serde_json::{json, Value};
 
 /// Options for the export.
@@ -106,6 +108,56 @@ pub fn chrome_trace(
         "traceEvents": events,
         "displayTimeUnit": "ns",
         "otherData": {"generator": "fluctrace"},
+    })
+}
+
+/// Export an online-tracing session as a trace-event document: one
+/// complete event per flagged item (spanning its retained raw samples)
+/// plus instant events for the raw samples themselves — what an
+/// operator loads into Perfetto to inspect *only* the anomalies the
+/// §IV.C.3 filter kept, without ever materializing the full trace.
+pub fn anomaly_trace(report: &OnlineReport, symtab: &SymbolTable, freq: Freq) -> Value {
+    let us = |tsc: u64| freq.cycles_to_dur(tsc).as_us_f64();
+    let mut events: Vec<Value> = Vec::new();
+    for a in &report.anomalies {
+        let (Some(first), Some(last)) = (a.raw_samples.first(), a.raw_samples.last()) else {
+            continue;
+        };
+        events.push(json!({
+            "name": format!("anomaly {} ({})", a.item, symtab.name(a.func)),
+            "cat": "anomaly",
+            "ph": "X",
+            "pid": 1,
+            "tid": first.core.0,
+            "ts": us(first.tsc),
+            "dur": us(last.tsc.wrapping_sub(first.tsc)),
+            "args": {
+                "item": a.item.0,
+                "elapsed_us": a.elapsed.as_us_f64(),
+                "baseline_us": a.baseline_mean.as_us_f64(),
+            },
+        }));
+        for s in &a.raw_samples {
+            events.push(json!({
+                "name": symtab.resolve(s.ip).map(|f| symtab.name(f).to_string())
+                    .unwrap_or_else(|| "?".into()),
+                "cat": "sample",
+                "ph": "i",
+                "s": "t",
+                "pid": 1,
+                "tid": s.core.0,
+                "ts": us(s.tsc),
+            }));
+        }
+    }
+    json!({
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "generator": "fluctrace-online",
+            "items_processed": report.items_processed,
+            "samples_lost": report.loss.samples_lost(),
+        },
     })
 }
 
@@ -209,6 +261,41 @@ mod tests {
         let samples: Vec<_> = events.iter().filter(|e| e["cat"] == "sample").collect();
         assert_eq!(samples.len(), 2);
         assert_eq!(samples[0]["ph"], "i");
+    }
+
+    #[test]
+    fn anomaly_trace_exports_flagged_items_only() {
+        use crate::online::{OnlineAnomaly, OnlineReport};
+        use fluctrace_sim::SimDuration;
+        let mut b = SymbolTableBuilder::new();
+        let f = b.add("handle", 100);
+        let symtab = b.build();
+        let ip = symtab.range(f).start;
+        let sample = |tsc| PebsRecord {
+            core: CoreId(0),
+            tsc,
+            ip,
+            r13: NO_TAG,
+            event: HwEvent::UopsRetired,
+        };
+        let mut report = OnlineReport {
+            items_processed: 100,
+            ..OnlineReport::default()
+        };
+        report.anomalies.push(OnlineAnomaly {
+            item: ItemId(42),
+            func: f,
+            elapsed: SimDuration::from_us(10),
+            baseline_mean: SimDuration::from_us(1),
+            raw_samples: vec![sample(3_000), sample(33_000)],
+        });
+        let doc = anomaly_trace(&report, &symtab, Freq::ghz(3));
+        let events = doc["traceEvents"].as_array().unwrap();
+        assert_eq!(events.len(), 3, "one span + two sample dots");
+        let span = events.iter().find(|e| e["cat"] == "anomaly").unwrap();
+        assert_eq!(span["name"], "anomaly #42 (handle)");
+        assert!((span["dur"].as_f64().unwrap() - 10.0).abs() < 1e-9);
+        assert_eq!(doc["otherData"]["items_processed"], 100);
     }
 
     #[test]

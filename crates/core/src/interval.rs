@@ -39,6 +39,15 @@ impl ItemInterval {
     pub fn cycles(&self) -> u64 {
         self.end_tsc.wrapping_sub(self.start_tsc)
     }
+
+    /// True if `tsc` coincides with the start or end mark. Boundary
+    /// samples are inside the interval (the bounds are inclusive) but
+    /// are worth counting separately: losing them is the classic
+    /// online/offline attribution drift.
+    #[inline]
+    pub fn is_boundary(&self, tsc: u64) -> bool {
+        tsc == self.start_tsc || tsc == self.end_tsc
+    }
 }
 
 /// A malformed mark sequence encountered while pairing.

@@ -57,15 +57,18 @@ pub mod report;
 
 pub use batch::{split_batches, BatchMap};
 pub use estimate::{EstimateTable, FuncEstimate, ItemEstimate};
-pub use export::{chrome_trace, chrome_trace_string, ExportOptions};
+pub use export::{anomaly_trace, chrome_trace, chrome_trace_string, ExportOptions};
 pub use fluct::{detect, FluctuationReport, GroupFuncStats, Outlier, TotalOutlier};
 pub use integrate::{
     integrate, integrate_with_threads, AttributedSample, IntegratedTrace, MappingMode,
     PipelineStats,
 };
 pub use interval::{build_intervals, IntervalError, ItemInterval};
-pub use metrics::{metric_counts, MetricTable};
-pub use online::{OnlineConfig, OnlineReport, OnlineTracer};
+pub use metrics::{effective_reset, metric_counts, MetricTable};
+pub use online::{
+    AdaptiveConfig, AdaptiveR, DegradeStats, LiveStats, LossStats, OnlineAnomaly, OnlineConfig,
+    OnlineError, OnlineReport, OnlineTracer, SubmitError, SubmitOutcome,
+};
 pub use overhead::{fit_inverse_reset, OverheadModel};
 pub use parallel::{configured_threads, run_indexed};
 pub use profile::{FlatProfile, ProfileEntry};

@@ -58,6 +58,17 @@ impl MetricTable {
     }
 }
 
+/// Effective PEBS reset value after online thinning: keeping every
+/// `factor`-th sample is equivalent to reprogramming the counter's reset
+/// value to `reset × factor` — the §IV.C.3 *R* knob as applied in
+/// software by the adaptive degradation policy in [`crate::online`].
+/// Event estimates taken during a degradation episode must use this
+/// value, not the hardware `reset`, or they undercount by `factor`.
+pub fn effective_reset(reset: u64, thinning_factor: u32) -> u64 {
+    assert!(reset > 0, "zero reset value");
+    reset.saturating_mul(u64::from(thinning_factor.max(1)))
+}
+
 #[cfg(test)]
 #[allow(clippy::field_reassign_with_default)]
 mod tests {
@@ -120,6 +131,14 @@ mod tests {
         assert_eq!(table.estimated_events(ItemId(1), f), 30);
         assert_eq!(table.total_samples(), 5);
         assert_eq!(table.iter().count(), 3);
+    }
+
+    #[test]
+    fn effective_reset_scales_with_thinning() {
+        assert_eq!(effective_reset(8_000, 1), 8_000);
+        assert_eq!(effective_reset(8_000, 4), 32_000);
+        assert_eq!(effective_reset(8_000, 0), 8_000, "factor floor is 1");
+        assert_eq!(effective_reset(u64::MAX, 2), u64::MAX, "saturates");
     }
 
     #[test]

@@ -12,18 +12,156 @@
 //! arrive, estimates per-function elapsed times incrementally, keeps a
 //! running per-function baseline, and **retains raw samples only for
 //! items that diverge**. Everything else is counted and discarded.
+//!
+//! # Overload robustness
+//!
+//! A production tracer must survive the very overload scenarios it is
+//! deployed to diagnose, and — following the accounting discipline of
+//! online-filtering instrumentation systems — whatever it sheds must be
+//! *counted*, never silently lost:
+//!
+//! * [`OnlineTracer::submit`] blocks for back-pressure but never
+//!   panics; a dead worker surfaces as a [`SubmitError`] carrying the
+//!   batch back. [`OnlineTracer::try_submit`] is the lossy alternative
+//!   for collection threads that must not stall: a full channel drops
+//!   the batch and counts it in [`LossStats`].
+//! * Per-core `pending` buffers are bounded by
+//!   [`OnlineConfig::max_pending`]; overflow evicts the oldest samples
+//!   and counts them (`samples_evicted`) instead of growing without
+//!   bound when End marks are lost.
+//! * Malformed mark streams (orphan or mismatched `End`, a `Start`
+//!   while an item is open) discard only the affected item and are
+//!   tallied in [`LossStats`] rather than vanishing.
+//! * A worker panic is contained: [`OnlineTracer::finish`] returns
+//!   [`OnlineError::WorkerPanicked`] and dropping the tracer never
+//!   propagates the panic.
+//!
+//! # Adaptive reset value (graceful degradation)
+//!
+//! §IV.C.3's knob for data volume is the PEBS reset value *R*: a larger
+//! *R* means fewer samples per second at coarser resolution (§V.C). When
+//! the channel occupancy crosses [`AdaptiveConfig::high_water`], the
+//! tracer doubles an *effective* reset multiplier by keeping only every
+//! k-th sample of each submitted batch — exactly the degradation a
+//! kernel driver would apply by reprogramming the PEBS reset value —
+//! and halves it again once occupancy falls below
+//! [`AdaptiveConfig::low_water`]. Episodes and the peak factor are
+//! reported in [`DegradeStats`]; thinned samples are counted in
+//! [`LossStats::samples_thinned`], so the volume accounting stays exact
+//! while resolution, not correctness, degrades under pressure.
 
 use crate::interval::ItemInterval;
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use fluctrace_cpu::{
-    CoreId, FuncId, ItemId, MarkKind, PebsRecord, SymbolTable, TraceBundle, PEBS_RECORD_BYTES,
+    CoreId, FuncId, ItemId, MarkKind, MarkRecord, PebsRecord, SymbolTable, TraceBundle,
+    PEBS_RECORD_BYTES,
 };
 use fluctrace_sim::{Freq, SimDuration};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// Configuration of the adaptive effective-reset-value policy.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveConfig {
+    /// Master switch; disabled keeps every sample regardless of load.
+    pub enabled: bool,
+    /// Channel occupancy (fraction of capacity) at which the thinning
+    /// factor doubles.
+    pub high_water: f64,
+    /// Occupancy at or below which the factor halves again.
+    pub low_water: f64,
+    /// Upper bound on the thinning factor (effective reset multiplier).
+    pub max_factor: u32,
+}
+
+impl AdaptiveConfig {
+    /// Degradation off: never thin, only block or (with `try_submit`)
+    /// drop whole batches.
+    pub fn disabled() -> Self {
+        AdaptiveConfig {
+            enabled: false,
+            ..AdaptiveConfig::new()
+        }
+    }
+
+    /// Degradation on with the default 75%/25% watermarks and a 64×
+    /// factor cap.
+    pub fn new() -> Self {
+        AdaptiveConfig {
+            enabled: true,
+            high_water: 0.75,
+            low_water: 0.25,
+            max_factor: 64,
+        }
+    }
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig::new()
+    }
+}
+
+/// The adaptive effective-reset state machine (pure: occupancy in,
+/// thinning factor out), exposed so experiments can drive it with a
+/// scripted occupancy waveform and get deterministic episode traces.
+#[derive(Debug, Clone)]
+pub struct AdaptiveR {
+    config: AdaptiveConfig,
+    factor: u32,
+    episodes: u64,
+    peak_factor: u32,
+}
+
+impl AdaptiveR {
+    /// Fresh policy at factor 1 (full sampling rate).
+    pub fn new(config: AdaptiveConfig) -> Self {
+        AdaptiveR {
+            config,
+            factor: 1,
+            episodes: 0,
+            peak_factor: 1,
+        }
+    }
+
+    /// Feed one occupancy observation (fraction of channel capacity in
+    /// `[0, 1]`) and return the thinning factor to apply: keep every
+    /// `factor`-th sample.
+    pub fn observe(&mut self, occupancy: f64) -> u32 {
+        if !self.config.enabled {
+            return 1;
+        }
+        let max = self.config.max_factor.max(1);
+        if occupancy >= self.config.high_water {
+            if self.factor == 1 && max > 1 {
+                self.episodes += 1;
+            }
+            self.factor = (self.factor.saturating_mul(2)).min(max);
+        } else if occupancy <= self.config.low_water && self.factor > 1 {
+            self.factor /= 2;
+        }
+        self.peak_factor = self.peak_factor.max(self.factor);
+        self.factor
+    }
+
+    /// Current thinning factor (1 = full rate).
+    pub fn factor(&self) -> u32 {
+        self.factor
+    }
+
+    /// Snapshot of the degradation counters.
+    pub fn stats(&self) -> DegradeStats {
+        DegradeStats {
+            episodes: self.episodes,
+            peak_factor: self.peak_factor,
+            final_factor: self.factor,
+        }
+    }
+}
 
 /// Configuration of the online tracer.
 #[derive(Debug, Clone, Copy)]
@@ -39,16 +177,26 @@ pub struct OnlineConfig {
     /// Channel capacity in batches (producer blocks when full, which is
     /// the natural back-pressure a collection thread needs).
     pub channel_capacity: usize,
+    /// Per-core cap on samples awaiting their End mark. When a mark
+    /// stream loses End marks, `pending` would otherwise grow without
+    /// bound; beyond the cap the oldest samples are evicted and counted
+    /// in [`LossStats::samples_evicted`].
+    pub max_pending: usize,
+    /// Graceful-degradation policy (see the module docs).
+    pub adaptive: AdaptiveConfig,
 }
 
 impl OnlineConfig {
-    /// 2× divergence, 16-observation warm-up, 64-batch channel.
+    /// 2× divergence, 16-observation warm-up, 64-batch channel, 64 Ki
+    /// pending samples per core, adaptive degradation off.
     pub fn new(freq: Freq) -> Self {
         OnlineConfig {
             freq,
             divergence_factor: 2.0,
             warmup: 16,
             channel_capacity: 64,
+            max_pending: 1 << 16,
+            adaptive: AdaptiveConfig::disabled(),
         }
     }
 }
@@ -68,6 +216,77 @@ pub struct OnlineAnomaly {
     pub raw_samples: Vec<PebsRecord>,
 }
 
+/// Exact accounting of everything the online tracer shed, evicted, or
+/// could not attribute. A robust tracer is allowed to lose data under
+/// overload — it is not allowed to lose data *silently*.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LossStats {
+    /// Whole batches dropped by [`OnlineTracer::try_submit`] because the
+    /// channel was full.
+    pub batches_dropped: u64,
+    /// Samples inside those dropped batches.
+    pub samples_dropped: u64,
+    /// Samples shed by the adaptive effective-reset policy.
+    pub samples_thinned: u64,
+    /// Oldest pending samples evicted by the [`OnlineConfig::max_pending`]
+    /// bound.
+    pub samples_evicted: u64,
+    /// Pending samples discarded because their item could not complete
+    /// (mismatched End, or a Start while the item was still open).
+    pub samples_discarded: u64,
+    /// `End` marks with no open item on their core.
+    pub marks_orphaned: u64,
+    /// `End` marks whose item id did not match the open item (the open
+    /// item is discarded and counted, not silently lost).
+    pub marks_mismatched: u64,
+    /// `Start` marks that arrived while another item was still open,
+    /// abandoning it.
+    pub starts_abandoned: u64,
+    /// Samples attributed exactly at an interval bound (`tsc` equal to
+    /// the start or end mark). Not a loss: proof that boundary samples
+    /// are kept, where they were previously dropped at `end_tsc`.
+    pub boundary_samples: u64,
+}
+
+impl LossStats {
+    /// Total samples that were received but never attributed to an item.
+    pub fn samples_lost(&self) -> u64 {
+        self.samples_dropped + self.samples_thinned + self.samples_evicted + self.samples_discarded
+    }
+
+    /// True when nothing was lost and the mark stream was well-formed
+    /// (boundary samples are attribution accounting, not loss).
+    pub fn is_clean(&self) -> bool {
+        self.samples_lost() == 0
+            && self.batches_dropped == 0
+            && self.marks_orphaned == 0
+            && self.marks_mismatched == 0
+            && self.starts_abandoned == 0
+    }
+}
+
+/// Degradation episodes recorded by the adaptive effective-reset policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegradeStats {
+    /// Times the policy left factor 1 (a new overload episode).
+    pub episodes: u64,
+    /// Highest thinning factor reached.
+    pub peak_factor: u32,
+    /// Factor at the end of the run (1 = fully recovered).
+    pub final_factor: u32,
+}
+
+impl Default for DegradeStats {
+    /// No episodes and the factor at its floor of 1 (full sampling rate).
+    fn default() -> Self {
+        DegradeStats {
+            episodes: 0,
+            peak_factor: 1,
+            final_factor: 1,
+        }
+    }
+}
+
 /// Final report of an online-tracing session.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct OnlineReport {
@@ -81,6 +300,10 @@ pub struct OnlineReport {
     pub bytes_dumped: u64,
     /// The flagged items.
     pub anomalies: Vec<OnlineAnomaly>,
+    /// Exact loss accounting (overload, faults, boundary attribution).
+    pub loss: LossStats,
+    /// Adaptive-degradation episode counters.
+    pub degrade: DegradeStats,
 }
 
 impl OnlineReport {
@@ -101,6 +324,70 @@ pub struct LiveStats {
     pub items: u64,
     /// Anomalies flagged so far.
     pub anomalies: u64,
+    /// Loss accounting so far (worker- and producer-side combined).
+    pub loss: LossStats,
+}
+
+/// The online worker is gone; the undelivered batch is handed back so
+/// the collection thread can spill it to storage or drop it knowingly.
+#[derive(Debug)]
+pub struct SubmitError {
+    /// The batch that could not be delivered.
+    pub batch: TraceBundle,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "online worker is gone; batch of {} samples returned",
+            self.batch.samples.len()
+        )
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// What [`OnlineTracer::try_submit`] did with the batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// Enqueued for the worker.
+    Sent,
+    /// Channel full: the batch was dropped and counted in [`LossStats`].
+    Dropped,
+}
+
+/// Failure collecting the final report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OnlineError {
+    /// The worker thread panicked; the payload message is attached.
+    WorkerPanicked(String),
+}
+
+impl std::fmt::Display for OnlineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OnlineError::WorkerPanicked(msg) => {
+                write!(f, "online worker panicked: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OnlineError {}
+
+/// Per-batch hook run inside the worker thread before integration — the
+/// fault-injection seam the overload experiments use to stall or crash
+/// the consumer on cue.
+pub type BatchInspector = Box<dyn FnMut(&TraceBundle) + Send>;
+
+/// Producer-side shed counters (atomics: `submit`/`try_submit` take
+/// `&self` and may race with `live()` snapshots).
+#[derive(Default)]
+struct ShedCounters {
+    batches_dropped: AtomicU64,
+    samples_dropped: AtomicU64,
+    samples_thinned: AtomicU64,
 }
 
 /// Handle to the online tracing worker.
@@ -108,8 +395,11 @@ pub struct OnlineTracer {
     tx: Option<Sender<TraceBundle>>,
     handle: Option<JoinHandle<OnlineReport>>,
     live: Arc<Mutex<LiveStats>>,
+    shed: Arc<ShedCounters>,
+    adaptive: Arc<Mutex<AdaptiveR>>,
 }
 
+#[derive(Default)]
 struct CoreState {
     /// Samples not yet assigned to a finished item, in tsc order.
     pending: Vec<PebsRecord>,
@@ -120,16 +410,20 @@ struct CoreState {
 struct Worker {
     symtab: Arc<SymbolTable>,
     config: OnlineConfig,
-    cores: HashMap<CoreId, CoreState>,
+    cores: BTreeMap<CoreId, CoreState>,
     /// Running per-function baselines (count, mean in ps).
-    baselines: HashMap<FuncId, (u64, f64)>,
+    baselines: BTreeMap<FuncId, (u64, f64)>,
     report: OnlineReport,
     live: Arc<Mutex<LiveStats>>,
+    inspector: Option<BatchInspector>,
 }
 
 impl Worker {
     fn run(mut self, rx: Receiver<TraceBundle>) -> OnlineReport {
         while let Ok(batch) = rx.recv() {
+            if let Some(inspect) = self.inspector.as_mut() {
+                inspect(&batch);
+            }
             self.process(batch);
         }
         self.report
@@ -144,64 +438,106 @@ impl Worker {
         // chronological, so a simple merge suffices.
         let mut si = 0;
         let mut mi = 0;
-        let samples = &batch.samples;
-        let marks = &batch.marks;
-        while si < samples.len() || mi < marks.len() {
-            let take_sample = match (samples.get(si), marks.get(mi)) {
-                (Some(s), Some(m)) => (s.core, s.tsc) < (m.core, m.tsc),
+        while si < batch.samples.len() || mi < batch.marks.len() {
+            let sample = batch.samples.get(si).copied();
+            let mark = batch.marks.get(mi).copied();
+            let take_sample = match (sample, mark) {
+                (Some(s), Some(m)) => {
+                    // Tie-break on equal (core, tsc): a Start opens
+                    // *before* a coincident sample and an End closes
+                    // *after* it, so samples at either mark timestamp
+                    // attribute to the item — the same inclusive bounds
+                    // as the offline `ItemInterval::contains`.
+                    let sk = (s.core, s.tsc);
+                    let mk = (m.core, m.tsc);
+                    sk < mk || (sk == mk && m.kind == MarkKind::End)
+                }
                 (Some(_), None) => true,
-                (None, _) => false,
+                _ => false,
             };
             if take_sample {
-                let s = samples[si];
-                self.cores
-                    .entry(s.core)
-                    .or_insert_with(|| CoreState {
-                        pending: Vec::new(),
-                        open: None,
-                    })
-                    .pending
-                    .push(s);
+                if let Some(s) = sample {
+                    self.push_sample(s);
+                }
                 si += 1;
             } else {
-                let m = marks[mi];
-                mi += 1;
-                let state = self.cores.entry(m.core).or_insert_with(|| CoreState {
-                    pending: Vec::new(),
-                    open: None,
-                });
-                match m.kind {
-                    MarkKind::Start => {
-                        // Spin samples before the item are uninteresting.
-                        state.pending.clear();
-                        state.open = Some((m.item, m.tsc));
-                    }
-                    MarkKind::End => {
-                        if let Some((item, start_tsc)) = state.open.take() {
-                            if item == m.item {
-                                let interval = ItemInterval {
-                                    core: m.core,
-                                    item,
-                                    start_tsc,
-                                    end_tsc: m.tsc,
-                                };
-                                let samples = std::mem::take(&mut state.pending);
-                                self.finish_item(interval, samples);
-                            }
-                        }
-                    }
+                if let Some(m) = mark {
+                    self.apply_mark(m);
                 }
+                mi += 1;
             }
+        }
+        let mut live = self.live.lock();
+        live.items = self.report.items_processed;
+        live.anomalies = self.report.anomalies.len() as u64;
+        live.loss = self.report.loss;
+    }
+
+    fn push_sample(&mut self, s: PebsRecord) {
+        let cap = self.config.max_pending.max(1);
+        let state = self.cores.entry(s.core).or_default();
+        state.pending.push(s);
+        if state.pending.len() > cap {
+            // Lost-End overload: evict the oldest samples instead of
+            // growing without bound, and account for every one of them.
+            let excess = state.pending.len() - cap;
+            state.pending.drain(..excess);
+            self.report.loss.samples_evicted += excess as u64;
+        }
+    }
+
+    fn apply_mark(&mut self, m: MarkRecord) {
+        let state = self.cores.entry(m.core).or_default();
+        match m.kind {
+            MarkKind::Start => {
+                if state.open.take().is_some() {
+                    // The open item can never complete now; its samples
+                    // are counted, not silently cleared.
+                    self.report.loss.starts_abandoned += 1;
+                    self.report.loss.samples_discarded += state.pending.len() as u64;
+                }
+                // Spin samples before the item are uninteresting.
+                state.pending.clear();
+                state.open = Some((m.item, m.tsc));
+            }
+            MarkKind::End => match state.open.take() {
+                Some((item, start_tsc)) if item == m.item => {
+                    let interval = ItemInterval {
+                        core: m.core,
+                        item,
+                        start_tsc,
+                        end_tsc: m.tsc,
+                    };
+                    let samples = std::mem::take(&mut state.pending);
+                    self.finish_item(interval, samples);
+                }
+                Some(_) => {
+                    // Mismatched End: the open item and its samples are
+                    // unattributable — count them in the report instead
+                    // of losing them without a trace.
+                    self.report.loss.marks_mismatched += 1;
+                    self.report.loss.samples_discarded += state.pending.len() as u64;
+                    state.pending.clear();
+                }
+                None => {
+                    self.report.loss.marks_orphaned += 1;
+                }
+            },
         }
     }
 
     fn finish_item(&mut self, interval: ItemInterval, samples: Vec<PebsRecord>) {
         self.report.items_processed += 1;
-        // Per-function first/last within the interval.
-        let mut spans: HashMap<FuncId, (u64, u64)> = HashMap::new();
+        // Per-function first/last within the interval. BTreeMap, not
+        // HashMap: the worst-function tie-break below iterates this map,
+        // and serialized anomalies must not depend on hash order.
+        let mut spans: BTreeMap<FuncId, (u64, u64)> = BTreeMap::new();
         for s in &samples {
             if !interval.contains(s.tsc) {
                 continue;
+            }
+            if interval.is_boundary(s.tsc) {
+                self.report.loss.boundary_samples += 1;
             }
             if let Some(func) = self.symtab.resolve(s.ip) {
                 let e = spans.entry(func).or_insert((s.tsc, s.tsc));
@@ -211,7 +547,7 @@ impl Worker {
         }
         let mut worst: Option<(FuncId, SimDuration, SimDuration)> = None;
         for (func, (first, last)) in spans {
-            let elapsed = self.config.freq.cycles_to_dur(last - first);
+            let elapsed = self.config.freq.cycles_to_dur(last.wrapping_sub(first));
             let (count, mean_ps) = self.baselines.entry(func).or_insert((0, 0.0));
             let diverges = *count >= self.config.warmup
                 && elapsed.as_ps() as f64 > *mean_ps * self.config.divergence_factor
@@ -219,6 +555,9 @@ impl Worker {
             if diverges {
                 let baseline = SimDuration::from_ps(*mean_ps as u64);
                 match worst {
+                    // `>=` keeps the first maximum; spans iterate in
+                    // FuncId order, so ties resolve deterministically to
+                    // the lowest FuncId.
                     Some((_, e, _)) if e >= elapsed => {}
                     _ => worst = Some((func, elapsed, baseline)),
                 }
@@ -240,58 +579,168 @@ impl Worker {
                 raw_samples: samples,
             });
         }
-        let mut live = self.live.lock();
-        live.items = self.report.items_processed;
-        live.anomalies = self.report.anomalies.len() as u64;
     }
 }
 
 impl OnlineTracer {
     /// Spawn the worker thread.
     pub fn spawn(symtab: Arc<SymbolTable>, config: OnlineConfig) -> Self {
+        Self::spawn_inner(symtab, config, None)
+    }
+
+    /// Spawn with a per-batch [`BatchInspector`] run inside the worker —
+    /// the fault-injection seam: tests and overload experiments use it
+    /// to stall the consumer (blocking in the hook) or to crash it
+    /// (panicking in the hook) at a chosen batch.
+    pub fn spawn_with_inspector(
+        symtab: Arc<SymbolTable>,
+        config: OnlineConfig,
+        inspector: impl FnMut(&TraceBundle) + Send + 'static,
+    ) -> Self {
+        Self::spawn_inner(symtab, config, Some(Box::new(inspector)))
+    }
+
+    fn spawn_inner(
+        symtab: Arc<SymbolTable>,
+        config: OnlineConfig,
+        inspector: Option<BatchInspector>,
+    ) -> Self {
         let (tx, rx) = bounded(config.channel_capacity);
         let live = Arc::new(Mutex::new(LiveStats::default()));
         let worker = Worker {
             symtab,
             config,
-            cores: HashMap::new(),
-            baselines: HashMap::new(),
+            cores: BTreeMap::new(),
+            baselines: BTreeMap::new(),
             report: OnlineReport::default(),
             live: Arc::clone(&live),
+            inspector,
         };
         let handle = std::thread::Builder::new()
             .name("fluctrace-online".into())
             .spawn(move || worker.run(rx))
+            // lint:allow(panic-safety): spawn fails only when the OS is out
+            // of threads at tracer startup, before any item is in flight.
             .expect("spawn online worker");
         OnlineTracer {
             tx: Some(tx),
             handle: Some(handle),
             live,
+            shed: Arc::new(ShedCounters::default()),
+            adaptive: Arc::new(Mutex::new(AdaptiveR::new(config.adaptive))),
         }
     }
 
-    /// Submit a batch (blocks when the channel is full — back-pressure).
-    pub fn submit(&self, batch: TraceBundle) {
-        self.tx
-            .as_ref()
-            .expect("tracer already finished")
-            .send(batch)
-            .expect("online worker died");
+    /// Run the adaptive policy against current channel occupancy and
+    /// thin the batch accordingly (counting what was shed).
+    fn degrade(&self, tx: &Sender<TraceBundle>, batch: &mut TraceBundle) {
+        let cap = tx.capacity();
+        let occupancy = if cap == 0 {
+            0.0
+        } else {
+            tx.len() as f64 / cap as f64
+        };
+        let factor = self.adaptive.lock().observe(occupancy) as usize;
+        if factor > 1 {
+            let before = batch.samples.len();
+            let mut i = 0usize;
+            batch.samples.retain(|_| {
+                let keep = i.is_multiple_of(factor);
+                i += 1;
+                keep
+            });
+            self.shed
+                .samples_thinned
+                .fetch_add((before - batch.samples.len()) as u64, Ordering::Relaxed);
+        }
     }
 
-    /// Snapshot of live counters.
+    /// Submit a batch, blocking when the channel is full (back-pressure).
+    ///
+    /// Never panics: if the worker is gone the undelivered batch comes
+    /// back in the [`SubmitError`].
+    pub fn submit(&self, mut batch: TraceBundle) -> Result<(), SubmitError> {
+        match self.tx.as_ref() {
+            Some(tx) => {
+                self.degrade(tx, &mut batch);
+                tx.send(batch)
+                    .map_err(|crossbeam::channel::SendError(batch)| SubmitError { batch })
+            }
+            None => Err(SubmitError { batch }),
+        }
+    }
+
+    /// Submit without blocking: a full channel **drops the batch** and
+    /// counts it in [`LossStats`] — the mode for collection threads that
+    /// must never stall the traced program.
+    pub fn try_submit(&self, mut batch: TraceBundle) -> Result<SubmitOutcome, SubmitError> {
+        let Some(tx) = self.tx.as_ref() else {
+            return Err(SubmitError { batch });
+        };
+        self.degrade(tx, &mut batch);
+        match tx.try_send(batch) {
+            Ok(()) => Ok(SubmitOutcome::Sent),
+            Err(TrySendError::Full(batch)) => {
+                self.shed.batches_dropped.fetch_add(1, Ordering::Relaxed);
+                self.shed
+                    .samples_dropped
+                    .fetch_add(batch.samples.len() as u64, Ordering::Relaxed);
+                Ok(SubmitOutcome::Dropped)
+            }
+            Err(TrySendError::Disconnected(batch)) => Err(SubmitError { batch }),
+        }
+    }
+
+    /// Batches currently queued for the worker.
+    pub fn backlog(&self) -> usize {
+        self.tx.as_ref().map_or(0, |tx| tx.len())
+    }
+
+    /// True when the worker has drained every submitted batch.
+    pub fn is_idle(&self) -> bool {
+        self.tx.as_ref().is_none_or(|tx| tx.is_empty())
+    }
+
+    /// Snapshot of live counters (worker progress plus producer-side
+    /// shed accounting).
     pub fn live(&self) -> LiveStats {
-        *self.live.lock()
+        let mut stats = *self.live.lock();
+        stats.loss.batches_dropped += self.shed.batches_dropped.load(Ordering::Relaxed);
+        stats.loss.samples_dropped += self.shed.samples_dropped.load(Ordering::Relaxed);
+        stats.loss.samples_thinned += self.shed.samples_thinned.load(Ordering::Relaxed);
+        stats
     }
 
     /// Close the stream and collect the final report.
-    pub fn finish(mut self) -> OnlineReport {
+    ///
+    /// A panic on the worker thread is contained here and surfaced as
+    /// [`OnlineError::WorkerPanicked`] instead of propagating.
+    pub fn finish(mut self) -> Result<OnlineReport, OnlineError> {
         drop(self.tx.take());
-        self.handle
-            .take()
-            .expect("already finished")
-            .join()
-            .expect("online worker panicked")
+        let Some(handle) = self.handle.take() else {
+            // Unreachable: `finish` consumes self and is the only taker.
+            return Err(OnlineError::WorkerPanicked("no worker handle".into()));
+        };
+        match handle.join() {
+            Ok(mut report) => {
+                report.loss.batches_dropped += self.shed.batches_dropped.load(Ordering::Relaxed);
+                report.loss.samples_dropped += self.shed.samples_dropped.load(Ordering::Relaxed);
+                report.loss.samples_thinned += self.shed.samples_thinned.load(Ordering::Relaxed);
+                report.degrade = self.adaptive.lock().stats();
+                Ok(report)
+            }
+            Err(payload) => Err(OnlineError::WorkerPanicked(panic_message(&*payload))),
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
     }
 }
 
@@ -299,6 +748,7 @@ impl Drop for OnlineTracer {
     fn drop(&mut self) {
         drop(self.tx.take());
         if let Some(h) = self.handle.take() {
+            // A worker panic must not propagate out of Drop.
             let _ = h.join();
         }
     }
@@ -348,6 +798,25 @@ mod tests {
         bundle
     }
 
+    fn sample(symtab: &SymbolTable, f: FuncId, tsc: u64) -> PebsRecord {
+        PebsRecord {
+            core: CoreId(0),
+            tsc,
+            ip: symtab.range(f).start,
+            r13: NO_TAG,
+            event: HwEvent::UopsRetired,
+        }
+    }
+
+    fn mark(tsc: u64, item: u64, kind: MarkKind) -> MarkRecord {
+        MarkRecord {
+            core: CoreId(0),
+            tsc,
+            item: ItemId(item),
+            kind,
+        }
+    }
+
     fn config() -> OnlineConfig {
         let mut c = OnlineConfig::new(Freq::ghz(3));
         c.warmup = 8;
@@ -359,14 +828,18 @@ mod tests {
         let (symtab, f) = symtab();
         let tracer = OnlineTracer::spawn(Arc::clone(&symtab), config());
         for i in 0..50u64 {
-            tracer.submit(item_batch(&symtab, f, i, i * 100_000, 3_000));
+            tracer
+                .submit(item_batch(&symtab, f, i, i * 100_000, 3_000))
+                .unwrap();
         }
-        let report = tracer.finish();
+        let report = tracer.finish().unwrap();
         assert_eq!(report.items_processed, 50);
         assert!(report.anomalies.is_empty());
         assert_eq!(report.bytes_dumped, 0);
         assert_eq!(report.reduction_factor(), f64::INFINITY);
         assert_eq!(report.samples_seen, 100);
+        assert!(report.loss.is_clean());
+        assert_eq!(report.degrade, DegradeStats::default());
     }
 
     #[test]
@@ -375,9 +848,11 @@ mod tests {
         let tracer = OnlineTracer::spawn(Arc::clone(&symtab), config());
         for i in 0..30u64 {
             let cycles = if i == 20 { 30_000 } else { 3_000 };
-            tracer.submit(item_batch(&symtab, f, i, i * 100_000, cycles));
+            tracer
+                .submit(item_batch(&symtab, f, i, i * 100_000, cycles))
+                .unwrap();
         }
-        let report = tracer.finish();
+        let report = tracer.finish().unwrap();
         assert_eq!(report.anomalies.len(), 1);
         let a = &report.anomalies[0];
         assert_eq!(a.item, ItemId(20));
@@ -397,9 +872,11 @@ mod tests {
         let tracer = OnlineTracer::spawn(Arc::clone(&symtab), cfg);
         // The very first items are wildly different but within warm-up.
         for i in 0..5u64 {
-            tracer.submit(item_batch(&symtab, f, i, i * 1_000_000, 3_000 * (i + 1)));
+            tracer
+                .submit(item_batch(&symtab, f, i, i * 1_000_000, 3_000 * (i + 1)))
+                .unwrap();
         }
-        let report = tracer.finish();
+        let report = tracer.finish().unwrap();
         assert!(report.anomalies.is_empty());
     }
 
@@ -411,10 +888,12 @@ mod tests {
         let mut base = 0u64;
         for i in 0..40u64 {
             let cycles = if i >= 10 && i % 2 == 0 { 30_000 } else { 3_000 };
-            tracer.submit(item_batch(&symtab, f, i, base, cycles));
+            tracer
+                .submit(item_batch(&symtab, f, i, base, cycles))
+                .unwrap();
             base += 1_000_000;
         }
-        let report = tracer.finish();
+        let report = tracer.finish().unwrap();
         // All 15 huge items after warm-up are flagged (the baseline does
         // not creep toward them).
         assert_eq!(report.anomalies.len(), 15, "{:?}", report.anomalies.len());
@@ -425,9 +904,11 @@ mod tests {
         let (symtab, f) = symtab();
         let tracer = OnlineTracer::spawn(Arc::clone(&symtab), config());
         for i in 0..10u64 {
-            tracer.submit(item_batch(&symtab, f, i, i * 100_000, 3_000));
+            tracer
+                .submit(item_batch(&symtab, f, i, i * 100_000, 3_000))
+                .unwrap();
         }
-        let report = tracer.finish();
+        let report = tracer.finish().unwrap();
         assert_eq!(report.items_processed, 10);
     }
 
@@ -443,10 +924,232 @@ mod tests {
         let mut second = TraceBundle::default();
         second.samples.push(full.samples[1]);
         second.marks.push(full.marks[1]);
-        tracer.submit(first);
-        tracer.submit(second);
-        let report = tracer.finish();
+        tracer.submit(first).unwrap();
+        tracer.submit(second).unwrap();
+        let report = tracer.finish().unwrap();
         assert_eq!(report.items_processed, 1);
         assert_eq!(report.samples_seen, 2);
+    }
+
+    #[test]
+    fn boundary_samples_attribute_to_the_item() {
+        // Regression: a sample at `tsc == end_tsc` (and one at
+        // `tsc == start_tsc`) must be attributed to the item, matching
+        // the inclusive bounds of the offline `ItemInterval::contains`.
+        let (symtab, f) = symtab();
+        let tracer = OnlineTracer::spawn(Arc::clone(&symtab), config());
+        let mut bundle = TraceBundle::default();
+        bundle.marks.push(mark(1_000, 7, MarkKind::Start));
+        bundle.samples.push(sample(&symtab, f, 1_000)); // at start_tsc
+        bundle.samples.push(sample(&symtab, f, 4_000)); // at end_tsc
+        bundle.marks.push(mark(4_000, 7, MarkKind::End));
+        tracer.submit(bundle).unwrap();
+        let report = tracer.finish().unwrap();
+        assert_eq!(report.items_processed, 1);
+        assert_eq!(report.loss.boundary_samples, 2);
+        assert!(report.loss.samples_lost() == 0);
+        // Both boundary samples span the full item: a second identical
+        // item would produce the same baseline, so feed enough to verify
+        // the span was 3000 cycles (1 us at 3 GHz) via an anomaly probe.
+        let tracer = OnlineTracer::spawn(Arc::clone(&symtab), config());
+        for i in 0..20u64 {
+            let base = 10_000 + i * 100_000;
+            let mut b = TraceBundle::default();
+            b.marks.push(mark(base, i, MarkKind::Start));
+            b.samples.push(sample(&symtab, f, base));
+            b.samples.push(sample(&symtab, f, base + 3_000));
+            b.marks.push(mark(base + 3_000, i, MarkKind::End));
+            tracer.submit(b).unwrap();
+        }
+        // Diverging item measured purely by boundary samples.
+        let mut b = TraceBundle::default();
+        b.marks.push(mark(10_000_000, 99, MarkKind::Start));
+        b.samples.push(sample(&symtab, f, 10_000_000));
+        b.samples.push(sample(&symtab, f, 10_030_000));
+        b.marks.push(mark(10_030_000, 99, MarkKind::End));
+        tracer.submit(b).unwrap();
+        let report = tracer.finish().unwrap();
+        assert_eq!(report.anomalies.len(), 1);
+        assert_eq!(report.anomalies[0].item, ItemId(99));
+        assert_eq!(report.anomalies[0].elapsed, SimDuration::from_us(10));
+    }
+
+    #[test]
+    fn mismatched_end_is_counted_not_silent() {
+        let (symtab, f) = symtab();
+        let tracer = OnlineTracer::spawn(Arc::clone(&symtab), config());
+        let mut bundle = TraceBundle::default();
+        bundle.marks.push(mark(100, 1, MarkKind::Start));
+        bundle.samples.push(sample(&symtab, f, 200));
+        bundle.samples.push(sample(&symtab, f, 300));
+        bundle.marks.push(mark(400, 9, MarkKind::End)); // wrong item
+        tracer.submit(bundle).unwrap();
+        let report = tracer.finish().unwrap();
+        assert_eq!(report.items_processed, 0);
+        assert_eq!(report.loss.marks_mismatched, 1);
+        assert_eq!(report.loss.samples_discarded, 2);
+        assert!(!report.loss.is_clean());
+    }
+
+    #[test]
+    fn orphan_end_and_abandoned_start_are_counted() {
+        let (symtab, f) = symtab();
+        let tracer = OnlineTracer::spawn(Arc::clone(&symtab), config());
+        let mut bundle = TraceBundle::default();
+        bundle.marks.push(mark(100, 1, MarkKind::End)); // orphan
+        bundle.marks.push(mark(200, 2, MarkKind::Start));
+        bundle.samples.push(sample(&symtab, f, 250));
+        bundle.marks.push(mark(300, 3, MarkKind::Start)); // abandons 2
+        bundle.samples.push(sample(&symtab, f, 350));
+        bundle.marks.push(mark(400, 3, MarkKind::End));
+        tracer.submit(bundle).unwrap();
+        let report = tracer.finish().unwrap();
+        assert_eq!(report.loss.marks_orphaned, 1);
+        assert_eq!(report.loss.starts_abandoned, 1);
+        assert_eq!(report.loss.samples_discarded, 1);
+        assert_eq!(report.items_processed, 1);
+    }
+
+    #[test]
+    fn pending_is_bounded_with_eviction_accounting() {
+        let (symtab, f) = symtab();
+        let mut cfg = config();
+        cfg.max_pending = 8;
+        let tracer = OnlineTracer::spawn(Arc::clone(&symtab), cfg);
+        // A Start whose End never arrives, followed by a long burst.
+        let mut bundle = TraceBundle::default();
+        bundle.marks.push(mark(100, 1, MarkKind::Start));
+        for i in 0..100u64 {
+            bundle.samples.push(sample(&symtab, f, 200 + i));
+        }
+        tracer.submit(bundle).unwrap();
+        let report = tracer.finish().unwrap();
+        assert_eq!(report.loss.samples_evicted, 100 - 8);
+        assert_eq!(report.samples_seen, 100);
+    }
+
+    #[test]
+    fn anomaly_func_tie_breaks_deterministically() {
+        // Two functions with identical diverging spans: the serialized
+        // anomaly must always name the lowest FuncId.
+        let mut b = SymbolTableBuilder::new();
+        let f = b.add("f", 100);
+        let g = b.add("g", 100);
+        let symtab = b.build().into_shared();
+        let tracer = OnlineTracer::spawn(Arc::clone(&symtab), config());
+        for i in 0..20u64 {
+            let base = i * 1_000_000;
+            let cycles = if i == 15 { 30_000 } else { 3_000 };
+            let mut bundle = TraceBundle::default();
+            bundle.marks.push(mark(base, i, MarkKind::Start));
+            for func in [f, g] {
+                bundle.samples.push(sample(&symtab, func, base + 10));
+                bundle
+                    .samples
+                    .push(sample(&symtab, func, base + 10 + cycles));
+            }
+            bundle
+                .marks
+                .push(mark(base + cycles + 100, i, MarkKind::End));
+            tracer.submit(bundle).unwrap();
+        }
+        let report = tracer.finish().unwrap();
+        assert_eq!(report.anomalies.len(), 1);
+        assert_eq!(report.anomalies[0].func, f.min(g));
+    }
+
+    #[test]
+    fn adaptive_policy_doubles_and_recovers() {
+        let mut policy = AdaptiveR::new(AdaptiveConfig::new());
+        assert_eq!(policy.observe(0.5), 1, "between watermarks: hold");
+        assert_eq!(policy.observe(0.8), 2, "high water: double");
+        assert_eq!(policy.observe(0.9), 4);
+        assert_eq!(policy.observe(0.5), 4, "between watermarks: hold");
+        assert_eq!(policy.observe(0.1), 2, "low water: halve");
+        assert_eq!(policy.observe(0.0), 1);
+        assert_eq!(policy.observe(0.0), 1, "floor at full rate");
+        let stats = policy.stats();
+        assert_eq!(stats.episodes, 1);
+        assert_eq!(stats.peak_factor, 4);
+        assert_eq!(stats.final_factor, 1);
+        // Factor is capped.
+        let mut policy = AdaptiveR::new(AdaptiveConfig {
+            max_factor: 8,
+            ..AdaptiveConfig::new()
+        });
+        for _ in 0..10 {
+            policy.observe(1.0);
+        }
+        assert_eq!(policy.factor(), 8);
+        // Disabled: always 1.
+        let mut off = AdaptiveR::new(AdaptiveConfig::disabled());
+        for _ in 0..10 {
+            assert_eq!(off.observe(1.0), 1);
+        }
+        assert_eq!(off.stats().episodes, 0);
+    }
+
+    #[test]
+    fn submit_after_worker_death_returns_the_batch() {
+        let (symtab, f) = symtab();
+        let tracer = OnlineTracer::spawn_with_inspector(Arc::clone(&symtab), config(), |_batch| {
+            panic!("injected worker fault");
+        });
+        // The worker dies on the first batch; subsequent submits must
+        // fail cleanly and hand the batch back.
+        let _ = tracer.submit(item_batch(&symtab, f, 0, 0, 3_000));
+        let mut returned = None;
+        for i in 1..100u64 {
+            let batch = item_batch(&symtab, f, i, i * 100_000, 3_000);
+            match tracer.submit(batch) {
+                Ok(()) => {}
+                Err(SubmitError { batch }) => {
+                    returned = Some(batch);
+                    break;
+                }
+            }
+        }
+        let returned = returned.expect("worker death must surface");
+        assert_eq!(returned.samples.len(), 2);
+        match tracer.finish() {
+            Err(OnlineError::WorkerPanicked(msg)) => {
+                assert!(msg.contains("injected worker fault"), "{msg}");
+            }
+            Ok(_) => panic!("finish must report the worker panic"),
+        }
+    }
+
+    #[test]
+    fn drop_contains_worker_panic() {
+        let (symtab, f) = symtab();
+        let tracer = OnlineTracer::spawn_with_inspector(Arc::clone(&symtab), config(), |_batch| {
+            panic!("injected worker fault");
+        });
+        let _ = tracer.submit(item_batch(&symtab, f, 0, 0, 3_000));
+        // Dropping the tracer while the worker is panicking must not
+        // propagate the panic into this thread.
+        drop(tracer);
+    }
+
+    #[test]
+    fn is_idle_and_backlog_report_channel_state() {
+        let (symtab, f) = symtab();
+        // Gate the worker so batches stay queued deterministically.
+        let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
+        let tracer =
+            OnlineTracer::spawn_with_inspector(Arc::clone(&symtab), config(), move |_batch| {
+                let _ = gate_rx.recv();
+            });
+        assert!(tracer.is_idle());
+        assert_eq!(tracer.backlog(), 0);
+        tracer.submit(item_batch(&symtab, f, 0, 0, 3_000)).unwrap();
+        tracer
+            .submit(item_batch(&symtab, f, 1, 100_000, 3_000))
+            .unwrap();
+        // At least one batch is still queued until the gate opens twice.
+        gate_tx.send(()).unwrap();
+        gate_tx.send(()).unwrap();
+        let report = tracer.finish().unwrap();
+        assert_eq!(report.items_processed, 2);
     }
 }

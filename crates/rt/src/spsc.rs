@@ -115,6 +115,14 @@ impl<T> RingProducer<T> {
         self.ring.capacity
     }
 
+    /// Fraction of the ring currently occupied, in `[0, 1]` (approximate
+    /// under concurrency). The producer-side overload probe: a pipeline
+    /// stage or tracer watches this against a high-water mark to decide
+    /// when to shed load instead of blocking.
+    pub fn occupancy(&self) -> f64 {
+        self.len() as f64 / self.ring.capacity as f64
+    }
+
     /// True when the consumer half has been dropped.
     pub fn is_disconnected(&self) -> bool {
         Arc::strong_count(&self.ring) == 1
@@ -161,6 +169,14 @@ impl<T> RingConsumer<T> {
     /// True when no items are buffered (approximate under concurrency).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Fraction of the ring currently occupied, in `[0, 1]` (approximate
+    /// under concurrency). The consumer-side mirror of
+    /// [`RingProducer::occupancy`]: a draining thread can use it to tell
+    /// how far behind it is running.
+    pub fn occupancy(&self) -> f64 {
+        self.len() as f64 / self.ring.capacity as f64
     }
 
     /// True when the producer half has been dropped.
@@ -219,6 +235,21 @@ mod tests {
             assert_eq!(rx.pop(), Some(i));
         }
         assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn occupancy_tracks_fill_level() {
+        let (mut tx, mut rx) = spsc_ring::<u32>(4);
+        assert_eq!(tx.occupancy(), 0.0);
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        assert_eq!(tx.occupancy(), 0.5);
+        assert_eq!(rx.occupancy(), 0.5);
+        tx.push(3).unwrap();
+        tx.push(4).unwrap();
+        assert_eq!(tx.occupancy(), 1.0);
+        rx.pop().unwrap();
+        assert_eq!(rx.occupancy(), 0.75);
     }
 
     #[test]

@@ -1,0 +1,240 @@
+//! Deterministic fault injection for stream-processing experiments.
+//!
+//! Like everything in `fluctrace-sim` this module is domain-free: it
+//! knows nothing about marks, TSCs or PEBS. It models an abstract
+//! stream of *delimited work items* — each item opened by one delimiter
+//! and closed by another — and produces, from a seed, a reproducible
+//! schedule of the three fault classes an overload experiment needs:
+//!
+//! * [`Fault::DropOpen`] — the opening delimiter is lost in transit
+//!   (the closing one arrives orphaned);
+//! * [`Fault::CorruptClose`] — the closing delimiter carries the wrong
+//!   identity (it no longer matches the open item);
+//! * [`Fault::Burst`] — the item carries a flood of extra events (a
+//!   sample burst that stresses bounded buffers).
+//!
+//! The schedule is a pure function of `(plan, items, seed)`, so an
+//! experiment can compute the *expected* loss totals independently of
+//! the component under test and assert exact agreement.
+
+use crate::rng::Rng;
+
+/// The fault injected into one work item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// No fault: the item is delivered intact.
+    None,
+    /// The opening delimiter is dropped.
+    DropOpen,
+    /// The closing delimiter carries a wrong identity.
+    CorruptClose,
+    /// The item carries this many extra events.
+    Burst(u32),
+}
+
+/// Per-mille fault rates plus burst sizing; [`FaultPlan::schedule`]
+/// expands a plan into a concrete per-item [`FaultSchedule`].
+///
+/// At most one fault is injected per item (the rates are treated as
+/// disjoint slices of the per-mille space, so their sum must be
+/// ≤ 1000).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Per-mille of items whose opening delimiter is dropped.
+    pub drop_open_per_mille: u32,
+    /// Per-mille of items whose closing delimiter is corrupted.
+    pub corrupt_close_per_mille: u32,
+    /// Per-mille of items that receive an event burst.
+    pub burst_per_mille: u32,
+    /// Extra events per burst (fixed, so expected totals are exact).
+    pub burst_len: u32,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> Self {
+        FaultPlan {
+            drop_open_per_mille: 0,
+            corrupt_close_per_mille: 0,
+            burst_per_mille: 0,
+            burst_len: 0,
+        }
+    }
+
+    /// Expand the plan into a per-item schedule, deterministically from
+    /// `seed`. Panics if the rates sum past 1000.
+    pub fn schedule(&self, items: usize, seed: u64) -> FaultSchedule {
+        let total = self.drop_open_per_mille + self.corrupt_close_per_mille + self.burst_per_mille;
+        assert!(total <= 1000, "fault rates sum to {total} > 1000 per mille");
+        let mut rng = Rng::new(seed);
+        let faults = (0..items)
+            .map(|_| {
+                let r = rng.gen_below(1000) as u32;
+                if r < self.drop_open_per_mille {
+                    Fault::DropOpen
+                } else if r < self.drop_open_per_mille + self.corrupt_close_per_mille {
+                    Fault::CorruptClose
+                } else if r < total {
+                    Fault::Burst(self.burst_len)
+                } else {
+                    Fault::None
+                }
+            })
+            .collect();
+        FaultSchedule { faults }
+    }
+}
+
+/// A concrete per-item fault assignment produced by
+/// [`FaultPlan::schedule`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSchedule {
+    faults: Vec<Fault>,
+}
+
+impl FaultSchedule {
+    /// The fault for item `i` ([`Fault::None`] past the end).
+    pub fn get(&self, i: usize) -> Fault {
+        self.faults.get(i).copied().unwrap_or(Fault::None)
+    }
+
+    /// Number of scheduled items.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// True for an empty schedule.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Iterate the per-item faults in order.
+    pub fn iter(&self) -> impl Iterator<Item = Fault> + '_ {
+        self.faults.iter().copied()
+    }
+
+    /// Tally the schedule — the ground truth an exactness test compares
+    /// observed loss accounting against.
+    pub fn counts(&self) -> FaultCounts {
+        let mut c = FaultCounts::default();
+        for f in &self.faults {
+            match f {
+                Fault::None => {}
+                Fault::DropOpen => c.drop_open += 1,
+                Fault::CorruptClose => c.corrupt_close += 1,
+                Fault::Burst(n) => {
+                    c.bursts += 1;
+                    c.burst_events += u64::from(*n);
+                }
+            }
+        }
+        c
+    }
+}
+
+/// Ground-truth totals of a [`FaultSchedule`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Items whose opening delimiter was dropped.
+    pub drop_open: u64,
+    /// Items whose closing delimiter was corrupted.
+    pub corrupt_close: u64,
+    /// Items that received a burst.
+    pub bursts: u64,
+    /// Total extra events across all bursts.
+    pub burst_events: u64,
+}
+
+/// A scripted consumer-pressure waveform: a triangle wave of queue
+/// occupancy in `[0, peak]` with the given period, starting and ending
+/// each period at zero.
+///
+/// Overload experiments drive adaptive-degradation policies with this
+/// instead of real queue occupancy so the resulting episode counts are
+/// reproducible (real occupancy depends on scheduler timing).
+pub fn occupancy_wave(steps: usize, period: usize, peak: f64) -> Vec<f64> {
+    assert!(period >= 2, "occupancy_wave period must be >= 2");
+    let half = period / 2;
+    (0..steps)
+        .map(|i| {
+            let pos = i % period;
+            let frac = if pos <= half {
+                pos as f64 / half as f64
+            } else {
+                (period - pos) as f64 / (period - half) as f64
+            };
+            frac * peak
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let plan = FaultPlan {
+            drop_open_per_mille: 50,
+            corrupt_close_per_mille: 30,
+            burst_per_mille: 20,
+            burst_len: 7,
+        };
+        let a = plan.schedule(5_000, 42);
+        let b = plan.schedule(5_000, 42);
+        assert_eq!(a, b);
+        let c = plan.schedule(5_000, 43);
+        assert_ne!(a, c, "different seeds give different schedules");
+    }
+
+    #[test]
+    fn counts_match_manual_tally() {
+        let plan = FaultPlan {
+            drop_open_per_mille: 100,
+            corrupt_close_per_mille: 50,
+            burst_per_mille: 25,
+            burst_len: 3,
+        };
+        let sched = plan.schedule(10_000, 7);
+        let counts = sched.counts();
+        let drop = sched.iter().filter(|f| *f == Fault::DropOpen).count() as u64;
+        assert_eq!(counts.drop_open, drop);
+        assert_eq!(counts.burst_events, counts.bursts * 3);
+        // Rates land in the right ballpark (±50% at these counts).
+        assert!((500..1500).contains(&counts.drop_open), "{counts:?}");
+        assert!((250..750).contains(&counts.corrupt_close), "{counts:?}");
+    }
+
+    #[test]
+    fn zero_plan_injects_nothing() {
+        let sched = FaultPlan::none().schedule(1_000, 1);
+        assert_eq!(sched.counts(), FaultCounts::default());
+        assert!(sched.iter().all(|f| f == Fault::None));
+        assert_eq!(sched.get(5_000), Fault::None, "past the end is None");
+    }
+
+    #[test]
+    #[should_panic(expected = "per mille")]
+    fn overfull_rates_panic() {
+        FaultPlan {
+            drop_open_per_mille: 600,
+            corrupt_close_per_mille: 600,
+            burst_per_mille: 0,
+            burst_len: 0,
+        }
+        .schedule(10, 0);
+    }
+
+    #[test]
+    fn wave_spans_zero_to_peak() {
+        let wave = occupancy_wave(40, 10, 0.9);
+        assert_eq!(wave.len(), 40);
+        assert!(wave.iter().all(|&v| (0.0..=0.9).contains(&v)));
+        assert_eq!(wave[0], 0.0);
+        assert_eq!(wave[5], 0.9, "peak at mid-period");
+        assert_eq!(wave[10], 0.0, "back to zero each period");
+        // The wave actually rises and falls.
+        assert!(wave[3] > wave[1]);
+        assert!(wave[8] < wave[6]);
+    }
+}

@@ -18,6 +18,9 @@
 //!   a cancellable scheduler ([`Scheduler`]).
 //! * [`stats`] — Welford running statistics, percentile summaries and
 //!   histograms used throughout the evaluation harness.
+//! * [`fault`] — deterministic fault schedules (dropped/corrupted item
+//!   delimiters, event bursts) and scripted pressure waveforms for
+//!   overload-robustness experiments.
 //!
 //! ## Example
 //!
@@ -36,11 +39,13 @@
 #![forbid(unsafe_code)]
 
 pub mod event;
+pub mod fault;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use event::{EventHandle, EventQueue, Scheduler};
+pub use fault::{occupancy_wave, Fault, FaultCounts, FaultPlan, FaultSchedule};
 pub use rng::Rng;
 pub use stats::{Histogram, RunningStats, Summary};
 pub use time::{Freq, SimDuration, SimTime};

@@ -40,15 +40,26 @@ fn main() {
         core.exec(Exec::new(commit, commit_uops));
         core.mark_item_end(ItemId(item));
         if item % 64 == 63 {
-            tracer.submit(core.drain_trace());
+            tracer
+                .submit(core.drain_trace())
+                .expect("online worker alive");
         }
     }
-    tracer.submit(core.drain_trace());
+    tracer
+        .submit(core.drain_trace())
+        .expect("online worker alive");
 
-    let report = tracer.finish();
+    let report = tracer.finish().expect("online worker exits cleanly");
     println!(
         "processed {} items, {} samples ({} bytes of PEBS data)",
         report.items_processed, report.samples_seen, report.bytes_seen
+    );
+    println!(
+        "loss accounting: {} samples lost, {} marks orphaned/mismatched, \
+         {} boundary samples attributed",
+        report.loss.samples_lost(),
+        report.loss.marks_orphaned + report.loss.marks_mismatched,
+        report.loss.boundary_samples
     );
     println!(
         "kept raw samples for {} diverging item(s) — {} bytes, a {:.0}x volume reduction",

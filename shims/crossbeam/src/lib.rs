@@ -46,6 +46,25 @@ pub mod channel {
     #[derive(Debug)]
     pub struct SendError<T>(pub T);
 
+    /// Error from [`Sender::try_send`]: the channel was full or the
+    /// receivers are gone; the message is handed back either way.
+    #[derive(Debug)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity.
+        Full(T),
+        /// All receivers have been dropped.
+        Disconnected(T),
+    }
+
+    impl<T> std::fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
+        }
+    }
+
     impl<T> std::fmt::Display for SendError<T> {
         fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
             f.write_str("sending on a disconnected channel")
@@ -82,6 +101,36 @@ pub mod channel {
                 }
                 state = self.inner.not_full.wait(state).unwrap();
             }
+        }
+
+        /// Enqueue without blocking; fails with [`TrySendError::Full`]
+        /// when the channel is at capacity.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.inner.state.lock().unwrap();
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if state.queue.len() >= self.inner.capacity {
+                return Err(TrySendError::Full(value));
+            }
+            state.queue.push_back(value);
+            self.inner.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.inner.state.lock().unwrap().queue.len()
+        }
+
+        /// True when no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Channel capacity (the bound passed to [`bounded`]).
+        pub fn capacity(&self) -> usize {
+            self.inner.capacity
         }
     }
 
@@ -169,6 +218,21 @@ pub mod channel {
             let (tx, rx) = bounded::<u32>(1);
             drop(rx);
             assert!(tx.send(7).is_err());
+        }
+
+        #[test]
+        fn try_send_reports_full_and_disconnected() {
+            let (tx, rx) = bounded::<u32>(2);
+            assert_eq!(tx.capacity(), 2);
+            assert!(tx.is_empty());
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert_eq!(tx.len(), 2);
+            assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+            assert_eq!(rx.recv(), Ok(1));
+            tx.try_send(3).unwrap();
+            drop(rx);
+            assert!(matches!(tx.try_send(4), Err(TrySendError::Disconnected(4))));
         }
     }
 }

@@ -26,11 +26,11 @@ fn run_stream(slow_every: u64, items: u64, batch: u64) -> fluctrace::core::Onlin
         core.exec(Exec::new(work, uops));
         core.mark_item_end(ItemId(item));
         if item % batch == batch - 1 {
-            tracer.submit(core.drain_trace());
+            tracer.submit(core.drain_trace()).expect("worker alive");
         }
     }
-    tracer.submit(core.drain_trace());
-    tracer.finish()
+    tracer.submit(core.drain_trace()).expect("worker alive");
+    tracer.finish().expect("worker exits cleanly")
 }
 
 #[test]
@@ -77,10 +77,10 @@ fn online_matches_offline_estimates() {
         if item % 20 == 19 {
             let batch = core.drain_trace();
             offline_bundle.merge(batch.clone());
-            tracer.submit(batch);
+            tracer.submit(batch).expect("worker alive");
         }
     }
-    let report = tracer.finish();
+    let report = tracer.finish().expect("worker exits cleanly");
     assert_eq!(report.anomalies.len(), 1);
     let anomaly = &report.anomalies[0];
     assert_eq!(anomaly.item, ItemId(150));
@@ -95,4 +95,74 @@ fn online_matches_offline_estimates() {
     let table = fluctrace::core::EstimateTable::from_integrated(&it);
     let offline = table.get(ItemId(150), work).unwrap();
     assert_eq!(offline.elapsed, anomaly.elapsed);
+}
+
+#[test]
+fn boundary_samples_attribute_identically_online_and_offline() {
+    // Regression for the end-boundary loss bug: `ItemInterval::contains`
+    // is inclusive at both ends, so a sample whose TSC equals the Start
+    // or End mark belongs to the item offline — the online merge must
+    // agree, or online and offline estimates drift apart.
+    use fluctrace::cpu::{CoreId, HwEvent, MarkKind, MarkRecord, PebsRecord, TraceBundle, NO_TAG};
+    let mut b = SymbolTableBuilder::new();
+    let work = b.add("work", 4096);
+    let symtab = b.build();
+    let ip = symtab.range(work).start;
+    let mut bundle = TraceBundle::default();
+    let mark = |tsc, item, kind| MarkRecord {
+        core: CoreId(0),
+        tsc,
+        item: ItemId(item),
+        kind,
+    };
+    let sample = |tsc| PebsRecord {
+        core: CoreId(0),
+        tsc,
+        ip,
+        r13: NO_TAG,
+        event: HwEvent::UopsRetired,
+    };
+    // 39 baseline items: samples exactly at start, middle and end.
+    for item in 0..39u64 {
+        let base = (item + 1) * 100_000;
+        let end = base + 3_000;
+        bundle.marks.push(mark(base, item, MarkKind::Start));
+        bundle.marks.push(mark(end, item, MarkKind::End));
+        for tsc in [base, base + 1_500, end] {
+            bundle.samples.push(sample(tsc));
+        }
+    }
+    // One diverging item measured *only* by its two boundary samples.
+    let base = 40 * 100_000;
+    let end = base + 30_000;
+    bundle.marks.push(mark(base, 39, MarkKind::Start));
+    bundle.marks.push(mark(end, 39, MarkKind::End));
+    bundle.samples.push(sample(base));
+    bundle.samples.push(sample(end));
+    bundle.sort();
+
+    let it = fluctrace::core::integrate(
+        &bundle,
+        &symtab,
+        Freq::ghz(3),
+        fluctrace::core::MappingMode::Intervals,
+    );
+    let table = fluctrace::core::EstimateTable::from_integrated(&it);
+    let offline = table.get(ItemId(39), work).unwrap();
+
+    let tracer = OnlineTracer::spawn(
+        symtab.clone().into_shared(),
+        OnlineConfig::new(Freq::ghz(3)),
+    );
+    tracer.submit(bundle).expect("worker alive");
+    let report = tracer.finish().expect("worker exits cleanly");
+    assert_eq!(report.items_processed, 40);
+    assert!(report.loss.samples_lost() == 0, "{:?}", report.loss);
+    // 2 boundary samples on every item, all attributed.
+    assert_eq!(report.loss.boundary_samples, 2 * 40);
+    // The diverging item's estimate — made entirely of boundary samples —
+    // matches the offline pipeline exactly.
+    assert_eq!(report.anomalies.len(), 1);
+    assert_eq!(report.anomalies[0].item, ItemId(39));
+    assert_eq!(report.anomalies[0].elapsed, offline.elapsed);
 }

@@ -1,0 +1,129 @@
+//! Fault-injection suite for the online tracer: under injected mark
+//! loss, sample bursts and slow-consumer stalls the tracer must never
+//! panic, never grow without bound, and account for every shed record
+//! exactly (property-tested against the ground truth of the
+//! deterministic fault schedule).
+
+use fluctrace::core::{OnlineConfig, OnlineError, OnlineTracer, SubmitError};
+use fluctrace::sim::{FaultPlan, Freq};
+use fluctrace_bench::overload_experiment::{
+    expected_losses, faulted_batch, overload_symtab, run_overload, run_stall, OverloadConfig,
+};
+use std::sync::Arc;
+
+proptest::proptest! {
+    /// For any fault mix, batch sizing and pending bound, the tracer's
+    /// loss accounting equals the schedule's ground truth to the unit.
+    #[test]
+    fn prop_loss_accounting_is_exact(
+        drop_pm in 0u32..200,
+        corrupt_pm in 0u32..200,
+        burst_pm in 0u32..200,
+        burst_len in 1u32..120,
+        max_pending in 4usize..64,
+        seed in 0u64..1_000,
+    ) {
+        let plan = FaultPlan {
+            drop_open_per_mille: drop_pm,
+            corrupt_close_per_mille: corrupt_pm,
+            burst_per_mille: burst_pm,
+            burst_len,
+        };
+        let items = 120;
+        let cfg = OverloadConfig {
+            items,
+            schedule: plan.schedule(items, seed),
+            max_pending,
+        };
+        let r = run_overload(&cfg);
+        proptest::prop_assert!(
+            r.accounting_exact(),
+            "reported {:?} but schedule implies {:?}",
+            r.report.loss,
+            r.expected
+        );
+        // Conservation: every sample is attributed, counted as lost, or
+        // was a never-attributed orphan-item sample (2 per orphan).
+        let attributed = r.report.samples_seen
+            - r.report.loss.samples_lost()
+            - 2 * r.report.loss.marks_orphaned;
+        proptest::prop_assert!(attributed <= r.report.samples_seen);
+    }
+
+    /// The stall scenario drops exactly the batches that exceed the
+    /// channel, for any batch count and capacity.
+    #[test]
+    fn prop_stall_drop_count_is_exact(
+        total in 2usize..60,
+        capacity in 1usize..16,
+    ) {
+        let r = run_stall(total, capacity);
+        proptest::prop_assert_eq!(r.batches_dropped, r.expected_dropped);
+        let sent = (total as u64 - 1).min(capacity as u64) + 1;
+        proptest::prop_assert_eq!(r.items_processed, sent);
+    }
+}
+
+#[test]
+fn expected_losses_of_empty_schedule_are_zero() {
+    let sched = FaultPlan::none().schedule(0, 0);
+    assert_eq!(
+        expected_losses(&sched, 16),
+        fluctrace_bench::overload_experiment::ExpectedLosses::default()
+    );
+}
+
+#[test]
+fn worker_panic_surfaces_as_error_not_hang() {
+    let (symtab, f) = overload_symtab();
+    let cfg = OnlineConfig::new(Freq::ghz(3));
+    let tracer = OnlineTracer::spawn_with_inspector(Arc::clone(&symtab), cfg, |batch| {
+        if batch.samples.len() > 1 {
+            panic!("injected consumer crash");
+        }
+    });
+    // Keep submitting after the crash: `submit` must return the batch
+    // via SubmitError once the worker is gone — never panic, never hang.
+    let mut surfaced = false;
+    for i in 0..200 {
+        let batch = faulted_batch(&symtab, f, i, fluctrace::sim::Fault::None);
+        if let Err(SubmitError { batch }) = tracer.submit(batch) {
+            assert!(!batch.samples.is_empty(), "batch comes back intact");
+            surfaced = true;
+            break;
+        }
+    }
+    assert!(surfaced, "worker death must surface to the producer");
+    match tracer.finish() {
+        Err(OnlineError::WorkerPanicked(msg)) => {
+            assert!(msg.contains("injected consumer crash"), "{msg}")
+        }
+        Ok(_) => panic!("finish must report the worker panic"),
+    }
+}
+
+#[test]
+fn dropping_a_tracer_with_a_panicked_worker_is_quiet() {
+    let (symtab, f) = overload_symtab();
+    let tracer = OnlineTracer::spawn_with_inspector(
+        Arc::clone(&symtab),
+        OnlineConfig::new(Freq::ghz(3)),
+        |_| panic!("injected consumer crash"),
+    );
+    let _ = tracer.submit(faulted_batch(&symtab, f, 0, fluctrace::sim::Fault::None));
+    // Drop must swallow the worker's panic (a panic here would abort the
+    // test process via double-panic if Drop re-raised during unwind).
+    drop(tracer);
+}
+
+#[test]
+fn dropping_an_unfinished_tracer_is_quiet() {
+    let (symtab, f) = overload_symtab();
+    let tracer = OnlineTracer::spawn(Arc::clone(&symtab), OnlineConfig::new(Freq::ghz(3)));
+    for i in 0..50 {
+        tracer
+            .submit(faulted_batch(&symtab, f, i, fluctrace::sim::Fault::None))
+            .expect("worker alive");
+    }
+    drop(tracer); // no finish(): Drop joins the worker quietly
+}
