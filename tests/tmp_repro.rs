@@ -1,0 +1,25 @@
+use fluctrace::sim::FaultPlan;
+use fluctrace_bench::overload_experiment::{run_overload, OverloadConfig};
+
+#[test]
+fn consecutive_drop_open_eviction_accounting() {
+    let plan = FaultPlan {
+        drop_open_per_mille: 1000,
+        corrupt_close_per_mille: 0,
+        burst_per_mille: 0,
+        burst_len: 0,
+    };
+    let items = 10;
+    let cfg = OverloadConfig {
+        items,
+        schedule: plan.schedule(items, 1),
+        max_pending: 4,
+    };
+    let r = run_overload(&cfg);
+    assert!(
+        r.accounting_exact(),
+        "reported {:?} but schedule implies {:?}",
+        r.report.loss,
+        r.expected
+    );
+}
