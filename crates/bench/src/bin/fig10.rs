@@ -5,30 +5,23 @@
 //! measured by the (simulated) hardware tester. Expected shape:
 //! monotonically decreasing in `R`, small relative to the 6–14 µs
 //! packet latencies at the paper's "proper" value (16 K).
+//!
+//! Figure assembly lives in [`fluctrace_bench::figures::fig10_data`]
+//! (shared with the golden tests); this bin adds the table and the
+//! shape check.
 
-use fluctrace_analysis::{assert_decreasing, Figure, Series, Table};
-use fluctrace_bench::acl_experiment::{run_acl, AclRunConfig, PAPER_RESETS};
-use fluctrace_bench::{emit, print_pipeline_throughput, run_sweep, Scale};
-use fluctrace_core::OverheadModel;
+use fluctrace_analysis::{assert_decreasing, Table};
+use fluctrace_bench::acl_experiment::PAPER_RESETS;
+use fluctrace_bench::figures::fig10_data;
+use fluctrace_bench::{emit, print_pipeline_throughput, Scale};
 
 fn main() {
     let scale = Scale::from_env();
     let per_type = scale.packets_per_type();
-    let table3 = scale.table3_params();
 
     println!("Fig. 10 — latency overhead vs reset value ({per_type} packets/type)\n");
-    // Baseline + profiled runs fan out over the worker pool (each run
-    // seeds its own simulator); the table below reads results in input
-    // order, so the output is identical to the old sequential loop.
-    let mut configs = vec![AclRunConfig::new(None, per_type, table3)];
-    configs.extend(
-        PAPER_RESETS
-            .iter()
-            .map(|&r| AclRunConfig::new(Some(r), per_type, table3)),
-    );
-    let mut results = run_sweep(configs, run_acl);
-    let baseline = results.remove(0);
-    let l_star = baseline.mean_latency_us;
+    let data = fig10_data(scale);
+    let l_star = data.l_star;
 
     let mut tbl = Table::new(vec![
         "reset",
@@ -36,35 +29,23 @@ fn main() {
         "overhead L_R - L* (us)",
         "model prediction (us)",
     ]);
-    let mut fig = Figure::new(
-        "fig10",
-        "Overhead (latency increase) vs reset value",
-        "reset value",
-        "latency increase (us)",
-    );
-    let mut measured = Series::new("measured");
-    let mut predicted = Series::new("model");
-
-    // Analytic prediction from the §V.C model: the ACL thread retires
-    // ~1.5 µops/cycle while classifying; overhead ≈ samples-in-packet ×
-    // assist.
-    let model = OverheadModel::new(1.5 * 3.0e9);
-    for (r, &reset) in results.iter().zip(&PAPER_RESETS) {
-        let overhead = r.mean_latency_us - l_star;
-        let pred = model
-            .added_latency(
-                reset,
-                fluctrace_sim::SimDuration::from_ns_f64(l_star * 1000.0),
-            )
-            .as_us_f64();
+    let measured = data
+        .figure
+        .series("measured")
+        .expect("figure has the measured series");
+    let predicted = data
+        .figure
+        .series("model")
+        .expect("figure has the model series");
+    for (i, (r, &reset)) in data.results.iter().zip(&PAPER_RESETS).enumerate() {
+        let overhead = measured.points[i].y;
+        let pred = predicted.points[i].y;
         tbl.row(vec![
             reset.to_string(),
             format!("{:.2}", r.mean_latency_us),
             format!("{overhead:.2}"),
             format!("{pred:.2}"),
         ]);
-        measured.push(reset as f64, overhead);
-        predicted.push(reset as f64, pred);
     }
     println!("baseline L* = {l_star:.2} us\n{tbl}");
 
@@ -72,13 +53,12 @@ fn main() {
         Ok(()) => println!("shape: overhead strictly decreases with the reset value ✓"),
         Err(e) => println!("shape: {e}"),
     }
-    fig.add(measured);
-    fig.add(predicted);
     print_pipeline_throughput(
-        &results
+        &data
+            .results
             .iter()
             .filter_map(|r| r.pipeline)
             .collect::<Vec<_>>(),
     );
-    emit(&fig);
+    emit(&data.figure);
 }

@@ -4,24 +4,22 @@
 //! Expected shape (paper): PEBS tracks the ideal line down to ~1 µs;
 //! the software sampler flattens near 10 µs no matter how small the
 //! reset value; kernels with different IPC sit on different lines.
+//!
+//! Figure assembly lives in [`fluctrace_bench::figures::fig4_data`]
+//! (shared with the golden tests); this bin adds the table and the
+//! shape notes.
 
-use fluctrace_analysis::{assert_flattens, Figure, Series, Table};
+use fluctrace_analysis::{assert_flattens, Table};
 use fluctrace_apps::Kernel;
-use fluctrace_bench::sampling_experiment::{fig4_resets, measure_interval, Sampler};
-use fluctrace_bench::{emit, run_sweep, Scale};
+use fluctrace_bench::figures::fig4_data;
+use fluctrace_bench::sampling_experiment::Sampler;
+use fluctrace_bench::{emit, Scale};
 
 fn main() {
     let scale = Scale::from_env();
-    let uops = scale.kernel_uops();
-    let resets = fig4_resets();
 
     println!("Fig. 4 — sample interval vs reset value (event: UOPS_RETIRED.ALL)\n");
-    let mut fig = Figure::new(
-        "fig4",
-        "Achieved sample interval vs reset value",
-        "reset value",
-        "sample interval (us)",
-    );
+    let data = fig4_data(scale);
     let mut tbl = Table::new(vec![
         "reset",
         "sampler",
@@ -30,27 +28,12 @@ fn main() {
         "ideal (us)",
         "samples",
     ]);
-    // Every (sampler, kernel, reset) measurement seeds its own machine,
-    // so the whole grid fans out over the worker pool; the assembly
-    // loops below consume results in the exact flattening order, keeping
-    // the table and artifact byte-identical to the old nested loops.
-    let mut configs = Vec::new();
+    // Results arrive in (sampler, kernel, reset) flattening order — the
+    // same nested order the table prints.
+    let mut next = data.results.iter();
     for sampler in [Sampler::Pebs, Sampler::Software] {
         for kernel in Kernel::ALL {
-            for &reset in &resets {
-                configs.push((sampler, kernel, reset));
-            }
-        }
-    }
-    let results = run_sweep(configs, |(sampler, kernel, reset)| {
-        measure_interval(kernel, sampler, reset, uops, 7)
-    });
-    let mut next = results.iter();
-    for sampler in [Sampler::Pebs, Sampler::Software] {
-        for kernel in Kernel::ALL {
-            let mut series = Series::new(format!("{}/{}", sampler.label(), kernel.label()));
-            let mut ideal = Series::new(format!("ideal/{}", kernel.label()));
-            for &reset in &resets {
+            for &reset in &data.resets {
                 let m = next.next().expect("one result per sweep config");
                 tbl.row(vec![
                     reset.to_string(),
@@ -60,20 +43,13 @@ fn main() {
                     format!("{:.3}", m.ideal_us),
                     m.samples.to_string(),
                 ]);
-                series.push(reset as f64, m.mean_interval_us);
-                if sampler == Sampler::Pebs {
-                    ideal.push(reset as f64, m.ideal_us);
-                }
             }
-            if sampler == Sampler::Pebs {
-                fig.add(ideal);
-            }
-            fig.add(series);
         }
     }
     println!("{tbl}");
 
     // Shape checks mirroring the paper's claims.
+    let fig = &data.figure;
     let mut notes = Vec::new();
     for kernel in Kernel::ALL {
         let perf = fig
@@ -106,5 +82,5 @@ fn main() {
     for n in notes {
         println!("  - {n}");
     }
-    emit(&fig);
+    emit(&data.figure);
 }

@@ -5,26 +5,30 @@
 //! fluctuation); hybrid estimates track the baseline, degrading (fewer
 //! samples per packet → underestimation + growing error bars) as the
 //! reset value rises.
+//!
+//! Figure assembly lives in [`fluctrace_bench::figures::fig9_data`]
+//! (shared with the golden tests); this bin adds the table, the dot
+//! plot, and the shape summary.
 
-use fluctrace_analysis::{Figure, Series, Table};
+use fluctrace_analysis::Table;
 use fluctrace_apps::PacketType;
-use fluctrace_bench::acl_experiment::{run_acl, AclRunConfig, PAPER_RESETS};
-use fluctrace_bench::{emit, print_pipeline_throughput, run_sweep, Scale};
+use fluctrace_bench::acl_experiment::PAPER_RESETS;
+use fluctrace_bench::figures::fig9_data;
+use fluctrace_bench::{emit, print_pipeline_throughput, Scale};
 
 fn main() {
     let scale = Scale::from_env();
     let per_type = scale.packets_per_type();
-    let table3 = scale.table3_params();
 
     println!(
         "Fig. 9 — per-packet rte_acl_classify elapsed time ({} packets/type)\n",
         per_type
     );
-    let mut fig = Figure::new(
-        "fig9",
-        "Estimated per-packet elapsed time of rte_acl_classify",
-        "reset value (baseline = instrumented)",
-        "elapsed time (us)",
+    let data = fig9_data(scale);
+    let (baseline, results, fig) = (&data.baseline, &data.results, &data.figure);
+    println!(
+        "rule set: {} rules in {} tries",
+        baseline.rules, baseline.tries
     );
     let mut tbl = Table::new(vec![
         "reset",
@@ -33,25 +37,6 @@ fn main() {
         "std (us)",
         "estimable/total",
     ]);
-
-    // All six runs (instrumented baseline + five reset values) are
-    // independent — each owns a freshly seeded simulator — so they fan
-    // out over the worker pool. Assembly below consumes the results in
-    // input order, keeping table and artifact byte-identical to the old
-    // sequential loop.
-    let mut configs = vec![AclRunConfig::new(None, per_type, table3)];
-    configs.extend(
-        PAPER_RESETS
-            .iter()
-            .map(|&r| AclRunConfig::new(Some(r), per_type, table3)),
-    );
-    let mut results = run_sweep(configs, run_acl);
-    let baseline = results.remove(0);
-    println!(
-        "rule set: {} rules in {} tries",
-        baseline.rules, baseline.tries
-    );
-    let mut baseline_series = Series::new("baseline");
     for t in PacketType::ALL {
         let s = baseline.for_type(t);
         tbl.row(vec![
@@ -61,10 +46,7 @@ fn main() {
             format!("{:.2}", s.classify_us.std_dev()),
             format!("{}/{}", s.estimable, per_type),
         ]);
-        baseline_series.push_err(0.0, s.classify_us.mean(), s.classify_us.std_dev());
     }
-    fig.add(baseline_series);
-
     for (r, &reset) in results.iter().zip(&PAPER_RESETS) {
         for t in PacketType::ALL {
             let s = r.for_type(t);
@@ -75,12 +57,6 @@ fn main() {
                 format!("{:.2}", s.classify_us.std_dev()),
                 format!("{}/{}", s.estimable, per_type),
             ]);
-            let name = format!("type {}", t.label());
-            if fig.series(&name).is_none() {
-                fig.add(Series::new(name.clone()));
-            }
-            let series = fig.series.iter_mut().find(|s| s.name == name).unwrap();
-            series.push_err(reset as f64, s.classify_us.mean(), s.classify_us.std_dev());
         }
     }
     println!("{tbl}");
@@ -124,5 +100,5 @@ fn main() {
             .filter_map(|r| r.pipeline)
             .collect::<Vec<_>>(),
     );
-    emit(&fig);
+    emit(&data.figure);
 }

@@ -10,18 +10,16 @@
 //! Artifacts (`overload.json`, `overload_degrade.json`) contain only
 //! content-derived counts, so they are byte-identical across
 //! `FLUCTRACE_THREADS` settings — CI diffs them.
+//!
+//! Figure assembly lives in
+//! [`fluctrace_bench::figures::overload_data`] (shared with the golden
+//! tests); this bin adds the ledger, the stall scenario, and the
+//! assertions.
 
-use fluctrace_analysis::{accounting_exact, loss_table, Figure, LossRow, Series};
-use fluctrace_bench::overload_experiment::{
-    run_degradation, run_overload, run_stall, OverloadConfig,
-};
-use fluctrace_bench::{emit, run_sweep, Scale};
-use fluctrace_core::AdaptiveConfig;
-use fluctrace_sim::FaultPlan;
-
-const SEED: u64 = 0x0b5e_55ed;
-const MAX_PENDING: usize = 64;
-const BURST_LEN: u32 = 100; // > MAX_PENDING, so bursts force eviction
+use fluctrace_analysis::{accounting_exact, loss_table, LossRow};
+use fluctrace_bench::figures::overload_data;
+use fluctrace_bench::overload_experiment::run_stall;
+use fluctrace_bench::{emit, Scale};
 
 fn main() {
     let scale = Scale::from_env();
@@ -31,52 +29,10 @@ fn main() {
     };
 
     println!("§IV.C.3 under fault injection — online loss accounting ({items} items)\n");
-
-    // Sweep total fault rate; split evenly across the three classes.
-    let rates_per_mille: Vec<u32> = vec![0, 30, 90, 150, 300];
-    let configs: Vec<OverloadConfig> = rates_per_mille
-        .iter()
-        .map(|&rate| {
-            let plan = FaultPlan {
-                drop_open_per_mille: rate / 3,
-                corrupt_close_per_mille: rate / 3,
-                burst_per_mille: rate / 3,
-                burst_len: BURST_LEN,
-            };
-            OverloadConfig {
-                items,
-                schedule: plan.schedule(items, SEED),
-                max_pending: MAX_PENDING,
-            }
-        })
-        .collect();
-    let results = run_sweep(configs, |cfg| run_overload(&cfg));
-
-    let mut fig = Figure::new(
-        "overload",
-        "Online loss accounting vs injected fault rate",
-        "fault rate (per mille)",
-        "count",
-    );
-    let mut lost = Series::new("samples_lost");
-    let mut faulted_marks = Series::new("marks_faulted");
-    let mut boundary = Series::new("boundary_samples");
-    let mut processed = Series::new("items_processed");
-    let mut all_exact = true;
-    for (&rate, r) in rates_per_mille.iter().zip(&results) {
-        let x = rate as f64;
-        lost.push(x, r.report.loss.samples_lost() as f64);
-        faulted_marks.push(
-            x,
-            (r.report.loss.marks_orphaned + r.report.loss.marks_mismatched) as f64,
-        );
-        boundary.push(x, r.report.loss.boundary_samples as f64);
-        processed.push(x, r.report.items_processed as f64);
-        all_exact &= r.accounting_exact();
-    }
+    let data = overload_data(scale);
 
     // Ledger for the harshest sweep point.
-    let worst = results.last().expect("non-empty sweep");
+    let worst = data.results.last().expect("non-empty sweep");
     let rows = vec![
         LossRow::new(
             "items processed",
@@ -116,11 +72,11 @@ fn main() {
     ];
     println!(
         "loss ledger at {} per-mille faults:",
-        rates_per_mille.last().expect("non-empty sweep")
+        data.rates_per_mille.last().expect("non-empty sweep")
     );
     println!("{}", loss_table(&rows));
     assert!(
-        accounting_exact(&rows) && all_exact,
+        accounting_exact(&rows) && data.all_exact,
         "loss accounting must match the injected schedule exactly"
     );
 
@@ -134,28 +90,12 @@ fn main() {
     assert_eq!(stall.batches_dropped, stall.expected_dropped);
 
     // Adaptive effective-reset policy under a scripted occupancy wave.
-    let (trace, degrade) = run_degradation(120, 40, 1.0, AdaptiveConfig::new());
     println!(
         "adaptive-R under a triangle occupancy wave: {} episodes, peak factor {}x, \
          final factor {}x",
-        degrade.episodes, degrade.peak_factor, degrade.final_factor
+        data.degrade.episodes, data.degrade.peak_factor, data.degrade.final_factor
     );
-    let mut degrade_fig = Figure::new(
-        "overload_degrade",
-        "Adaptive effective-reset factor under scripted occupancy",
-        "step",
-        "thinning factor",
-    );
-    let mut factor = Series::new("factor");
-    for (i, &v) in trace.iter().enumerate() {
-        factor.push(i as f64, v as f64);
-    }
-    degrade_fig.add(factor);
 
-    fig.add(lost);
-    fig.add(faulted_marks);
-    fig.add(boundary);
-    fig.add(processed);
-    emit(&fig);
-    emit(&degrade_fig);
+    emit(&data.figure);
+    emit(&data.degrade_figure);
 }

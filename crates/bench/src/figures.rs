@@ -1,0 +1,311 @@
+//! Figure construction shared between the CLI bins and the conformance
+//! golden tests.
+//!
+//! Each function here runs the experiment sweep and assembles the exact
+//! `Figure` the corresponding bin emits to `artifacts/<id>.json` — the
+//! bins only add stdout reporting (tables, shape notes, throughput) on
+//! top of the returned data. Keeping assembly here means the golden
+//! suite in `crates/conformance` snapshots the same bytes the bins
+//! write, without shelling out to them.
+//!
+//! All figures are content-derived (no wall-clock, no host state), so
+//! for a fixed [`Scale`] they are byte-identical across
+//! `FLUCTRACE_THREADS` settings and across runs.
+
+use crate::acl_experiment::{run_acl, AclRunConfig, AclRunResult, PAPER_RESETS};
+use crate::overload_experiment::{run_degradation, run_overload, OverloadConfig, OverloadResult};
+use crate::sampling_experiment::{fig4_resets, measure_interval, IntervalMeasurement, Sampler};
+use crate::{run_sweep, Scale};
+use fluctrace_analysis::{Figure, Series};
+use fluctrace_apps::{Kernel, PacketType};
+use fluctrace_core::{AdaptiveConfig, DegradeStats, OverheadModel};
+use fluctrace_sim::FaultPlan;
+
+/// Fig. 4 sweep output: the figure plus the raw grid of measurements in
+/// `(sampler, kernel, reset)` flattening order for table rendering.
+pub struct Fig4Data {
+    /// Reset values swept (ascending powers of two).
+    pub resets: Vec<u64>,
+    /// One measurement per `(sampler, kernel, reset)` grid point, in
+    /// the same nested order the table prints.
+    pub results: Vec<IntervalMeasurement>,
+    /// The `fig4` artifact.
+    pub figure: Figure,
+}
+
+/// Build Fig. 4 — achieved sample interval vs configured reset value,
+/// PEBS vs a perf-like software sampler, across the kernels.
+pub fn fig4_data(scale: Scale) -> Fig4Data {
+    let uops = scale.kernel_uops();
+    let resets = fig4_resets();
+    let mut fig = Figure::new(
+        "fig4",
+        "Achieved sample interval vs reset value",
+        "reset value",
+        "sample interval (us)",
+    );
+    // Every (sampler, kernel, reset) measurement seeds its own machine,
+    // so the whole grid fans out over the worker pool; assembly consumes
+    // results in the exact flattening order, keeping the artifact
+    // byte-identical to the old nested loops.
+    let mut configs = Vec::new();
+    for sampler in [Sampler::Pebs, Sampler::Software] {
+        for kernel in Kernel::ALL {
+            for &reset in &resets {
+                configs.push((sampler, kernel, reset));
+            }
+        }
+    }
+    let results = run_sweep(configs, |(sampler, kernel, reset)| {
+        measure_interval(kernel, sampler, reset, uops, 7)
+    });
+    let mut next = results.iter();
+    for sampler in [Sampler::Pebs, Sampler::Software] {
+        for kernel in Kernel::ALL {
+            let mut series = Series::new(format!("{}/{}", sampler.label(), kernel.label()));
+            let mut ideal = Series::new(format!("ideal/{}", kernel.label()));
+            for &reset in &resets {
+                let m = next.next().expect("one result per sweep config");
+                series.push(reset as f64, m.mean_interval_us);
+                if sampler == Sampler::Pebs {
+                    ideal.push(reset as f64, m.ideal_us);
+                }
+            }
+            if sampler == Sampler::Pebs {
+                fig.add(ideal);
+            }
+            fig.add(series);
+        }
+    }
+    Fig4Data {
+        resets,
+        results,
+        figure: fig,
+    }
+}
+
+/// Fig. 9 sweep output: the figure plus the baseline and per-reset runs
+/// for table and dot-plot rendering.
+pub struct Fig9Data {
+    /// The instrumented (no-profiling-reset) baseline run.
+    pub baseline: AclRunResult,
+    /// One run per [`PAPER_RESETS`] entry, in order.
+    pub results: Vec<AclRunResult>,
+    /// The `fig9` artifact.
+    pub figure: Figure,
+}
+
+/// Build Fig. 9 — estimated per-packet elapsed time of
+/// `rte_acl_classify` vs reset value, against the instrumented
+/// baseline.
+pub fn fig9_data(scale: Scale) -> Fig9Data {
+    let per_type = scale.packets_per_type();
+    let table3 = scale.table3_params();
+    let mut fig = Figure::new(
+        "fig9",
+        "Estimated per-packet elapsed time of rte_acl_classify",
+        "reset value (baseline = instrumented)",
+        "elapsed time (us)",
+    );
+    // All six runs (instrumented baseline + five reset values) are
+    // independent — each owns a freshly seeded simulator — so they fan
+    // out over the worker pool; assembly consumes results in input
+    // order, keeping the artifact byte-identical to a sequential loop.
+    let mut configs = vec![AclRunConfig::new(None, per_type, table3)];
+    configs.extend(
+        PAPER_RESETS
+            .iter()
+            .map(|&r| AclRunConfig::new(Some(r), per_type, table3)),
+    );
+    let mut results = run_sweep(configs, run_acl);
+    let baseline = results.remove(0);
+    let mut baseline_series = Series::new("baseline");
+    for t in PacketType::ALL {
+        let s = baseline.for_type(t);
+        baseline_series.push_err(0.0, s.classify_us.mean(), s.classify_us.std_dev());
+    }
+    fig.add(baseline_series);
+    for (r, &reset) in results.iter().zip(&PAPER_RESETS) {
+        for t in PacketType::ALL {
+            let s = r.for_type(t);
+            let name = format!("type {}", t.label());
+            if fig.series(&name).is_none() {
+                fig.add(Series::new(name.clone()));
+            }
+            let series = fig
+                .series
+                .iter_mut()
+                .find(|s| s.name == name)
+                .expect("series added above");
+            series.push_err(reset as f64, s.classify_us.mean(), s.classify_us.std_dev());
+        }
+    }
+    Fig9Data {
+        baseline,
+        results,
+        figure: fig,
+    }
+}
+
+/// Fig. 10 sweep output: the figure plus the baseline latency and
+/// per-reset runs for table rendering.
+pub struct Fig10Data {
+    /// Mean packet latency with no profiling, µs (`L*`).
+    pub l_star: f64,
+    /// One run per [`PAPER_RESETS`] entry, in order.
+    pub results: Vec<AclRunResult>,
+    /// The `fig10` artifact ("measured" and "model" series).
+    pub figure: Figure,
+}
+
+/// Build Fig. 10 — latency overhead `L_R − L*` vs reset value, with
+/// the §V.C analytic model prediction alongside.
+pub fn fig10_data(scale: Scale) -> Fig10Data {
+    let per_type = scale.packets_per_type();
+    let table3 = scale.table3_params();
+    let mut configs = vec![AclRunConfig::new(None, per_type, table3)];
+    configs.extend(
+        PAPER_RESETS
+            .iter()
+            .map(|&r| AclRunConfig::new(Some(r), per_type, table3)),
+    );
+    let mut results = run_sweep(configs, run_acl);
+    let baseline = results.remove(0);
+    let l_star = baseline.mean_latency_us;
+    let mut fig = Figure::new(
+        "fig10",
+        "Overhead (latency increase) vs reset value",
+        "reset value",
+        "latency increase (us)",
+    );
+    let mut measured = Series::new("measured");
+    let mut predicted = Series::new("model");
+    // Analytic prediction from the §V.C model: the ACL thread retires
+    // ~1.5 µops/cycle while classifying; overhead ≈ samples-in-packet ×
+    // assist.
+    let model = OverheadModel::new(1.5 * 3.0e9);
+    for (r, &reset) in results.iter().zip(&PAPER_RESETS) {
+        let overhead = r.mean_latency_us - l_star;
+        let pred = model
+            .added_latency(
+                reset,
+                fluctrace_sim::SimDuration::from_ns_f64(l_star * 1000.0),
+            )
+            .as_us_f64();
+        measured.push(reset as f64, overhead);
+        predicted.push(reset as f64, pred);
+    }
+    fig.add(measured);
+    fig.add(predicted);
+    Fig10Data {
+        l_star,
+        results,
+        figure: fig,
+    }
+}
+
+/// Seed for the overload fault schedules (shared with the bin).
+pub const OVERLOAD_SEED: u64 = 0x0b5e_55ed;
+/// Pending-sample cap of the overload sweep.
+pub const OVERLOAD_MAX_PENDING: usize = 64;
+/// Burst length of the overload sweep — > `OVERLOAD_MAX_PENDING`, so
+/// bursts force eviction.
+pub const OVERLOAD_BURST_LEN: u32 = 100;
+
+/// Overload sweep output: both figures plus the raw sweep results and
+/// the degradation stats for ledger rendering and assertions.
+pub struct OverloadData {
+    /// Total fault rates swept, per mille.
+    pub rates_per_mille: Vec<u32>,
+    /// One tracer run per rate, in order.
+    pub results: Vec<OverloadResult>,
+    /// Whether every sweep point matched its injected schedule exactly.
+    pub all_exact: bool,
+    /// The `overload` artifact.
+    pub figure: Figure,
+    /// Factor trace of the adaptive effective-reset policy.
+    pub degrade_trace: Vec<u32>,
+    /// Episode stats of that trace.
+    pub degrade: DegradeStats,
+    /// The `overload_degrade` artifact.
+    pub degrade_figure: Figure,
+}
+
+/// Build the overload figures — online loss accounting vs injected
+/// fault rate, and the adaptive effective-reset factor trace under a
+/// scripted occupancy wave.
+pub fn overload_data(scale: Scale) -> OverloadData {
+    let items = match scale {
+        Scale::Quick => 2_000,
+        Scale::Paper => 20_000,
+    };
+    // Sweep total fault rate; split evenly across the three classes.
+    let rates_per_mille: Vec<u32> = vec![0, 30, 90, 150, 300];
+    let configs: Vec<OverloadConfig> = rates_per_mille
+        .iter()
+        .map(|&rate| {
+            let plan = FaultPlan {
+                drop_open_per_mille: rate / 3,
+                corrupt_close_per_mille: rate / 3,
+                burst_per_mille: rate / 3,
+                burst_len: OVERLOAD_BURST_LEN,
+            };
+            OverloadConfig {
+                items,
+                schedule: plan.schedule(items, OVERLOAD_SEED),
+                max_pending: OVERLOAD_MAX_PENDING,
+            }
+        })
+        .collect();
+    let results = run_sweep(configs, |cfg| run_overload(&cfg));
+
+    let mut fig = Figure::new(
+        "overload",
+        "Online loss accounting vs injected fault rate",
+        "fault rate (per mille)",
+        "count",
+    );
+    let mut lost = Series::new("samples_lost");
+    let mut faulted_marks = Series::new("marks_faulted");
+    let mut boundary = Series::new("boundary_samples");
+    let mut processed = Series::new("items_processed");
+    let mut all_exact = true;
+    for (&rate, r) in rates_per_mille.iter().zip(&results) {
+        let x = rate as f64;
+        lost.push(x, r.report.loss.samples_lost() as f64);
+        faulted_marks.push(
+            x,
+            (r.report.loss.marks_orphaned + r.report.loss.marks_mismatched) as f64,
+        );
+        boundary.push(x, r.report.loss.boundary_samples as f64);
+        processed.push(x, r.report.items_processed as f64);
+        all_exact &= r.accounting_exact();
+    }
+    fig.add(lost);
+    fig.add(faulted_marks);
+    fig.add(boundary);
+    fig.add(processed);
+
+    let (degrade_trace, degrade) = run_degradation(120, 40, 1.0, AdaptiveConfig::new());
+    let mut degrade_fig = Figure::new(
+        "overload_degrade",
+        "Adaptive effective-reset factor under scripted occupancy",
+        "step",
+        "thinning factor",
+    );
+    let mut factor = Series::new("factor");
+    for (i, &v) in degrade_trace.iter().enumerate() {
+        factor.push(i as f64, v as f64);
+    }
+    degrade_fig.add(factor);
+
+    OverloadData {
+        rates_per_mille,
+        results,
+        all_exact,
+        figure: fig,
+        degrade_trace,
+        degrade,
+        degrade_figure: degrade_fig,
+    }
+}

@@ -15,6 +15,7 @@
 #![forbid(unsafe_code)]
 
 pub mod acl_experiment;
+pub mod figures;
 pub mod overload_experiment;
 pub mod sampling_experiment;
 

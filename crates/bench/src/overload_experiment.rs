@@ -54,6 +54,8 @@ pub struct ExpectedLosses {
     pub items_processed: u64,
     /// Samples in the stream (2 per item + burst extras).
     pub samples_seen: u64,
+    /// Samples attributed to completed items.
+    pub samples_attributed: u64,
     /// End marks left orphaned by dropped Starts.
     pub marks_orphaned: u64,
     /// Corrupted End marks.
@@ -62,6 +64,11 @@ pub struct ExpectedLosses {
     pub samples_discarded: u64,
     /// Oldest-sample evictions forced by bursts against `max_pending`.
     pub samples_evicted: u64,
+    /// Orphan-item samples cleared as inter-item spin.
+    pub samples_spin: u64,
+    /// Starts still open at stream end (always 0 here: every batch ends
+    /// with an End mark, so no item is left open).
+    pub starts_truncated: u64,
     /// Samples attributed exactly at an interval bound.
     pub boundary_samples: u64,
 }
@@ -77,17 +84,22 @@ pub struct OverloadResult {
 }
 
 impl OverloadResult {
-    /// True when every loss category matches the ground truth exactly.
+    /// True when every loss category matches the ground truth exactly
+    /// and the report's sample-conservation identity holds.
     pub fn accounting_exact(&self) -> bool {
         let r = &self.report;
         let e = &self.expected;
         r.items_processed == e.items_processed
             && r.samples_seen == e.samples_seen
+            && r.samples_attributed == e.samples_attributed
             && r.loss.marks_orphaned == e.marks_orphaned
             && r.loss.marks_mismatched == e.marks_mismatched
             && r.loss.samples_discarded == e.samples_discarded
             && r.loss.samples_evicted == e.samples_evicted
+            && r.loss.samples_spin == e.samples_spin
+            && r.loss.starts_truncated == e.starts_truncated
             && r.loss.boundary_samples == e.boundary_samples
+            && r.conserves_samples()
     }
 }
 
@@ -156,14 +168,18 @@ pub fn expected_losses(schedule: &FaultSchedule, max_pending: usize) -> Expected
             Fault::None => {
                 e.items_processed += 1;
                 e.samples_seen += 2;
+                e.samples_attributed += 2;
                 e.boundary_samples += 2;
             }
             Fault::DropOpen => {
                 // End arrives with no open item; the item's samples are
-                // never attributed but also never *discarded* — they are
-                // cleared as pre-item spin samples by the next Start.
+                // never attributed but also never *discarded* — the
+                // orphan End clears them as inter-item spin (relying on
+                // the *next* Start to clear them would leak pending into
+                // the eviction bound under consecutive dropped Starts).
                 e.marks_orphaned += 1;
                 e.samples_seen += 2;
+                e.samples_spin += 2;
             }
             Fault::CorruptClose => {
                 e.marks_mismatched += 1;
@@ -176,6 +192,7 @@ pub fn expected_losses(schedule: &FaultSchedule, max_pending: usize) -> Expected
                 e.samples_seen += pushed;
                 let evicted = pushed.saturating_sub(max_pending.max(1) as u64);
                 e.samples_evicted += evicted;
+                e.samples_attributed += pushed - evicted;
                 // Eviction drops oldest-first, so the start-boundary
                 // sample goes first; the end-boundary sample is always
                 // the newest and survives.

@@ -1,0 +1,435 @@
+//! The differential driver: one workload, three executions, byte-level
+//! agreement.
+//!
+//! [`check_workload`] runs a generated [`Workload`] through
+//!
+//! 1. the sharded offline pipeline (`integrate_with_threads` at 1, 2 and
+//!    4 workers, plus the `from_integrated_reference` estimator),
+//! 2. the online tracer (`OnlineTracer`, blocking submission, adaptive
+//!    degradation off), and
+//! 3. the naive oracles from [`crate::oracle`],
+//!
+//! and demands exact agreement: the estimate tables serialize to
+//! byte-identical JSON, the loss accounting matches bucket by bucket,
+//! and the flag-everything anomaly sets coincide. Any mismatch comes
+//! back as a [`Disagreement`] naming the stage and the seed, which is
+//! all that is needed to replay it (`generate(&spec_from_seed(seed))`).
+
+use crate::gen::Workload;
+use crate::oracle::{self, OracleOffline, OracleOnline};
+use fluctrace_core::online::{OnlineConfig, OnlineTracer};
+use fluctrace_core::{integrate_with_threads, EstimateTable, IntervalError, MappingMode};
+use serde::Serialize;
+
+/// A canonical, order-stable projection of an estimate table. Both the
+/// pipeline's `EstimateTable` and the oracle's rows map onto this; the
+/// driver compares the serialized JSON bytes, so *any* divergence —
+/// value, ordering, presence — is caught.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct CanonicalTable {
+    /// Rows ascending by item id.
+    pub rows: Vec<CanonicalRow>,
+}
+
+/// One item of a [`CanonicalTable`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct CanonicalRow {
+    /// The item id.
+    pub item: u64,
+    /// Marked total in picoseconds, when marks existed.
+    pub marked_total_ps: Option<u64>,
+    /// `(func, samples, elapsed_ps)` ascending by func.
+    pub funcs: Vec<(u32, u32, u64)>,
+    /// Attributed samples whose IP resolved to no function.
+    pub unknown_func_samples: u32,
+}
+
+impl CanonicalTable {
+    /// Project a pipeline [`EstimateTable`].
+    pub fn from_pipeline(table: &EstimateTable) -> CanonicalTable {
+        CanonicalTable {
+            rows: table
+                .items()
+                .map(|ie| CanonicalRow {
+                    item: ie.item.0,
+                    marked_total_ps: ie.marked_total.map(|d| d.as_ps()),
+                    funcs: ie
+                        .funcs
+                        .iter()
+                        .map(|f| (f.func.0, f.samples, f.elapsed.as_ps()))
+                        .collect(),
+                    unknown_func_samples: ie.unknown_func_samples,
+                })
+                .collect(),
+        }
+    }
+
+    /// Project the oracle's rows.
+    pub fn from_oracle(oracle: &OracleOffline) -> CanonicalTable {
+        CanonicalTable {
+            rows: oracle
+                .items
+                .iter()
+                .map(|row| CanonicalRow {
+                    item: row.item,
+                    marked_total_ps: row.marked_total_ps,
+                    funcs: row.funcs.clone(),
+                    unknown_func_samples: row.unknown_func_samples,
+                })
+                .collect(),
+        }
+    }
+
+    /// Serialize to the comparison form.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).unwrap_or_else(|e| format!("<serialize failed: {e}>"))
+    }
+}
+
+/// What a successful differential run covered, for aggregation in test
+/// output.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DiffSummary {
+    /// Seed of the workload.
+    pub seed: u64,
+    /// Records checked (marks + samples).
+    pub records: u64,
+    /// Intervals the offline pipeline reconstructed.
+    pub intervals: u64,
+    /// Items the online tracer completed.
+    pub items_online: u64,
+    /// Samples the tracer accounted as lost or spin.
+    pub samples_unattributed: u64,
+    /// Online batches submitted.
+    pub batches: u64,
+    /// True when the online/offline anomaly cross-check applied (no
+    /// eviction or discard, unique item ids).
+    pub cross_checked: bool,
+}
+
+/// One divergence between two executions of the same workload.
+#[derive(Debug, Clone)]
+pub struct Disagreement {
+    /// Seed that reproduces it.
+    pub seed: u64,
+    /// Which comparison failed.
+    pub stage: &'static str,
+    /// Expected vs actual, preformatted.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Disagreement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "seed {} disagrees at {}: {}",
+            self.seed, self.stage, self.detail
+        )
+    }
+}
+
+impl std::error::Error for Disagreement {}
+
+fn fail(seed: u64, stage: &'static str, detail: String) -> Disagreement {
+    Disagreement {
+        seed,
+        stage,
+        detail,
+    }
+}
+
+/// Tally pipeline interval errors into the oracle's count shape.
+fn tally_errors(errors: &[IntervalError]) -> oracle::OracleErrors {
+    let mut t = oracle::OracleErrors::default();
+    for e in errors {
+        match e {
+            IntervalError::OrphanEnd { .. } => t.orphan_ends += 1,
+            IntervalError::UnclosedStart { .. } => t.unclosed_starts += 1,
+            IntervalError::Mismatched { .. } => t.mismatched += 1,
+            IntervalError::TruncatedStart { .. } => t.truncated += 1,
+        }
+    }
+    t
+}
+
+/// Anomaly comparison key: `(item, func, elapsed_ps, raw_samples)`.
+/// `baseline_mean` is deliberately excluded — it depends on completion
+/// order across cores, which the oracle does not model.
+type AnomalyKey = (u64, u32, u64, usize);
+
+/// Run the full differential comparison for one workload.
+pub fn check_workload(w: &Workload) -> Result<DiffSummary, Disagreement> {
+    let seed = w.spec.seed;
+    let oracle_off = oracle::offline_oracle(&w.bundle.marks, &w.bundle.samples, &w.symtab, w.freq);
+    let oracle_on = oracle::online_oracle(
+        &w.bundle.marks,
+        &w.bundle.samples,
+        &w.symtab,
+        w.freq,
+        w.spec.max_pending,
+    );
+
+    let mut summary = DiffSummary {
+        seed,
+        records: (w.bundle.marks.len() + w.bundle.samples.len()) as u64,
+        batches: w.batches.len() as u64,
+        ..DiffSummary::default()
+    };
+
+    check_offline(w, &oracle_off, &mut summary)?;
+    check_online(w, &oracle_on, &oracle_off, &mut summary)?;
+    Ok(summary)
+}
+
+/// Offline pipeline (all thread counts + reference estimator) vs the
+/// brute-force oracle.
+fn check_offline(
+    w: &Workload,
+    oracle_off: &OracleOffline,
+    summary: &mut DiffSummary,
+) -> Result<(), Disagreement> {
+    let seed = w.spec.seed;
+    let mut bundle = w.bundle.clone();
+    bundle.sort();
+
+    let golden = CanonicalTable::from_oracle(oracle_off).to_json();
+    for threads in [1usize, 2, 4] {
+        let it =
+            integrate_with_threads(&bundle, &w.symtab, w.freq, MappingMode::Intervals, threads);
+
+        if threads == 1 {
+            summary.intervals = it.intervals.len() as u64;
+            // Interval sets must agree exactly (count, order, bounds).
+            let got: Vec<_> = it
+                .intervals
+                .iter()
+                .map(|iv| (iv.core.0, iv.item.0, iv.start_tsc, iv.end_tsc))
+                .collect();
+            let mut want: Vec<_> = oracle_off
+                .intervals
+                .iter()
+                .map(|iv| (iv.core.0, iv.item.0, iv.start, iv.end))
+                .collect();
+            // The pipeline splices per-core shards in core order; the
+            // oracle pairs one sorted walk — same order by construction.
+            want.sort_by_key(|&(core, _, start, _)| (core, start));
+            if got != want {
+                return Err(fail(
+                    seed,
+                    "offline-intervals",
+                    format!("pipeline {got:?} != oracle {want:?}"),
+                ));
+            }
+            let errs = tally_errors(&it.errors);
+            if errs != oracle_off.errors {
+                return Err(fail(
+                    seed,
+                    "offline-errors",
+                    format!("pipeline {errs:?} != oracle {:?}", oracle_off.errors),
+                ));
+            }
+            let attributed = it.samples.iter().filter(|s| s.item.is_some()).count() as u64;
+            let unattributed = it.samples.len() as u64 - attributed;
+            if (attributed, unattributed) != (oracle_off.attributed, oracle_off.unattributed) {
+                return Err(fail(
+                    seed,
+                    "offline-attribution",
+                    format!(
+                        "pipeline ({attributed}, {unattributed}) != oracle ({}, {})",
+                        oracle_off.attributed, oracle_off.unattributed
+                    ),
+                ));
+            }
+        }
+
+        for (which, table) in [
+            ("estimate", EstimateTable::from_integrated(&it)),
+            (
+                "estimate-reference",
+                EstimateTable::from_integrated_reference(&it),
+            ),
+        ] {
+            if table.samples_missing_span != 0 {
+                return Err(fail(
+                    seed,
+                    "offline-missing-span",
+                    format!(
+                        "{which}@{threads}t: {} samples missing a span id",
+                        table.samples_missing_span
+                    ),
+                ));
+            }
+            let json = CanonicalTable::from_pipeline(&table).to_json();
+            if json != golden {
+                return Err(fail(
+                    seed,
+                    "offline-table",
+                    format!("{which}@{threads}t:\n  pipeline: {json}\n  oracle:   {golden}"),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Online tracer vs the per-core replay oracle, plus (when no loss makes
+/// them comparable) the online-vs-offline anomaly cross-check.
+fn check_online(
+    w: &Workload,
+    oracle_on: &OracleOnline,
+    oracle_off: &OracleOffline,
+    summary: &mut DiffSummary,
+) -> Result<(), Disagreement> {
+    let seed = w.spec.seed;
+    let mut config = OnlineConfig::new(w.freq);
+    // Flag everything: warmed-up from the start, any nonzero span
+    // diverges. This turns the anomaly stream into a total record of
+    // completed items, which the oracle can predict exactly.
+    config.divergence_factor = 0.0;
+    config.warmup = 0;
+    config.max_pending = w.spec.max_pending;
+
+    let tracer = OnlineTracer::spawn(std::sync::Arc::clone(&w.symtab), config);
+    for batch in &w.batches {
+        if let Err(e) = tracer.submit(batch.clone()) {
+            return Err(fail(
+                seed,
+                "online-submit",
+                format!("worker gone, {} samples undelivered", e.batch.samples.len()),
+            ));
+        }
+    }
+    let report = match tracer.finish() {
+        Ok(r) => r,
+        Err(e) => return Err(fail(seed, "online-finish", e.to_string())),
+    };
+
+    // Producer-side shed must be zero under blocking submission with
+    // degradation off.
+    let shed = (
+        report.loss.batches_dropped,
+        report.loss.samples_dropped,
+        report.loss.samples_thinned,
+    );
+    if shed != (0, 0, 0) {
+        return Err(fail(
+            seed,
+            "online-shed",
+            format!("(batches_dropped, samples_dropped, samples_thinned) = {shed:?}"),
+        ));
+    }
+
+    let got = (
+        report.items_processed,
+        report.samples_seen,
+        report.samples_attributed,
+        report.loss.samples_evicted,
+        report.loss.samples_discarded,
+        report.loss.samples_spin,
+        report.loss.marks_orphaned,
+        report.loss.marks_mismatched,
+        report.loss.starts_abandoned,
+        report.loss.starts_truncated,
+        report.loss.boundary_samples,
+    );
+    let want = (
+        oracle_on.items_processed,
+        oracle_on.samples_seen,
+        oracle_on.samples_attributed,
+        oracle_on.loss.samples_evicted,
+        oracle_on.loss.samples_discarded,
+        oracle_on.loss.samples_spin,
+        oracle_on.loss.marks_orphaned,
+        oracle_on.loss.marks_mismatched,
+        oracle_on.loss.starts_abandoned,
+        oracle_on.loss.starts_truncated,
+        oracle_on.loss.boundary_samples,
+    );
+    if got != want {
+        return Err(fail(
+            seed,
+            "online-accounting",
+            format!(
+                "(items, seen, attributed, evicted, discarded, spin, orphaned, \
+                 mismatched, abandoned, truncated, boundary):\n  tracer: {got:?}\n  oracle: {want:?}"
+            ),
+        ));
+    }
+    if !report.conserves_samples() {
+        return Err(fail(
+            seed,
+            "online-conservation",
+            format!(
+                "seen {} != attributed {} + evicted {} + discarded {} + spin {}",
+                report.samples_seen,
+                report.samples_attributed,
+                report.loss.samples_evicted,
+                report.loss.samples_discarded,
+                report.loss.samples_spin
+            ),
+        ));
+    }
+
+    // Anomalies as order-independent sets.
+    let mut got_anoms: Vec<AnomalyKey> = report
+        .anomalies
+        .iter()
+        .map(|a| (a.item.0, a.func.0, a.elapsed.as_ps(), a.raw_samples.len()))
+        .collect();
+    got_anoms.sort_unstable();
+    let want_anoms: Vec<AnomalyKey> = oracle_on
+        .anomalies
+        .iter()
+        .map(|a| (a.item, a.func, a.elapsed_ps, a.raw_samples))
+        .collect();
+    if got_anoms != want_anoms {
+        return Err(fail(
+            seed,
+            "online-anomalies",
+            format!("tracer {got_anoms:?}\n  oracle {want_anoms:?}"),
+        ));
+    }
+
+    summary.items_online = report.items_processed;
+    summary.samples_unattributed = report.samples_seen - report.samples_attributed;
+
+    // Cross-check online anomalies against the *offline* estimates: when
+    // nothing was evicted or discarded and item ids are unique, every
+    // completed item saw exactly the samples the offline pipeline
+    // attributes to it, so the online worst-function span must equal the
+    // offline per-(item, func) maximum (same lowest-func tie-break).
+    if oracle_on.loss.samples_evicted == 0
+        && oracle_on.loss.samples_discarded == 0
+        && !w.spec.shared_items
+    {
+        summary.cross_checked = true;
+        let mut want_cross: Vec<AnomalyKey> = Vec::new();
+        for row in &oracle_off.items {
+            let mut worst: Option<(u32, u64)> = None;
+            let mut samples = 0usize;
+            for &(func, count, elapsed_ps) in &row.funcs {
+                samples += count as usize;
+                if elapsed_ps == 0 {
+                    continue;
+                }
+                match worst {
+                    Some((_, best)) if best >= elapsed_ps => {}
+                    _ => worst = Some((func, elapsed_ps)),
+                }
+            }
+            samples += row.unknown_func_samples as usize;
+            if let Some((func, elapsed_ps)) = worst {
+                want_cross.push((row.item, func, elapsed_ps, samples));
+            }
+        }
+        want_cross.sort_unstable();
+        if got_anoms != want_cross {
+            return Err(fail(
+                seed,
+                "cross-anomalies",
+                format!("online {got_anoms:?}\n  offline {want_cross:?}"),
+            ));
+        }
+    }
+    Ok(())
+}

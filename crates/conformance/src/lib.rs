@@ -1,0 +1,38 @@
+//! # fluctrace-conformance
+//!
+//! Differential conformance harness for the attribution pipeline. The
+//! paper's whole claim rests on attribution being *exact* — every PEBS
+//! sample lands in the one mark interval and function range containing
+//! it, and every sample the tracer sheds is explicitly counted. This
+//! crate pins those invariants with three independent pieces:
+//!
+//! * [`oracle`] — a deliberately naive, obviously-correct reference:
+//!   an `O(items × samples)` brute-force attribution plus a dumb
+//!   per-core replay of the online tracer's documented semantics. Zero
+//!   cleverness by design; panic-free and lint-clean like the hot path
+//!   it judges.
+//! * [`gen`] — a seeded workload generator producing randomized
+//!   multi-core mark/sample streams: overlapping cores,
+//!   boundary-coincident timestamps, TSC wraparound, orphan/duplicate
+//!   marks, and fault schedules from `fluctrace_sim::FaultPlan`.
+//! * [`driver`] — runs each workload through the sharded offline
+//!   pipeline (`core::integrate`/`estimate`), the online tracer
+//!   (`core::online`), and the oracle, and asserts byte-level agreement
+//!   of estimates and exact agreement of loss accounting.
+//!
+//! The metamorphic invariants (sample conservation, interleaving
+//! invariance, thinning monotonicity, core-relabeling symmetry) live in
+//! `tests/metamorphic.rs`; the golden artifact snapshots for the paper
+//! figures live in `tests/golden.rs`. See `TESTING.md` at the repo root
+//! for the invariant catalog and how to reproduce a failing seed.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod driver;
+pub mod gen;
+pub mod oracle;
+
+pub use driver::{check_workload, CanonicalTable, DiffSummary, Disagreement};
+pub use gen::{generate, spec_from_seed, Workload, WorkloadSpec};
+pub use oracle::{OracleLoss, OracleOffline, OracleOnline};

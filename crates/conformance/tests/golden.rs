@@ -1,0 +1,123 @@
+//! Golden artifact snapshots: the figure JSON the bench bins emit at
+//! Quick scale, pinned byte-for-byte under `tests/golden/`.
+//!
+//! Every figure is content-derived (no wall-clock, no host state), so
+//! any drift here is a real behavior change in the simulator, the
+//! pipeline or the figure assembly. When a change is intentional, bless
+//! new snapshots with:
+//!
+//! ```text
+//! FLUCTRACE_BLESS=1 cargo test -p fluctrace-conformance --test golden
+//! ```
+//!
+//! and commit the updated files (they must match a fresh
+//! `artifacts/` regeneration at Quick scale — CI checks both).
+
+use fluctrace_analysis::Figure;
+use fluctrace_bench::figures::{fig10_data, fig4_data, fig9_data, overload_data};
+use fluctrace_bench::Scale;
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+fn blessing() -> bool {
+    std::env::var_os("FLUCTRACE_BLESS").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+/// First differing line plus a bounded summary of all differing lines —
+/// enough to see *what* moved without dumping whole artifacts.
+fn diff_summary(expected: &str, actual: &str) -> String {
+    let exp: Vec<&str> = expected.lines().collect();
+    let act: Vec<&str> = actual.lines().collect();
+    let mut out = String::new();
+    let mut shown = 0usize;
+    let mut differing = 0usize;
+    let n = exp.len().max(act.len());
+    for i in 0..n {
+        let e = exp.get(i).copied();
+        let a = act.get(i).copied();
+        if e != a {
+            differing += 1;
+            if shown < 8 {
+                out.push_str(&format!(
+                    "  line {}:\n    golden: {}\n    actual: {}\n",
+                    i + 1,
+                    e.unwrap_or("<eof>"),
+                    a.unwrap_or("<eof>")
+                ));
+                shown += 1;
+            }
+        }
+    }
+    out.push_str(&format!(
+        "  {} differing line(s) of {} (golden) / {} (actual)",
+        differing,
+        exp.len(),
+        act.len()
+    ));
+    out
+}
+
+fn check_golden(fig: &Figure) {
+    let path = golden_dir().join(format!("{}.json", fig.id));
+    let actual = fig.to_json();
+    if blessing() {
+        std::fs::create_dir_all(golden_dir()).expect("create golden dir");
+        std::fs::write(&path, &actual).expect("write golden");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); bless it with FLUCTRACE_BLESS=1",
+            path.display()
+        )
+    });
+    assert!(
+        expected == actual,
+        "golden artifact drift in {}:\n{}\nIf intentional, re-bless with \
+         FLUCTRACE_BLESS=1 and regenerate artifacts/ (see TESTING.md).",
+        path.display(),
+        diff_summary(&expected, &actual)
+    );
+}
+
+#[test]
+fn fig4_matches_golden() {
+    check_golden(&fig4_data(Scale::Quick).figure);
+}
+
+#[test]
+fn fig9_matches_golden() {
+    check_golden(&fig9_data(Scale::Quick).figure);
+}
+
+#[test]
+fn fig10_matches_golden() {
+    check_golden(&fig10_data(Scale::Quick).figure);
+}
+
+#[test]
+fn overload_matches_golden() {
+    let data = overload_data(Scale::Quick);
+    assert!(
+        data.all_exact,
+        "overload loss accounting must match the injected schedule"
+    );
+    check_golden(&data.figure);
+    check_golden(&data.degrade_figure);
+}
+
+/// Blessing is deterministic: building the same figure twice yields the
+/// same bytes, so a blessed golden never depends on run order or thread
+/// count.
+#[test]
+fn figure_serialization_is_deterministic() {
+    let a = fig10_data(Scale::Quick).figure.to_json();
+    let b = fig10_data(Scale::Quick).figure.to_json();
+    assert_eq!(a, b);
+}

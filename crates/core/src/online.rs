@@ -242,6 +242,14 @@ pub struct LossStats {
     /// `Start` marks that arrived while another item was still open,
     /// abandoning it.
     pub starts_abandoned: u64,
+    /// `Start` marks still open when the stream ended; their pending
+    /// samples are counted in `samples_discarded`, not silently dropped.
+    pub starts_truncated: u64,
+    /// Samples that arrived outside any item (between an End and the
+    /// next Start, after an orphan End, or after the last End of the
+    /// stream). Not a loss: inter-item spin is uninteresting by design,
+    /// but it is still counted so sample conservation stays exact.
+    pub samples_spin: u64,
     /// Samples attributed exactly at an interval bound (`tsc` equal to
     /// the start or end mark). Not a loss: proof that boundary samples
     /// are kept, where they were previously dropped at `end_tsc`.
@@ -255,13 +263,14 @@ impl LossStats {
     }
 
     /// True when nothing was lost and the mark stream was well-formed
-    /// (boundary samples are attribution accounting, not loss).
+    /// (boundary and spin samples are attribution accounting, not loss).
     pub fn is_clean(&self) -> bool {
         self.samples_lost() == 0
             && self.batches_dropped == 0
             && self.marks_orphaned == 0
             && self.marks_mismatched == 0
             && self.starts_abandoned == 0
+            && self.starts_truncated == 0
     }
 }
 
@@ -294,6 +303,10 @@ pub struct OnlineReport {
     pub items_processed: u64,
     /// Total samples received.
     pub samples_seen: u64,
+    /// Samples attributed to a completed item (including its boundary
+    /// samples). Together with the worker-side [`LossStats`] buckets this
+    /// makes sample accounting exact — see [`OnlineReport::conserves_samples`].
+    pub samples_attributed: u64,
     /// Bytes of PEBS data received.
     pub bytes_seen: u64,
     /// Bytes retained (anomalous items' raw samples only).
@@ -307,6 +320,19 @@ pub struct OnlineReport {
 }
 
 impl OnlineReport {
+    /// Exact sample conservation: every sample the worker received was
+    /// either attributed to a completed item or landed in exactly one
+    /// worker-side loss/spin bucket. (`samples_dropped`/`samples_thinned`
+    /// are shed on the producer side *before* the worker counts
+    /// `samples_seen`, so they sit outside this identity.)
+    pub fn conserves_samples(&self) -> bool {
+        self.samples_seen
+            == self.samples_attributed
+                + self.loss.samples_evicted
+                + self.loss.samples_discarded
+                + self.loss.samples_spin
+    }
+
     /// Volume reduction factor achieved by online filtering.
     pub fn reduction_factor(&self) -> f64 {
         if self.bytes_dumped == 0 {
@@ -426,7 +452,28 @@ impl Worker {
             }
             self.process(batch);
         }
+        self.finalize();
         self.report
+    }
+
+    /// Stream end: account for everything still buffered. An open item
+    /// whose End never arrived is truncated (its samples are discarded,
+    /// not attributed); leftover pending samples with no open item are
+    /// trailing spin. After this, sample conservation is exact.
+    fn finalize(&mut self) {
+        for state in self.cores.values_mut() {
+            if state.open.take().is_some() {
+                self.report.loss.starts_truncated += 1;
+                self.report.loss.samples_discarded += state.pending.len() as u64;
+            } else {
+                self.report.loss.samples_spin += state.pending.len() as u64;
+            }
+            state.pending.clear();
+        }
+        let mut live = self.live.lock();
+        live.items = self.report.items_processed;
+        live.anomalies = self.report.anomalies.len() as u64;
+        live.loss = self.report.loss;
     }
 
     fn process(&mut self, mut batch: TraceBundle) {
@@ -495,8 +542,11 @@ impl Worker {
                     // are counted, not silently cleared.
                     self.report.loss.starts_abandoned += 1;
                     self.report.loss.samples_discarded += state.pending.len() as u64;
+                } else {
+                    // Spin samples before the item are uninteresting,
+                    // but conservation demands they be counted.
+                    self.report.loss.samples_spin += state.pending.len() as u64;
                 }
-                // Spin samples before the item are uninteresting.
                 state.pending.clear();
                 state.open = Some((m.item, m.tsc));
             }
@@ -520,7 +570,15 @@ impl Worker {
                     state.pending.clear();
                 }
                 None => {
+                    // Orphan End: no item was open, so whatever is
+                    // pending is inter-item spin. Clearing it here keeps
+                    // `pending` from leaking into the eviction bound when
+                    // consecutive Starts are lost (there is no next Start
+                    // to clear it), which used to surface as phantom
+                    // `samples_evicted`.
                     self.report.loss.marks_orphaned += 1;
+                    self.report.loss.samples_spin += state.pending.len() as u64;
+                    state.pending.clear();
                 }
             },
         }
@@ -528,6 +586,7 @@ impl Worker {
 
     fn finish_item(&mut self, interval: ItemInterval, samples: Vec<PebsRecord>) {
         self.report.items_processed += 1;
+        self.report.samples_attributed += samples.len() as u64;
         // Per-function first/last within the interval. BTreeMap, not
         // HashMap: the worst-function tie-break below iterates this map,
         // and serialized anomalies must not depend on hash order.
@@ -1026,6 +1085,157 @@ mod tests {
         let report = tracer.finish().unwrap();
         assert_eq!(report.loss.samples_evicted, 100 - 8);
         assert_eq!(report.samples_seen, 100);
+        // Stream ended with the item still open: the 8 surviving pending
+        // samples are discarded with the truncated Start, not lost
+        // silently — conservation stays exact.
+        assert_eq!(report.loss.starts_truncated, 1);
+        assert_eq!(report.loss.samples_discarded, 8);
+        assert!(report.conserves_samples());
+        assert!(!report.loss.is_clean());
+    }
+
+    #[test]
+    fn orphan_end_clears_pending_as_spin_not_eviction() {
+        // Regression (conformance harness): with *consecutive* lost
+        // Starts there is no next Start to clear `pending`, so orphan-End
+        // samples used to linger until they crossed `max_pending` and
+        // were misreported as `samples_evicted`. An orphan End must clear
+        // its core's pending as spin.
+        let (symtab, f) = symtab();
+        let mut cfg = config();
+        cfg.max_pending = 4;
+        let tracer = OnlineTracer::spawn(Arc::clone(&symtab), cfg);
+        let mut bundle = TraceBundle::default();
+        // Ten items whose Start marks were all dropped: samples + End only.
+        for i in 0..10u64 {
+            let base = 1_000 + i * 10_000;
+            bundle.samples.push(sample(&symtab, f, base));
+            bundle.samples.push(sample(&symtab, f, base + 100));
+            bundle.marks.push(mark(base + 200, i, MarkKind::End));
+        }
+        tracer.submit(bundle).unwrap();
+        let report = tracer.finish().unwrap();
+        assert_eq!(report.loss.marks_orphaned, 10);
+        assert_eq!(report.loss.samples_spin, 20);
+        assert_eq!(report.loss.samples_evicted, 0, "no phantom evictions");
+        assert_eq!(report.items_processed, 0);
+        assert!(report.conserves_samples());
+    }
+
+    #[test]
+    fn trailing_spin_samples_are_counted_at_stream_end() {
+        let (symtab, f) = symtab();
+        let tracer = OnlineTracer::spawn(Arc::clone(&symtab), config());
+        let mut bundle = item_batch(&symtab, f, 0, 0, 3_000);
+        // Spin samples after the item's End, with no further Start.
+        bundle.samples.push(sample(&symtab, f, 50_000));
+        bundle.samples.push(sample(&symtab, f, 50_001));
+        tracer.submit(bundle).unwrap();
+        let report = tracer.finish().unwrap();
+        assert_eq!(report.items_processed, 1);
+        assert_eq!(report.samples_attributed, 2);
+        assert_eq!(report.loss.samples_spin, 2);
+        assert_eq!(report.loss.starts_truncated, 0);
+        assert!(report.conserves_samples());
+        assert!(report.loss.is_clean(), "spin is accounting, not loss");
+    }
+
+    #[test]
+    fn adaptive_watermark_transitions_across_episodes() {
+        // Two full degradation episodes: the factor must double on every
+        // high-water crossing, halve only at/below low water, and the
+        // episode counter must tick exactly when factor 1 is left.
+        let mut policy = AdaptiveR::new(AdaptiveConfig::new());
+        // Episode 1: ramp 1→2→4→8, hold between watermarks, decay 8→1.
+        assert_eq!(policy.observe(0.75), 2, "exact high water doubles");
+        assert_eq!(policy.observe(0.76), 4);
+        assert_eq!(policy.observe(1.0), 8);
+        assert_eq!(policy.observe(0.26), 8, "just above low water: hold");
+        assert_eq!(policy.observe(0.25), 4, "exact low water halves");
+        assert_eq!(policy.observe(0.0), 2);
+        assert_eq!(policy.observe(0.0), 1);
+        assert_eq!(policy.stats().episodes, 1);
+        // Episode 2: leaving factor 1 again is a new episode; a peak of 2
+        // does not disturb the recorded peak of 8.
+        assert_eq!(policy.observe(0.9), 2);
+        assert_eq!(policy.observe(0.1), 1);
+        let stats = policy.stats();
+        assert_eq!(stats.episodes, 2);
+        assert_eq!(stats.peak_factor, 8);
+        assert_eq!(stats.final_factor, 1);
+        // Re-crossing high water while already degraded is NOT a new
+        // episode — only the 1→2 transition counts.
+        assert_eq!(policy.observe(0.9), 2);
+        assert_eq!(policy.observe(0.9), 4);
+        assert_eq!(policy.stats().episodes, 3);
+    }
+
+    #[test]
+    fn try_submit_drops_exactly_at_channel_capacity() {
+        let (symtab, f) = symtab();
+        let mut cfg = config();
+        cfg.channel_capacity = 4;
+        // Handshake gate: the worker signals once it has pulled the first
+        // batch off the channel, then blocks until released — so exactly
+        // `channel_capacity` further batches fit deterministically.
+        let (ready_tx, ready_rx) = std::sync::mpsc::channel::<()>();
+        let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
+        let tracer = OnlineTracer::spawn_with_inspector(Arc::clone(&symtab), cfg, move |_batch| {
+            let _ = ready_tx.send(());
+            let _ = gate_rx.recv();
+        });
+        tracer
+            .try_submit(item_batch(&symtab, f, 0, 0, 3_000))
+            .unwrap();
+        ready_rx.recv().unwrap();
+        // The worker holds batch 0; fill the channel to the brim.
+        for i in 1..=4u64 {
+            assert_eq!(
+                tracer
+                    .try_submit(item_batch(&symtab, f, i, i * 100_000, 3_000))
+                    .unwrap(),
+                SubmitOutcome::Sent
+            );
+        }
+        // Capacity + in-flight batch exhausted: the next two drop, and
+        // each drop counts the batch and its samples exactly once.
+        for i in 5..=6u64 {
+            assert_eq!(
+                tracer
+                    .try_submit(item_batch(&symtab, f, i, i * 100_000, 3_000))
+                    .unwrap(),
+                SubmitOutcome::Dropped
+            );
+        }
+        let live = tracer.live();
+        assert_eq!(live.loss.batches_dropped, 2);
+        assert_eq!(live.loss.samples_dropped, 4, "2 samples per batch");
+        for _ in 0..5 {
+            gate_tx.send(()).unwrap();
+        }
+        let report = tracer.finish().unwrap();
+        assert_eq!(report.items_processed, 5);
+        assert_eq!(report.loss.batches_dropped, 2);
+        assert_eq!(report.loss.samples_dropped, 4);
+        assert!(report.conserves_samples());
+    }
+
+    #[test]
+    fn finish_after_worker_panic_reports_the_message() {
+        let (symtab, f) = symtab();
+        let tracer = OnlineTracer::spawn_with_inspector(Arc::clone(&symtab), config(), |_batch| {
+            panic!("unit-injected fault");
+        });
+        let _ = tracer.submit(item_batch(&symtab, f, 0, 0, 3_000));
+        // finish() immediately after the crash — without waiting for a
+        // SubmitError first — must still join, contain the unwind, and
+        // surface the payload.
+        match tracer.finish() {
+            Err(OnlineError::WorkerPanicked(msg)) => {
+                assert!(msg.contains("unit-injected fault"), "{msg}")
+            }
+            Ok(_) => panic!("finish must report the worker panic"),
+        }
     }
 
     #[test]

@@ -140,6 +140,16 @@ impl Rng {
         assert!(!items.is_empty(), "choose from empty slice");
         &items[self.gen_below(items.len() as u64) as usize]
     }
+
+    /// Panic-free [`Rng::choose`]: `None` on an empty slice. Does not
+    /// advance the stream when the slice is empty.
+    pub fn choose_opt<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            items.get(self.gen_below(items.len() as u64) as usize)
+        }
+    }
 }
 
 #[cfg(test)]

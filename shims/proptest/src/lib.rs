@@ -240,6 +240,19 @@ pub mod test_runner {
         pub fn with_cases(cases: u32) -> Config {
             Config { cases }
         }
+
+        /// Config whose case count comes from `FLUCTRACE_PROPTEST_CASES`
+        /// when set (so scheduled CI can explore deeper), falling back to
+        /// `default` otherwise. Unparsable or zero values fall back too —
+        /// a property that runs zero cases would silently prove nothing.
+        pub fn cases_from_env(default: u32) -> Config {
+            let cases = std::env::var("FLUCTRACE_PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse::<u32>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(default);
+            Config { cases }
+        }
     }
 
     impl Default for Config {

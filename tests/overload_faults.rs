@@ -12,6 +12,8 @@ use fluctrace_bench::overload_experiment::{
 use std::sync::Arc;
 
 proptest::proptest! {
+    #![proptest_config(proptest::ProptestConfig::cases_from_env(48))]
+
     /// For any fault mix, batch sizing and pending bound, the tracer's
     /// loss accounting equals the schedule's ground truth to the unit.
     #[test]
@@ -42,12 +44,16 @@ proptest::proptest! {
             r.report.loss,
             r.expected
         );
-        // Conservation: every sample is attributed, counted as lost, or
-        // was a never-attributed orphan-item sample (2 per orphan).
-        let attributed = r.report.samples_seen
-            - r.report.loss.samples_lost()
-            - 2 * r.report.loss.marks_orphaned;
-        proptest::prop_assert!(attributed <= r.report.samples_seen);
+        // Conservation, exactly: every sample the worker saw is either
+        // attributed or sits in exactly one worker-side loss/spin bucket.
+        proptest::prop_assert!(r.report.conserves_samples());
+        proptest::prop_assert_eq!(
+            r.report.samples_seen,
+            r.report.samples_attributed
+                + r.report.loss.samples_evicted
+                + r.report.loss.samples_discarded
+                + r.report.loss.samples_spin
+        );
     }
 
     /// The stall scenario drops exactly the batches that exceed the
@@ -62,6 +68,37 @@ proptest::proptest! {
         let sent = (total as u64 - 1).min(capacity as u64) + 1;
         proptest::prop_assert_eq!(r.items_processed, sent);
     }
+}
+
+/// Pinned regression (found by the conformance harness, folded from the
+/// PR 3 repro): a schedule of *consecutive* DropOpen faults leaves no
+/// next Start to clear `pending`, so orphan-item samples used to linger
+/// until the `max_pending` bound misreported them as `samples_evicted`.
+/// The orphan End must clear its core's pending as spin samples.
+#[test]
+fn consecutive_drop_open_eviction_accounting() {
+    let plan = FaultPlan {
+        drop_open_per_mille: 1000,
+        corrupt_close_per_mille: 0,
+        burst_per_mille: 0,
+        burst_len: 0,
+    };
+    let items = 10;
+    let cfg = OverloadConfig {
+        items,
+        schedule: plan.schedule(items, 1),
+        max_pending: 4,
+    };
+    let r = run_overload(&cfg);
+    assert!(
+        r.accounting_exact(),
+        "reported {:?} but schedule implies {:?}",
+        r.report.loss,
+        r.expected
+    );
+    assert_eq!(r.report.loss.samples_evicted, 0, "no phantom evictions");
+    assert_eq!(r.report.loss.samples_spin, 2 * items as u64);
+    assert_eq!(r.report.loss.marks_orphaned, items as u64);
 }
 
 #[test]
