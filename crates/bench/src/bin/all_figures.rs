@@ -16,6 +16,7 @@ use std::process::Command;
 use std::time::Instant;
 
 fn main() {
+    fluctrace_bench::obs_support::init();
     let bins = [
         "table1",
         "table2",
@@ -100,6 +101,8 @@ fn main() {
         },
         Err(e) => eprintln!("\n[artifact] serialize failed: {e}"),
     }
+
+    fluctrace_bench::obs_support::finish();
 
     if failures.is_empty() {
         println!("\nall reproductions completed");

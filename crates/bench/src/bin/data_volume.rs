@@ -15,6 +15,7 @@ const PAPER_MB_S: [f64; 5] = [270.0, 194.0, 153.0, 125.0, 106.0];
 const SOCKET_BW_GB_S: f64 = 127.8; // Xeon Platinum 8153, DDR4-2666 x6
 
 fn main() {
+    fluctrace_bench::obs_support::init();
     let scale = Scale::from_env();
     let per_type = scale.packets_per_type();
     let table3 = scale.table3_params();
@@ -62,4 +63,5 @@ fn main() {
     fig.add(measured);
     fig.add(paper);
     emit(&fig);
+    fluctrace_bench::obs_support::finish();
 }

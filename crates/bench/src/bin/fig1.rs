@@ -13,6 +13,7 @@ use fluctrace_cpu::{
 use fluctrace_sim::Freq;
 
 fn main() {
+    fluctrace_bench::obs_support::init();
     let mut b = SymbolTableBuilder::new();
     let funcs = [b.add("A", 1024), b.add("B", 1024), b.add("C", 1024)];
     let core_cfg = CoreConfig::bare().with_pebs(PebsConfig::new(2000));
@@ -77,4 +78,5 @@ fn main() {
     }
     println!("{prof_tbl}");
     println!("=> the profile only shows averages; the request-#1 fluctuation is invisible.");
+    fluctrace_bench::obs_support::finish();
 }

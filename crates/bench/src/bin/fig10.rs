@@ -16,6 +16,7 @@ use fluctrace_bench::figures::fig10_data;
 use fluctrace_bench::{emit, print_pipeline_throughput, Scale};
 
 fn main() {
+    fluctrace_bench::obs_support::init();
     let scale = Scale::from_env();
     let per_type = scale.packets_per_type();
 
@@ -61,4 +62,5 @@ fn main() {
             .collect::<Vec<_>>(),
     );
     emit(&data.figure);
+    fluctrace_bench::obs_support::finish();
 }

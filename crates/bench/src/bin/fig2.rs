@@ -19,6 +19,7 @@ use fluctrace_cpu::{CoreConfig, Machine, MachineConfig, PebsConfig};
 use fluctrace_sim::{Freq, SimDuration, SimTime};
 
 fn main() {
+    fluctrace_bench::obs_support::init();
     let scale = Scale::from_env();
     let n_requests = scale.webserver_requests();
     // The paper takes the 149 µs/request figure from the plain
@@ -96,4 +97,5 @@ fn main() {
     );
     fig.add(series);
     emit(&fig);
+    fluctrace_bench::obs_support::finish();
 }

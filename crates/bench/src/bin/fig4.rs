@@ -16,6 +16,7 @@ use fluctrace_bench::sampling_experiment::Sampler;
 use fluctrace_bench::{emit, Scale};
 
 fn main() {
+    fluctrace_bench::obs_support::init();
     let scale = Scale::from_env();
 
     println!("Fig. 4 — sample interval vs reset value (event: UOPS_RETIRED.ALL)\n");
@@ -83,4 +84,5 @@ fn main() {
         println!("  - {n}");
     }
     emit(&data.figure);
+    fluctrace_bench::obs_support::finish();
 }

@@ -15,6 +15,7 @@ use fluctrace_cpu::{CoreConfig, ItemId, Machine, MachineConfig, PebsConfig};
 use fluctrace_sim::{Freq, SimDuration, SimTime};
 
 fn main() {
+    fluctrace_bench::obs_support::init();
     let (symtab, funcs) = QueryApp::symtab();
     let core_cfg = CoreConfig::bare().with_pebs(PebsConfig::new(8_000));
     let mut machine = Machine::new(MachineConfig::new(2, core_cfg), symtab);
@@ -151,4 +152,5 @@ fn main() {
     fig.add(s3);
     fig.add(stot);
     emit(&fig);
+    fluctrace_bench::obs_support::finish();
 }

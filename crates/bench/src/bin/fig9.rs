@@ -17,6 +17,7 @@ use fluctrace_bench::figures::fig9_data;
 use fluctrace_bench::{emit, print_pipeline_throughput, Scale};
 
 fn main() {
+    fluctrace_bench::obs_support::init();
     let scale = Scale::from_env();
     let per_type = scale.packets_per_type();
 
@@ -101,4 +102,5 @@ fn main() {
             .collect::<Vec<_>>(),
     );
     emit(&data.figure);
+    fluctrace_bench::obs_support::finish();
 }

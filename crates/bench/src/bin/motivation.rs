@@ -33,6 +33,7 @@ fn run(core_cfg: CoreConfig, per_type: usize, table3: (u16, u16, u16)) -> (f64, 
 }
 
 fn main() {
+    fluctrace_bench::obs_support::init();
     let scale = Scale::from_env();
     let per_type = scale.packets_per_type().min(2_000);
     let table3 = scale.table3_params();
@@ -76,4 +77,5 @@ fn main() {
          the hybrid tracer pays exactly 2 marks per packet and gets the same \
          per-item per-function visibility from sampling."
     );
+    fluctrace_bench::obs_support::finish();
 }

@@ -22,6 +22,7 @@ use fluctrace_bench::overload_experiment::run_stall;
 use fluctrace_bench::{emit, Scale};
 
 fn main() {
+    fluctrace_bench::obs_support::init();
     let scale = Scale::from_env();
     let items = match scale {
         Scale::Quick => 2_000,
@@ -31,43 +32,47 @@ fn main() {
     println!("§IV.C.3 under fault injection — online loss accounting ({items} items)\n");
     let data = overload_data(scale);
 
-    // Ledger for the harshest sweep point.
+    // Ledger for the harshest sweep point. The observed side reads the
+    // report's unified obs snapshot, so the ledger, the `--obs` export,
+    // and the raw report fields are provably one source of truth (the
+    // `ObsSection` round-trip test pins snapshot == report).
     let worst = data.results.last().expect("non-empty sweep");
+    let obs = &worst.report.obs;
     let rows = vec![
         LossRow::new(
             "items processed",
             worst.expected.items_processed,
-            worst.report.items_processed,
+            obs.counter("core.online.items_processed"),
         ),
         LossRow::new(
             "samples seen",
             worst.expected.samples_seen,
-            worst.report.samples_seen,
+            obs.counter("core.online.samples_seen"),
         ),
         LossRow::new(
             "marks orphaned",
             worst.expected.marks_orphaned,
-            worst.report.loss.marks_orphaned,
+            obs.counter("core.online.marks_orphaned"),
         ),
         LossRow::new(
             "marks mismatched",
             worst.expected.marks_mismatched,
-            worst.report.loss.marks_mismatched,
+            obs.counter("core.online.marks_mismatched"),
         ),
         LossRow::new(
             "samples discarded",
             worst.expected.samples_discarded,
-            worst.report.loss.samples_discarded,
+            obs.counter("core.online.samples_discarded"),
         ),
         LossRow::new(
             "samples evicted",
             worst.expected.samples_evicted,
-            worst.report.loss.samples_evicted,
+            obs.counter("core.online.samples_evicted"),
         ),
         LossRow::new(
             "boundary samples",
             worst.expected.boundary_samples,
-            worst.report.loss.boundary_samples,
+            obs.counter("core.online.boundary_samples"),
         ),
     ];
     println!(
@@ -98,4 +103,5 @@ fn main() {
 
     emit(&data.figure);
     emit(&data.degrade_figure);
+    fluctrace_bench::obs_support::finish();
 }

@@ -6,6 +6,7 @@ use fluctrace_analysis::Table;
 use fluctrace_cpu::{PebsConfig, SwSamplerConfig};
 
 fn main() {
+    fluctrace_bench::obs_support::init();
     let pebs = PebsConfig::new(8_000);
     let sw = SwSamplerConfig::new(8_000);
     println!("Table I — characteristics by each tracing mechanism\n");
@@ -33,4 +34,5 @@ fn main() {
         "(for contrast, software sampling pays {} of handler per sample — Fig. 4)",
         sw.handler
     );
+    fluctrace_bench::obs_support::finish();
 }

@@ -4,6 +4,7 @@
 use fluctrace_analysis::Table;
 
 fn main() {
+    fluctrace_bench::obs_support::init();
     println!("Table II — evaluation environment\n");
     let mut t = Table::new(vec!["component", "paper", "this reproduction"]);
     t.row(vec![
@@ -42,4 +43,5 @@ fn main() {
         "IPC-profiled kernel analogues; NGINX-like server model",
     ]);
     println!("{t}");
+    fluctrace_bench::obs_support::finish();
 }

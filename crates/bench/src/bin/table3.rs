@@ -6,6 +6,7 @@ use fluctrace_analysis::Table;
 use fluctrace_bench::Scale;
 
 fn main() {
+    fluctrace_bench::obs_support::init();
     let (sports, dports, tail) = Scale::from_env().table3_params();
     let rules = table3_rules(sports, dports, tail);
     println!("Table III — installed ACL rules\n");
@@ -50,4 +51,5 @@ fn main() {
     ]);
     println!("\n{t2}");
     println!("(paper: the 50 000-rule set is stored in 247 trie structures)");
+    fluctrace_bench::obs_support::finish();
 }

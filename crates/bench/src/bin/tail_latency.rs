@@ -17,6 +17,7 @@ use fluctrace_cpu::{CoreConfig, ItemId, Machine, MachineConfig, PebsConfig};
 use fluctrace_sim::{Freq, Rng, SimDuration};
 
 fn main() {
+    fluctrace_bench::obs_support::init();
     let n_queries: u64 = match Scale::from_env() {
         Scale::Quick => 3_000,
         Scale::Paper => 50_000,
@@ -107,4 +108,5 @@ fn main() {
          DB engines stack many fluctuation sources — locks, I/O, GC — on top of \
          cache warmth, while this app has exactly one.)"
     );
+    fluctrace_bench::obs_support::finish();
 }

@@ -10,6 +10,7 @@ use fluctrace_bench::Scale;
 use fluctrace_core::OverheadModel;
 
 fn main() {
+    fluctrace_bench::obs_support::init();
     let uops = Scale::from_env().kernel_uops();
     println!("§V.C — choosing reset values\n");
 
@@ -52,4 +53,5 @@ fn main() {
         ]);
     }
     println!("{t2}");
+    fluctrace_bench::obs_support::finish();
 }

@@ -16,6 +16,7 @@
 
 pub mod acl_experiment;
 pub mod figures;
+pub mod obs_support;
 pub mod overload_experiment;
 pub mod sampling_experiment;
 
@@ -100,6 +101,10 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    if fluctrace_obs::recording() {
+        fluctrace_obs::counter!("bench.sweep.runs").inc();
+        fluctrace_obs::counter!("bench.sweep.configs").add(configs.len() as u64);
+    }
     fluctrace_core::run_indexed(configs, fluctrace_core::configured_threads(), |_, c| f(c))
 }
 

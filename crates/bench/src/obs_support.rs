@@ -1,0 +1,145 @@
+//! Shared `--obs` plumbing for the figure binaries.
+//!
+//! Every bin calls [`init`] first (installs the wall clock so the span
+//! journal carries real nanoseconds) and [`finish`] last; when
+//! `--obs <path>` is on the command line, `finish` runs the
+//! deterministic [`obs_probe`] and writes the canonical JSON snapshot
+//! of the process-wide registry to that path.
+//!
+//! The snapshot is byte-identical across runs and `FLUCTRACE_THREADS`
+//! settings: the registry records only deterministic quantities (event
+//! counts, sim-TSC cycle widths, sizes — never wall-clock durations),
+//! and the probe drives every subsystem with fixed seeds. The
+//! `obs_snapshot` integration test and the conformance golden pin this.
+
+use crate::acl_experiment::{run_acl, AclRunConfig};
+use crate::overload_experiment::{run_degradation, run_overload, OverloadConfig};
+use fluctrace_core::AdaptiveConfig;
+use fluctrace_sim::FaultPlan;
+use std::path::{Path, PathBuf};
+
+/// Seed for the probe's fault schedule.
+const PROBE_SEED: u64 = 0x0b5e_0b5e;
+
+/// Install the wall clock for the span journal. Call first in `main`;
+/// library and test code must never call this (ticks stay sim-domain
+/// there so flight-recorder output is reproducible).
+pub fn init() {
+    fluctrace_obs::install_wall_clock();
+}
+
+/// Parse `--obs <path>` / `--obs=<path>` from the command line.
+pub fn obs_path() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--obs" {
+            let p = args.next().expect("--obs requires a path argument");
+            return Some(PathBuf::from(p));
+        }
+        if let Some(p) = a.strip_prefix("--obs=") {
+            return Some(PathBuf::from(p));
+        }
+    }
+    None
+}
+
+/// Exercise every instrumented subsystem with fixed inputs so an
+/// `--obs` snapshot has a nonzero, reproducible value for each catalog
+/// section regardless of which figure the host bin computes.
+pub fn obs_probe() {
+    // ACL pipeline: integrate / estimate / parallel plus rt stages and
+    // Pipeline::run, all in the sim-clock domain.
+    let _ = run_acl(AclRunConfig::new(Some(8_000), 40, (200, 100, 0)));
+
+    // Online tracer over a faulted replay: the whole loss ledger. The
+    // single worker drains batches in submission order (blocking
+    // submit), so its report — and the bulk-added totals — are exact.
+    let plan = FaultPlan {
+        drop_open_per_mille: 100,
+        corrupt_close_per_mille: 100,
+        burst_per_mille: 100,
+        burst_len: 40,
+    };
+    let cfg = OverloadConfig {
+        items: 200,
+        schedule: plan.schedule(200, PROBE_SEED),
+        max_pending: 16,
+    };
+    let r = run_overload(&cfg);
+    assert!(r.accounting_exact(), "probe replay must account exactly");
+
+    // Adaptive effective-reset policy over a scripted occupancy wave.
+    let _ = run_degradation(60, 20, 1.0, AdaptiveConfig::new());
+
+    // A batched stage (the firewall path in `run_acl` uses per-item
+    // stages only): a backlog of 6 items bursts through in groups of 4.
+    let mut b = fluctrace_cpu::SymbolTableBuilder::new();
+    let poll = b.add("probe_poll", 512);
+    let work = b.add("probe_work", 2048);
+    let mut core = fluctrace_cpu::Core::new(
+        fluctrace_cpu::CoreId(0),
+        fluctrace_cpu::CoreConfig::bare(),
+        b.build().into_shared(),
+        fluctrace_sim::Rng::new(PROBE_SEED),
+    );
+    let input = fluctrace_rt::timed::arrival_schedule(
+        fluctrace_sim::SimTime::ZERO,
+        fluctrace_sim::SimDuration::ZERO,
+        6,
+        |i| i as u64,
+    );
+    let out = fluctrace_rt::stage::run_stage_batched(
+        &mut core,
+        input,
+        fluctrace_rt::StageOpts::new(poll),
+        4,
+        |core, batch| {
+            core.exec(fluctrace_cpu::Exec::new(work, 1_000 * batch.len() as u64));
+            batch
+        },
+    );
+    assert_eq!(out.len(), 6);
+
+    // The lock-free ring, single-threaded so stall counts are exact:
+    // the 9th push stalls on the full ring, the final pop observes it
+    // empty.
+    let (mut tx, mut rx) = fluctrace_rt::spsc_ring::<u64>(8);
+    for i in 0..9 {
+        let _ = tx.push(i);
+    }
+    while rx.pop().is_some() {}
+}
+
+/// Write the registry snapshot as canonical JSON, creating parent
+/// directories as needed.
+pub fn write_snapshot(path: &Path) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(path, fluctrace_obs::snapshot_json())
+}
+
+/// Bin tail: when `--obs` was requested, run the probe and write the
+/// snapshot, reporting the path like `emit` does for figure artifacts.
+pub fn finish() {
+    if let Some(path) = obs_path() {
+        obs_probe();
+        match write_snapshot(&path) {
+            Ok(()) => println!("\n[obs] {}", path.display()),
+            Err(e) => eprintln!("\n[obs] write failed: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obs_path_accepts_both_flag_forms() {
+        // No --obs on the test binary's own command line.
+        assert_eq!(obs_path(), None);
+    }
+}

@@ -1,0 +1,50 @@
+//! The obs snapshot must be a pure function of the recorded multiset of
+//! events — never of the thread configuration that recorded them. This
+//! test runs the deterministic probe under several `FLUCTRACE_THREADS`
+//! settings inside one process and requires the delta snapshots to be
+//! byte-identical.
+//!
+//! Deliberately a single `#[test]` in its own binary: it mutates the
+//! process environment and scopes measurement windows against the
+//! process-wide registry, so it must not share a process with other
+//! tests.
+
+use fluctrace_bench::obs_support::obs_probe;
+
+#[test]
+fn snapshot_bytes_invariant_across_thread_counts() {
+    let mut snaps = Vec::new();
+    for threads in ["1", "2", "4"] {
+        std::env::set_var("FLUCTRACE_THREADS", threads);
+        let base = fluctrace_obs::snapshot();
+        obs_probe();
+        let delta = fluctrace_obs::snapshot().diff(&base);
+        snaps.push((threads, delta.to_json()));
+    }
+    std::env::remove_var("FLUCTRACE_THREADS");
+
+    let (_, reference) = &snaps[0];
+    // The probe exercised every subsystem, so the delta is non-trivial.
+    for section in [
+        "core.integrate.runs",
+        "core.online.samples_evicted",
+        "rt.spsc.pushes",
+        "rt.stage.batches",
+        "sim.fault.schedules",
+    ] {
+        assert!(reference.contains(section), "probe missed {section}");
+    }
+    for (threads, snap) in &snaps[1..] {
+        assert_eq!(
+            snap, reference,
+            "obs snapshot changed between FLUCTRACE_THREADS=1 and {threads}"
+        );
+    }
+
+    // The Prometheus exposition renders from the same snapshot and is
+    // equally stable (spot-check shape, not bytes, to keep this test
+    // focused on the JSON contract CI diffs).
+    let prom = fluctrace_obs::snapshot_prometheus();
+    assert!(prom.contains("# TYPE"));
+    assert!(prom.contains("core_integrate_runs") || prom.contains("core.integrate.runs"));
+}

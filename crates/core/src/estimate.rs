@@ -11,10 +11,10 @@
 
 use crate::integrate::{IntegratedTrace, MappingMode};
 use fluctrace_cpu::{FuncId, ItemId};
+use fluctrace_obs as obs;
 use fluctrace_sim::{Freq, SimDuration};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use std::time::Instant;
 
 /// Estimated elapsed time of one function for one data-item.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -99,8 +99,9 @@ impl EstimateTable {
         Self::from_integrated_timed(it).0
     }
 
-    /// [`Self::from_integrated`] plus the wall time the estimation took,
-    /// in nanoseconds (fed into
+    /// [`Self::from_integrated`] plus the time the estimation took, in
+    /// ticks of the process-wide `obs` clock — wall-ns in bench bins,
+    /// logical ticks elsewhere (fed into
     /// [`PipelineStats::estimate_ns`](crate::PipelineStats) by the
     /// benchmark harness). Timing lives outside the table so tables stay
     /// directly comparable with `==`.
@@ -118,7 +119,8 @@ impl EstimateTable {
     /// list is then sorted once by `(item, func)` and group-folded into
     /// the final table — the only tree left is at the API boundary.
     pub fn from_integrated_timed(it: &IntegratedTrace) -> (Self, u64) {
-        let t0 = Instant::now();
+        obs::span!("estimate.run", it.samples.len());
+        let t0 = obs::now_ticks();
         // All flushed spans: (item, func, first, last, count).
         let mut flat: Vec<(ItemId, FuncId, u64, u64, u32)> = Vec::new();
         // The current span's per-function accumulator. Spans touch few
@@ -224,12 +226,25 @@ impl EstimateTable {
                 ie.unknown_func_samples = n;
             }
         }
+        // Self-observability: volumes and sim-cycle span widths only
+        // (deterministic; the tick timing below never enters the
+        // registry).
+        if obs::recording() {
+            obs::counter!("core.estimate.runs").inc();
+            obs::counter!("core.estimate.spans").add(flat.len() as u64);
+            obs::counter!("core.estimate.samples_missing_span").add(samples_missing_span);
+            let span_cycles = obs::histogram!("core.estimate.span_cycles");
+            for &(_, _, first_tsc, last_tsc, _) in &flat {
+                span_cycles.record(last_tsc.wrapping_sub(first_tsc));
+            }
+        }
+
         let table = EstimateTable {
             items,
             freq: it.freq,
             samples_missing_span,
         };
-        (table, t0.elapsed().as_nanos() as u64)
+        (table, obs::now_ticks().wrapping_sub(t0))
     }
 
     /// The previous `BTreeMap`-per-sample implementation, kept as an

@@ -33,9 +33,9 @@
 use crate::interval::{build_intervals, IntervalError, ItemInterval};
 use crate::parallel;
 use fluctrace_cpu::{decode_tag, CoreId, FuncId, ItemId, PebsRecord, SymbolTable, TraceBundle};
+use fluctrace_obs as obs;
 use fluctrace_sim::Freq;
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
 /// How samples are mapped to data-items.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -65,21 +65,25 @@ pub struct AttributedSample {
     pub interval_idx: Option<u32>,
 }
 
-/// Wall-time and volume counters of one analysis-pipeline run.
+/// Timing and volume counters of one analysis-pipeline run.
 ///
 /// Integration fills the interval/attribution stages; the estimation
 /// stage is reported by [`crate::EstimateTable::from_integrated_timed`]
-/// and composed in by callers (see `fluctrace-bench`). Timings are
-/// measurement artifacts: they vary run to run and are deliberately
-/// *not* part of any determinism guarantee.
+/// and composed in by callers (see `fluctrace-bench`). Timings come
+/// from the process-wide `obs` clock: real nanoseconds in bench
+/// binaries (which install the wall clock), opaque logical ticks
+/// everywhere else. Either way they are measurement artifacts — they
+/// vary run to run and are deliberately *not* part of any determinism
+/// guarantee.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PipelineStats {
-    /// Wall time of interval reconstruction from marks, ns.
+    /// Clock ticks (wall-ns in bench bins) spent reconstructing
+    /// intervals from marks.
     pub interval_build_ns: u64,
-    /// Wall time of sample attribution, ns.
+    /// Clock ticks (wall-ns in bench bins) spent attributing samples.
     pub attribution_ns: u64,
-    /// Wall time of estimation (first→last folding), ns; zero until an
-    /// estimator reports it.
+    /// Clock ticks (wall-ns in bench bins) spent estimating
+    /// (first→last folding); zero until an estimator reports it.
     pub estimate_ns: u64,
     /// Samples processed.
     pub samples: u64,
@@ -172,15 +176,19 @@ pub fn integrate_with_threads(
     threads: usize,
 ) -> IntegratedTrace {
     let threads = threads.max(1);
+    obs::span!("integrate.run", threads);
 
     // Phase 1 — per-core interval reconstruction. Shards are the
     // per-core sub-slices of the (core, tsc)-sorted streams.
-    let t0 = Instant::now();
+    let t0 = obs::now_ticks();
     let shards = shard_by_core(&bundle.marks, &bundle.samples);
     let built: Vec<(Vec<ItemInterval>, Vec<IntervalError>)> = parallel::run_indexed(
         shards.iter().map(|sh| sh.marks).collect(),
         threads,
-        |_, marks| build_intervals(marks),
+        |shard_idx, marks| {
+            obs::span!("integrate.shard", shard_idx);
+            build_intervals(marks)
+        },
     );
     // Splice in core order: concatenated per-core results are identical
     // to one sequential walk (build_intervals truncates open intervals
@@ -194,15 +202,16 @@ pub fn integrate_with_threads(
         intervals.extend_from_slice(ivs);
         errors.extend_from_slice(errs);
     }
-    let interval_build_ns = t0.elapsed().as_nanos() as u64;
+    let interval_build_ns = obs::now_ticks().wrapping_sub(t0);
 
     // Phase 2 — per-core sample attribution with a merge cursor; local
     // interval indices are globalized with the shard's base offset.
-    let t1 = Instant::now();
+    let t1 = obs::now_ticks();
     let attributed: Vec<Vec<AttributedSample>> = parallel::run_indexed(
         shards.iter().map(|sh| sh.samples).collect(),
         threads,
         |shard_idx, samples| {
+            obs::span!("integrate.attribute", shard_idx);
             let (base, len) = shard_bounds.get(shard_idx).copied().unwrap_or((0, 0));
             let shard_intervals = intervals.get(base..base + len).unwrap_or_default();
             attribute_shard(samples, shard_intervals, base as u32, symtab, mode)
@@ -213,7 +222,26 @@ pub fn integrate_with_threads(
         samples.extend(shard_samples);
     }
     let item_index = build_item_index(&samples);
-    let attribution_ns = t1.elapsed().as_nanos() as u64;
+    let attribution_ns = obs::now_ticks().wrapping_sub(t1);
+
+    // Self-observability: deterministic volumes and sim-cycle
+    // distributions only (never the tick timings above), so obs
+    // snapshots stay byte-identical across runs and thread counts.
+    if obs::recording() {
+        obs::counter!("core.integrate.runs").inc();
+        obs::counter!("core.integrate.samples").add(samples.len() as u64);
+        obs::counter!("core.integrate.intervals").add(intervals.len() as u64);
+        obs::counter!("core.integrate.shards").add(shards.len() as u64);
+        obs::counter!("core.integrate.errors").add(errors.len() as u64);
+        let interval_cycles = obs::histogram!("core.integrate.interval_cycles");
+        for iv in &intervals {
+            interval_cycles.record(iv.cycles());
+        }
+        let shard_samples = obs::histogram!("core.integrate.shard_samples");
+        for sh in &shards {
+            shard_samples.record(sh.samples.len() as u64);
+        }
+    }
 
     let stats = PipelineStats {
         interval_build_ns,

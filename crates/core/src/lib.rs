@@ -66,10 +66,10 @@ pub use integrate::{
 pub use interval::{build_intervals, IntervalError, ItemInterval};
 pub use metrics::{effective_reset, metric_counts, MetricTable};
 pub use online::{
-    AdaptiveConfig, AdaptiveR, DegradeStats, LiveStats, LossStats, OnlineAnomaly, OnlineConfig,
-    OnlineError, OnlineReport, OnlineTracer, SubmitError, SubmitOutcome,
+    AdaptiveConfig, AdaptiveR, DegradeStats, LiveStats, LossStats, ObsSection, OnlineAnomaly,
+    OnlineConfig, OnlineError, OnlineReport, OnlineTracer, SubmitError, SubmitOutcome,
 };
-pub use overhead::{fit_inverse_reset, OverheadModel};
+pub use overhead::{fit_instrumentation, fit_inverse_reset, InstrumentationFit, OverheadModel};
 pub use parallel::{configured_threads, run_indexed};
 pub use profile::{FlatProfile, ProfileEntry};
 pub use report::{diagnosis, item_breakdown, item_breakdown_with_trace};

@@ -56,9 +56,10 @@ use fluctrace_cpu::{
     CoreId, FuncId, ItemId, MarkKind, MarkRecord, PebsRecord, SymbolTable, TraceBundle,
     PEBS_RECORD_BYTES,
 };
+use fluctrace_obs as obs;
 use fluctrace_sim::{Freq, SimDuration};
 use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Num, Serialize, Value};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -139,12 +140,14 @@ impl AdaptiveR {
         if occupancy >= self.config.high_water {
             if self.factor == 1 && max > 1 {
                 self.episodes += 1;
+                obs::counter!("core.online.degrade_episodes").inc();
             }
             self.factor = (self.factor.saturating_mul(2)).min(max);
         } else if occupancy <= self.config.low_water && self.factor > 1 {
             self.factor /= 2;
         }
         self.peak_factor = self.peak_factor.max(self.factor);
+        obs::gauge!("core.online.degrade_factor_peak").record(self.factor as u64);
         self.factor
     }
 
@@ -317,6 +320,10 @@ pub struct OnlineReport {
     pub loss: LossStats,
     /// Adaptive-degradation episode counters.
     pub degrade: DegradeStats,
+    /// The report rendered under its `core.online.*` metric names (the
+    /// unified self-observability vocabulary); filled by
+    /// [`OnlineTracer::finish`].
+    pub obs: ObsSection,
 }
 
 impl OnlineReport {
@@ -343,8 +350,165 @@ impl OnlineReport {
     }
 }
 
+/// An [`OnlineReport`] rendered under its `core.online.*` metric names —
+/// the same vocabulary as the process-wide registry, so loss ledgers and
+/// `--obs` exports draw observed values from one source of truth.
+///
+/// Built from the finished report itself rather than from the global
+/// registry: the section stays deterministic (and scoped to exactly this
+/// session) even when several tracers or pipelines share the process.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ObsSection {
+    snapshot: fluctrace_obs::Snapshot,
+}
+
+impl ObsSection {
+    /// Render a finished report into metric-name form. `report.loss`
+    /// must already include the producer-side shed counters (as it does
+    /// inside [`OnlineTracer::finish`]).
+    pub fn from_report(report: &OnlineReport) -> Self {
+        let mut snap = fluctrace_obs::Snapshot::default();
+        let l = &report.loss;
+        for (name, v) in [
+            ("core.online.items_processed", report.items_processed),
+            ("core.online.samples_seen", report.samples_seen),
+            ("core.online.samples_attributed", report.samples_attributed),
+            ("core.online.bytes_seen", report.bytes_seen),
+            ("core.online.bytes_dumped", report.bytes_dumped),
+            ("core.online.anomalies", report.anomalies.len() as u64),
+            ("core.online.batches_dropped", l.batches_dropped),
+            ("core.online.samples_dropped", l.samples_dropped),
+            ("core.online.samples_thinned", l.samples_thinned),
+            ("core.online.samples_evicted", l.samples_evicted),
+            ("core.online.samples_discarded", l.samples_discarded),
+            ("core.online.samples_spin", l.samples_spin),
+            ("core.online.boundary_samples", l.boundary_samples),
+            ("core.online.marks_orphaned", l.marks_orphaned),
+            ("core.online.marks_mismatched", l.marks_mismatched),
+            ("core.online.starts_abandoned", l.starts_abandoned),
+            ("core.online.starts_truncated", l.starts_truncated),
+            ("core.online.degrade_episodes", report.degrade.episodes),
+        ] {
+            snap.counters.insert(name.to_string(), v);
+        }
+        snap.gauges.insert(
+            "core.online.degrade_factor_peak".to_string(),
+            report.degrade.peak_factor as u64,
+        );
+        ObsSection { snapshot: snap }
+    }
+
+    /// Counter value by metric name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.snapshot.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge watermark by metric name (0 when absent).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.snapshot.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// The underlying plain-data snapshot.
+    pub fn snapshot(&self) -> &fluctrace_obs::Snapshot {
+        &self.snapshot
+    }
+
+    /// Canonical JSON rendering (byte-stable for equal contents).
+    pub fn to_json(&self) -> String {
+        self.snapshot.to_json()
+    }
+}
+
+// Manual serde-shim impls: `fluctrace-obs` is dependency-free by design,
+// so its `Snapshot` cannot implement the workspace serde traits itself,
+// and the orphan rule keeps us from implementing them for the foreign
+// type — hence this local wrapper.
+impl Serialize for ObsSection {
+    fn to_value(&self) -> Value {
+        fn num(v: u64) -> Value {
+            Value::Number(Num::PosInt(v))
+        }
+        fn map_obj(m: &std::collections::BTreeMap<String, u64>) -> Value {
+            Value::Object(m.iter().map(|(k, &v)| (k.clone(), num(v))).collect())
+        }
+        let histograms = Value::Object(
+            self.snapshot
+                .histograms
+                .iter()
+                .map(|(k, h)| {
+                    let buckets = h
+                        .nonzero_buckets()
+                        .map(|(i, c)| Value::Array(vec![num(i as u64), num(c)]))
+                        .collect();
+                    (
+                        k.clone(),
+                        Value::Object(vec![
+                            ("count".to_string(), num(h.count())),
+                            ("sum".to_string(), num(h.sum)),
+                            ("buckets".to_string(), Value::Array(buckets)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        Value::Object(vec![
+            ("counters".to_string(), map_obj(&self.snapshot.counters)),
+            ("gauges".to_string(), map_obj(&self.snapshot.gauges)),
+            ("histograms".to_string(), histograms),
+        ])
+    }
+}
+
+impl Deserialize for ObsSection {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        fn entries<'a>(v: &'a Value, key: &str) -> Result<&'a [(String, Value)], DeError> {
+            match v.get(key) {
+                Some(Value::Object(m)) => Ok(m),
+                Some(other) => Err(DeError::msg(format!(
+                    "obs.{key}: expected object, got {other}"
+                ))),
+                None => Err(DeError::msg(format!("obs: missing section {key}"))),
+            }
+        }
+        let mut snapshot = fluctrace_obs::Snapshot::default();
+        for (k, val) in entries(v, "counters")? {
+            snapshot.counters.insert(k.clone(), u64::from_value(val)?);
+        }
+        for (k, val) in entries(v, "gauges")? {
+            snapshot.gauges.insert(k.clone(), u64::from_value(val)?);
+        }
+        for (k, val) in entries(v, "histograms")? {
+            let mut h = fluctrace_obs::HistogramSnapshot::new();
+            h.sum = val
+                .get("sum")
+                .map(u64::from_value)
+                .transpose()?
+                .unwrap_or(0);
+            if let Some(Value::Array(pairs)) = val.get("buckets") {
+                for pair in pairs {
+                    let Value::Array(iv) = pair else {
+                        return Err(DeError::msg(format!("obs histogram {k}: bad bucket pair")));
+                    };
+                    match (iv.first(), iv.get(1)) {
+                        (Some(i), Some(c)) => {
+                            h.set_bucket(u64::from_value(i)? as usize, u64::from_value(c)?);
+                        }
+                        _ => {
+                            return Err(DeError::msg(format!(
+                                "obs histogram {k}: bucket pair needs [index, count]"
+                            )))
+                        }
+                    }
+                }
+            }
+            snapshot.histograms.insert(k.clone(), h);
+        }
+        Ok(ObsSection { snapshot })
+    }
+}
+
 /// Live counters readable while the tracer runs.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct LiveStats {
     /// Items processed so far.
     pub items: u64,
@@ -442,6 +606,8 @@ struct Worker {
     report: OnlineReport,
     live: Arc<Mutex<LiveStats>>,
     inspector: Option<BatchInspector>,
+    /// Highest pending-sample backlog seen on any core (obs gauge).
+    pending_peak: u64,
 }
 
 impl Worker {
@@ -461,6 +627,7 @@ impl Worker {
     /// not attributed); leftover pending samples with no open item are
     /// trailing spin. After this, sample conservation is exact.
     fn finalize(&mut self) {
+        obs::span!("online.flush", self.cores.len());
         for state in self.cores.values_mut() {
             if state.open.take().is_some() {
                 self.report.loss.starts_truncated += 1;
@@ -470,6 +637,30 @@ impl Worker {
             }
             state.pending.clear();
         }
+        // The worker-side counts go to the registry in one bulk add here
+        // rather than per event: the per-sample loop stays untouched and
+        // the registry still ends up with the exact totals. (Producer-side
+        // shed counters are recorded live on the submit path — they are
+        // zero in this report and cannot double-count.)
+        if obs::recording() {
+            let r = &self.report;
+            obs::counter!("core.online.flushes").inc();
+            obs::counter!("core.online.items_processed").add(r.items_processed);
+            obs::counter!("core.online.samples_seen").add(r.samples_seen);
+            obs::counter!("core.online.samples_attributed").add(r.samples_attributed);
+            obs::counter!("core.online.bytes_seen").add(r.bytes_seen);
+            obs::counter!("core.online.bytes_dumped").add(r.bytes_dumped);
+            obs::counter!("core.online.anomalies").add(r.anomalies.len() as u64);
+            obs::counter!("core.online.samples_evicted").add(r.loss.samples_evicted);
+            obs::counter!("core.online.samples_discarded").add(r.loss.samples_discarded);
+            obs::counter!("core.online.samples_spin").add(r.loss.samples_spin);
+            obs::counter!("core.online.boundary_samples").add(r.loss.boundary_samples);
+            obs::counter!("core.online.marks_orphaned").add(r.loss.marks_orphaned);
+            obs::counter!("core.online.marks_mismatched").add(r.loss.marks_mismatched);
+            obs::counter!("core.online.starts_abandoned").add(r.loss.starts_abandoned);
+            obs::counter!("core.online.starts_truncated").add(r.loss.starts_truncated);
+            obs::gauge!("core.online.pending_peak").record(self.pending_peak);
+        }
         let mut live = self.live.lock();
         live.items = self.report.items_processed;
         live.anomalies = self.report.anomalies.len() as u64;
@@ -477,6 +668,7 @@ impl Worker {
     }
 
     fn process(&mut self, mut batch: TraceBundle) {
+        obs::span!("online.batch", batch.samples.len());
         batch.sort();
         self.report.samples_seen += batch.samples.len() as u64;
         self.report.bytes_seen += batch.samples.len() as u64 * PEBS_RECORD_BYTES;
@@ -524,6 +716,7 @@ impl Worker {
         let cap = self.config.max_pending.max(1);
         let state = self.cores.entry(s.core).or_default();
         state.pending.push(s);
+        self.pending_peak = self.pending_peak.max(state.pending.len() as u64);
         if state.pending.len() > cap {
             // Lost-End overload: evict the oldest samples instead of
             // growing without bound, and account for every one of them.
@@ -629,6 +822,7 @@ impl Worker {
             }
         }
         if let Some((func, elapsed, baseline_mean)) = worst {
+            obs::event("online.anomaly", interval.item.0);
             self.report.bytes_dumped += samples.len() as u64 * PEBS_RECORD_BYTES;
             self.report.anomalies.push(OnlineAnomaly {
                 item: interval.item,
@@ -674,6 +868,7 @@ impl OnlineTracer {
             report: OnlineReport::default(),
             live: Arc::clone(&live),
             inspector,
+            pending_peak: 0,
         };
         let handle = std::thread::Builder::new()
             .name("fluctrace-online".into())
@@ -708,9 +903,11 @@ impl OnlineTracer {
                 i += 1;
                 keep
             });
+            let thinned = (before - batch.samples.len()) as u64;
             self.shed
                 .samples_thinned
-                .fetch_add((before - batch.samples.len()) as u64, Ordering::Relaxed);
+                .fetch_add(thinned, Ordering::Relaxed);
+            obs::counter!("core.online.samples_thinned").add(thinned);
         }
     }
 
@@ -722,10 +919,25 @@ impl OnlineTracer {
         match self.tx.as_ref() {
             Some(tx) => {
                 self.degrade(tx, &mut batch);
-                tx.send(batch)
-                    .map_err(|crossbeam::channel::SendError(batch)| SubmitError { batch })
+                let samples = batch.samples.len() as u64;
+                match tx.send(batch) {
+                    Ok(()) => {
+                        Self::record_accepted(samples);
+                        Ok(())
+                    }
+                    Err(crossbeam::channel::SendError(batch)) => Err(SubmitError { batch }),
+                }
             }
             None => Err(SubmitError { batch }),
+        }
+    }
+
+    /// Obs bookkeeping for a batch the channel accepted.
+    fn record_accepted(samples: u64) {
+        if obs::recording() {
+            obs::counter!("core.online.batches_submitted").inc();
+            obs::counter!("core.online.samples_submitted").add(samples);
+            obs::histogram!("core.online.batch_samples").record(samples);
         }
     }
 
@@ -737,13 +949,19 @@ impl OnlineTracer {
             return Err(SubmitError { batch });
         };
         self.degrade(tx, &mut batch);
+        let samples = batch.samples.len() as u64;
         match tx.try_send(batch) {
-            Ok(()) => Ok(SubmitOutcome::Sent),
+            Ok(()) => {
+                Self::record_accepted(samples);
+                Ok(SubmitOutcome::Sent)
+            }
             Err(TrySendError::Full(batch)) => {
                 self.shed.batches_dropped.fetch_add(1, Ordering::Relaxed);
                 self.shed
                     .samples_dropped
                     .fetch_add(batch.samples.len() as u64, Ordering::Relaxed);
+                obs::counter!("core.online.batches_dropped").inc();
+                obs::counter!("core.online.samples_dropped").add(batch.samples.len() as u64);
                 Ok(SubmitOutcome::Dropped)
             }
             Err(TrySendError::Disconnected(batch)) => Err(SubmitError { batch }),
@@ -786,9 +1004,16 @@ impl OnlineTracer {
                 report.loss.samples_dropped += self.shed.samples_dropped.load(Ordering::Relaxed);
                 report.loss.samples_thinned += self.shed.samples_thinned.load(Ordering::Relaxed);
                 report.degrade = self.adaptive.lock().stats();
+                report.obs = ObsSection::from_report(&report);
                 Ok(report)
             }
-            Err(payload) => Err(OnlineError::WorkerPanicked(panic_message(&*payload))),
+            Err(payload) => {
+                // Post-mortem: the flight recorder holds the spans and
+                // events leading up to the crash — surface them before
+                // reporting the contained panic.
+                eprintln!("{}", obs::flight().dump_text());
+                Err(OnlineError::WorkerPanicked(panic_message(&*payload)))
+            }
         }
     }
 }
@@ -1361,5 +1586,54 @@ mod tests {
         gate_tx.send(()).unwrap();
         let report = tracer.finish().unwrap();
         assert_eq!(report.items_processed, 2);
+    }
+
+    #[test]
+    fn report_obs_section_mirrors_the_report_and_round_trips() {
+        let (symtab, f) = symtab();
+        let mut cfg = config();
+        cfg.max_pending = 8;
+        let tracer = OnlineTracer::spawn(Arc::clone(&symtab), cfg);
+        for i in 0..5u64 {
+            tracer
+                .submit(item_batch(&symtab, f, i, i * 100_000, 3_000))
+                .unwrap();
+        }
+        // A Start whose End never arrives, to populate loss buckets.
+        let mut bundle = TraceBundle::default();
+        bundle.marks.push(mark(10_000_000, 99, MarkKind::Start));
+        for i in 0..20u64 {
+            bundle.samples.push(sample(&symtab, f, 10_000_100 + i));
+        }
+        tracer.submit(bundle).unwrap();
+        let report = tracer.finish().unwrap();
+
+        // Every ledger quantity reads identically from the report fields
+        // and from the unified obs vocabulary.
+        let obs = &report.obs;
+        assert_eq!(
+            obs.counter("core.online.items_processed"),
+            report.items_processed
+        );
+        assert_eq!(obs.counter("core.online.samples_seen"), report.samples_seen);
+        assert_eq!(
+            obs.counter("core.online.samples_evicted"),
+            report.loss.samples_evicted
+        );
+        assert_eq!(
+            obs.counter("core.online.starts_truncated"),
+            report.loss.starts_truncated
+        );
+        assert!(obs.counter("core.online.samples_evicted") > 0);
+        assert_eq!(obs.counter("core.online.no_such_metric"), 0);
+        assert_eq!(
+            obs.gauge("core.online.degrade_factor_peak"),
+            report.degrade.peak_factor as u64
+        );
+
+        // The section survives the serde shim round-trip byte-exactly.
+        let back = ObsSection::from_value(&obs.to_value()).unwrap();
+        assert_eq!(&back, obs);
+        assert_eq!(back.to_json(), obs.to_json());
     }
 }

@@ -102,6 +102,42 @@ pub fn fit_inverse_reset(points: &[(u64, f64)]) -> (f64, f64) {
     (a, b)
 }
 
+/// Result of fitting the self-instrumentation overhead of the obs layer
+/// (see [`fit_instrumentation`]).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct InstrumentationFit {
+    /// Fitted slope of `instrumented = slope × uninstrumented` (a
+    /// through-origin least-squares fit over paired timings).
+    pub slope: f64,
+    /// `slope − 1`, clamped at 0: the fractional throughput cost of
+    /// leaving the obs layer recording.
+    pub overhead_fraction: f64,
+}
+
+/// Fit the cost of self-observability from paired
+/// `(uninstrumented, instrumented)` wall timings of the same workload —
+/// the "tracer traces itself" ledger. A through-origin least-squares fit
+/// (`slope = Σxy / Σx²`) pools every pair instead of averaging noisy
+/// per-pair ratios, so a single slow outlier run cannot dominate. CI
+/// asserts `overhead_fraction` stays under the obs budget (3%).
+pub fn fit_instrumentation(pairs: &[(f64, f64)]) -> InstrumentationFit {
+    assert!(!pairs.is_empty(), "need at least one timing pair");
+    let (mut sxx, mut sxy) = (0.0, 0.0);
+    for &(base, instrumented) in pairs {
+        assert!(
+            base > 0.0 && instrumented >= 0.0,
+            "non-positive base timing"
+        );
+        sxx += base * base;
+        sxy += base * instrumented;
+    }
+    let slope = sxy / sxx;
+    InstrumentationFit {
+        slope,
+        overhead_fraction: (slope - 1.0).max(0.0),
+    }
+}
+
 /// Coefficient of determination (R²) of the `a + b/r` fit on `points`.
 pub fn r_squared_inverse_reset(points: &[(u64, f64)], a: f64, b: f64) -> f64 {
     let mean = points.iter().map(|&(_, y)| y).sum::<f64>() / points.len() as f64;
@@ -206,5 +242,43 @@ mod tests {
     #[should_panic(expected = "at least two points")]
     fn fit_needs_two_points() {
         fit_inverse_reset(&[(8000, 1.0)]);
+    }
+
+    #[test]
+    fn instrumentation_fit_recovers_a_known_slope() {
+        // Perfect 2% overhead across differently-sized workloads.
+        let pairs: Vec<(f64, f64)> = [10.0, 20.0, 40.0, 80.0]
+            .iter()
+            .map(|&x| (x, x * 1.02))
+            .collect();
+        let fit = fit_instrumentation(&pairs);
+        assert!((fit.slope - 1.02).abs() < 1e-12);
+        assert!((fit.overhead_fraction - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn instrumentation_fit_clamps_negative_overhead() {
+        // Instrumented runs came out faster (noise): the fraction clamps
+        // to zero instead of going negative.
+        let fit = fit_instrumentation(&[(10.0, 9.8), (20.0, 19.7)]);
+        assert!(fit.slope < 1.0);
+        assert_eq!(fit.overhead_fraction, 0.0);
+    }
+
+    #[test]
+    fn instrumentation_fit_is_outlier_resistant_vs_ratio_mean() {
+        // One tiny run with a large absolute-noise spike: the pooled
+        // slope barely moves, while a mean of per-pair ratios would jump.
+        let pairs = [(1.0, 2.0), (100.0, 101.0), (100.0, 100.5)];
+        let fit = fit_instrumentation(&pairs);
+        assert!(fit.overhead_fraction < 0.02, "{}", fit.overhead_fraction);
+        let ratio_mean: f64 = pairs.iter().map(|&(x, y)| y / x - 1.0).sum::<f64>() / 3.0;
+        assert!(ratio_mean > 0.3, "{ratio_mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one timing pair")]
+    fn instrumentation_fit_needs_a_pair() {
+        fit_instrumentation(&[]);
     }
 }

@@ -45,6 +45,10 @@ where
 {
     let n = tasks.len();
     let threads = threads.clamp(1, n.max(1));
+    if fluctrace_obs::recording() {
+        fluctrace_obs::counter!("core.parallel.runs").inc();
+        fluctrace_obs::counter!("core.parallel.tasks").add(n as u64);
+    }
     if threads == 1 || n <= 1 {
         return tasks
             .into_iter()

@@ -18,6 +18,8 @@ pub struct Config {
     pub tsc_arithmetic_paths: Vec<String>,
     /// Scope of the unsafe-hygiene rule; empty = whole workspace.
     pub unsafe_hygiene_paths: Vec<String>,
+    /// Sim-domain crates where `Instant`/`SystemTime` are banned.
+    pub clock_hygiene_paths: Vec<String>,
     /// Directory holding the offline shim crates; `None` disables the
     /// shim-drift rule.
     pub shim_dir: Option<String>,
@@ -95,6 +97,7 @@ impl Config {
             ("panic-safety", "paths") => self.panic_safety_paths = parse_array(value, line)?,
             ("tsc-arithmetic", "paths") => self.tsc_arithmetic_paths = parse_array(value, line)?,
             ("unsafe-hygiene", "paths") => self.unsafe_hygiene_paths = parse_array(value, line)?,
+            ("clock-hygiene", "paths") => self.clock_hygiene_paths = parse_array(value, line)?,
             ("shim-drift", "dir") => self.shim_dir = Some(parse_string(value, line)?),
             ("engine", "exclude") => self.exclude = parse_array(value, line)?,
             _ => {

@@ -43,6 +43,9 @@ pub fn run(root: &Path, config: &Config) -> io::Result<Vec<Violation>> {
         if path_applies(&file.rel, &config.unsafe_hygiene_paths, true) {
             violations.extend(rules::unsafe_hygiene(file));
         }
+        if path_applies(&file.rel, &config.clock_hygiene_paths, false) {
+            violations.extend(rules::clock_hygiene(file));
+        }
     }
     if let Some(shim_dir) = &config.shim_dir {
         violations.extend(rules::shim_drift(&files, shim_dir));

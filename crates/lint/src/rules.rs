@@ -1,4 +1,4 @@
-//! The five project rules.
+//! The six project rules.
 //!
 //! | rule             | invariant                                                        |
 //! |------------------|------------------------------------------------------------------|
@@ -7,6 +7,7 @@
 //! | `tsc-arithmetic` | raw `-` never touches a TSC-typed operand (use `wrapping_sub`)   |
 //! | `unsafe-hygiene` | every `unsafe` is preceded by a `// SAFETY:` comment             |
 //! | `shim-drift`     | shim crates expose no `pub fn` the workspace never calls         |
+//! | `clock-hygiene`  | no `Instant`/`SystemTime` in sim-domain crates (use `obs::Clock`)|
 //!
 //! All rules work on the lexer's code/comment split, so literals and
 //! comments can never produce false positives, and all of them honour
@@ -17,12 +18,13 @@ use crate::diag::Violation;
 use crate::lexer::{find_word, has_word, Line};
 
 /// Rule identifiers, in reporting order.
-pub const RULE_NAMES: [&str; 5] = [
+pub const RULE_NAMES: [&str; 6] = [
     "determinism",
     "panic-safety",
     "tsc-arithmetic",
     "unsafe-hygiene",
     "shim-drift",
+    "clock-hygiene",
 ];
 
 /// A lexed source file plus the file-level facts rules share.
@@ -193,6 +195,32 @@ pub fn shim_drift(files: &[SourceFile], shim_dir: &str) -> Vec<Violation> {
                      workspace calls it; remove it or shrink it to `pub(crate)`"
                 ),
             });
+        }
+    }
+    out
+}
+
+/// L6 — `clock-hygiene`: the sim-domain crates must never read the
+/// wall clock. A stray `Instant::now()` makes figure artifacts and
+/// golden snapshots vary run to run; timing goes through the
+/// `obs::Clock` trait (tick clock by default, wall clock installed by
+/// bench binaries only).
+pub fn clock_hygiene(file: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, line) in file.prod_lines() {
+        for ty in ["Instant", "SystemTime"] {
+            if has_word(&line.code, ty) {
+                out.push(Violation {
+                    rule: "clock-hygiene",
+                    path: file.rel.clone(),
+                    line: i + 1,
+                    message: format!(
+                        "`{ty}` in a sim-domain crate: wall-clock reads break \
+                         byte-deterministic artifacts; record ticks via \
+                         `obs::now_ticks()` / the `obs::Clock` trait instead"
+                    ),
+                });
+            }
         }
     }
     out
@@ -482,6 +510,16 @@ mod tests {
         assert!(unsafe_hygiene(&chained).is_empty());
         let bare = file("let x = 1;\nunsafe { do_it() };\n");
         assert_eq!(unsafe_hygiene(&bare).len(), 1);
+    }
+
+    #[test]
+    fn clock_hygiene_flags_wall_clock_types() {
+        let f = file(
+            "use std::time::Instant;\nlet t = SystemTime::now();\nlet s = \"Instant\";\n// Instant in a comment\nlet ok = obs::now_ticks();\n",
+        );
+        let v = clock_hygiene(&f);
+        let lines: Vec<usize> = v.iter().map(|v| v.line).collect();
+        assert_eq!(lines, vec![1, 2]);
     }
 
     #[test]

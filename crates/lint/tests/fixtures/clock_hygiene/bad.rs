@@ -1,0 +1,18 @@
+// Fixture: wall-clock reads in a sim-domain crate.
+use std::time::Instant;
+
+pub fn measure() -> u128 {
+    let t0 = Instant::now();
+    busy();
+    t0.elapsed().as_nanos()
+}
+
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+pub fn named_in_string() -> &'static str {
+    "Instant is fine inside a string literal"
+}
+
+fn busy() {}

@@ -1,0 +1,13 @@
+// Fixture: timing through the obs clock stays deterministic, and an
+// allow with a reason sanctions a deliberate wall-clock site.
+pub fn measure() -> u64 {
+    let t0 = fluctrace_obs::now_ticks();
+    busy();
+    fluctrace_obs::now_ticks().wrapping_sub(t0)
+}
+
+pub fn sanctioned() -> std::time::Instant { // lint:allow(clock-hygiene): fixture's one sanctioned wall-clock site
+    std::time::Instant::now() // lint:allow(clock-hygiene): fixture's one sanctioned wall-clock site
+}
+
+fn busy() {}

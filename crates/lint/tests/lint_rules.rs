@@ -105,6 +105,26 @@ fn shim_drift_fixture() {
 }
 
 #[test]
+fn clock_hygiene_fixture() {
+    let v = lint_fixture(
+        "clock_hygiene",
+        "[clock-hygiene]\npaths = [\"bad.rs\", \"good.rs\"]\n",
+    );
+    let keys = keys(&v);
+    assert_eq!(
+        keys,
+        vec![
+            ("bad.rs".to_string(), 2, "clock-hygiene"),
+            ("bad.rs".to_string(), 5, "clock-hygiene"),
+            ("bad.rs".to_string(), 10, "clock-hygiene"),
+            ("bad.rs".to_string(), 11, "clock-hygiene"),
+        ],
+        "wall-clock reads flagged in bad.rs only; the allow and the \
+         string literal stay clean: {v:?}"
+    );
+}
+
+#[test]
 fn allow_misuse_fixture() {
     let v = lint_fixture("allows", "[panic-safety]\npaths = [\"bad.rs\"]\n");
     let keys = keys(&v);

@@ -1,0 +1,232 @@
+//! Snapshot exporters: canonical JSON and Prometheus text exposition.
+//!
+//! Both formats are hand-rendered (this crate is std-only) and
+//! deliberately rigid: 2-space-indented JSON with `BTreeMap`-ordered
+//! keys and a trailing newline, so two snapshots of equal content are
+//! byte-identical — CI diffs them with `cmp` and the conformance crate
+//! pins a golden copy of the fig4 export.
+
+use crate::catalog;
+use crate::hist::bucket_upper_bound;
+use crate::registry::Snapshot;
+use std::fmt::Write as _;
+
+/// Escape a string for a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_map<V>(
+    out: &mut String,
+    name: &str,
+    entries: &std::collections::BTreeMap<String, V>,
+    mut write_value: impl FnMut(&mut String, &V),
+    trailing_comma: bool,
+) {
+    let _ = write!(out, "  \"{name}\": ");
+    if entries.is_empty() {
+        out.push_str("{}");
+    } else {
+        out.push_str("{\n");
+        let last = entries.len().saturating_sub(1);
+        for (i, (k, v)) in entries.iter().enumerate() {
+            let _ = write!(out, "    \"{}\": ", escape_json(k));
+            write_value(out, v);
+            out.push_str(if i == last { "\n" } else { ",\n" });
+        }
+        out.push_str("  }");
+    }
+    out.push_str(if trailing_comma { ",\n" } else { "\n" });
+}
+
+/// Canonical JSON rendering of a snapshot: ordered keys, 2-space
+/// indent, non-empty histograms as `{count, sum, buckets: [[idx, n]…]}`
+/// with only non-zero buckets listed, trailing newline. Byte-stable for
+/// equal contents.
+pub fn to_json(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    write_map(
+        &mut out,
+        "counters",
+        &snap.counters,
+        |o, v| {
+            let _ = write!(o, "{v}");
+        },
+        true,
+    );
+    write_map(
+        &mut out,
+        "gauges",
+        &snap.gauges,
+        |o, v| {
+            let _ = write!(o, "{v}");
+        },
+        true,
+    );
+    write_map(
+        &mut out,
+        "histograms",
+        &snap.histograms,
+        |o, h| {
+            let _ = write!(
+                o,
+                "{{ \"count\": {}, \"sum\": {}, \"buckets\": [",
+                h.count(),
+                h.sum
+            );
+            let mut first = true;
+            for (i, c) in h.nonzero_buckets() {
+                if !first {
+                    o.push_str(", ");
+                }
+                first = false;
+                let _ = write!(o, "[{i}, {c}]");
+            }
+            o.push_str("] }");
+        },
+        false,
+    );
+    out.push_str("}\n");
+    out
+}
+
+/// `metric.name` → `fluctrace_metric_name` (Prometheus identifier).
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 10);
+    out.push_str("fluctrace_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn prom_header(out: &mut String, name: &str, kind: &str) {
+    let pname = prom_name(name);
+    if let Some(def) = catalog::lookup(name) {
+        let _ = writeln!(out, "# HELP {pname} {} ({}).", def.help, def.unit);
+    }
+    let _ = writeln!(out, "# TYPE {pname} {kind}");
+}
+
+/// Prometheus text exposition rendering of a snapshot. Counters and
+/// gauges are plain samples; histograms expose cumulative `_bucket{le=}`
+/// series (bucket upper bounds from the log-bucket geometry) plus
+/// `_sum` and `_count`.
+pub fn to_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        prom_header(&mut out, name, "counter");
+        let _ = writeln!(out, "{} {v}", prom_name(name));
+    }
+    for (name, v) in &snap.gauges {
+        prom_header(&mut out, name, "gauge");
+        let _ = writeln!(out, "{} {v}", prom_name(name));
+    }
+    for (name, h) in &snap.histograms {
+        prom_header(&mut out, name, "histogram");
+        let pname = prom_name(name);
+        let mut cumulative = 0u64;
+        for (i, c) in h.nonzero_buckets() {
+            cumulative = cumulative.wrapping_add(c);
+            let _ = writeln!(
+                out,
+                "{pname}_bucket{{le=\"{}\"}} {cumulative}",
+                bucket_upper_bound(i)
+            );
+        }
+        let _ = writeln!(out, "{pname}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(out, "{pname}_sum {}", h.sum);
+        let _ = writeln!(out, "{pname}_count {cumulative}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample_snapshot() -> Snapshot {
+        let r = Registry::with_shards(2);
+        r.counter("t.ops").add(42);
+        r.gauge("t.depth_peak").record(7);
+        let h = r.histogram("t.latency");
+        h.record(0);
+        h.record(3);
+        h.record(3);
+        h.record(1000);
+        r.snapshot()
+    }
+
+    #[test]
+    fn json_is_byte_stable_and_canonical() {
+        let snap = sample_snapshot();
+        let a = snap.to_json();
+        let b = snap.to_json();
+        assert_eq!(a, b);
+        assert_eq!(
+            a,
+            "{\n  \"counters\": {\n    \"t.ops\": 42\n  },\n  \"gauges\": {\n    \
+             \"t.depth_peak\": 7\n  },\n  \"histograms\": {\n    \"t.latency\": \
+             { \"count\": 4, \"sum\": 1006, \"buckets\": [[0, 1], [2, 2], [10, 1]] }\n  }\n}\n"
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty_maps() {
+        let snap = Snapshot::default();
+        assert_eq!(
+            snap.to_json(),
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n  \"histograms\": {}\n}\n"
+        );
+    }
+
+    #[test]
+    fn prometheus_exposition_has_types_buckets_and_totals() {
+        let text = sample_snapshot().to_prometheus();
+        assert!(text.contains("# TYPE fluctrace_t_ops counter"));
+        assert!(text.contains("fluctrace_t_ops 42"));
+        assert!(text.contains("# TYPE fluctrace_t_depth_peak gauge"));
+        assert!(text.contains("# TYPE fluctrace_t_latency histogram"));
+        // Cumulative buckets: le=0 → 1, le=3 → 3, le=1023 → 4.
+        assert!(text.contains("fluctrace_t_latency_bucket{le=\"0\"} 1"));
+        assert!(text.contains("fluctrace_t_latency_bucket{le=\"3\"} 3"));
+        assert!(text.contains("fluctrace_t_latency_bucket{le=\"1023\"} 4"));
+        assert!(text.contains("fluctrace_t_latency_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("fluctrace_t_latency_sum 1006"));
+        assert!(text.contains("fluctrace_t_latency_count 4"));
+    }
+
+    #[test]
+    fn catalog_names_get_help_lines() {
+        let r = Registry::with_shards(1);
+        r.counter("core.integrate.samples").add(1);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("# HELP fluctrace_core_integrate_samples"));
+    }
+
+    #[test]
+    fn json_escaping_is_safe() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+}

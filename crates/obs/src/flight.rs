@@ -1,0 +1,255 @@
+//! Span/event journal with a fixed-capacity ring-buffer flight recorder.
+//!
+//! `span!("integrate.shard", core)` opens a scope whose start/end ticks
+//! (from the process-wide [`crate::clock`]) are journaled when the scope
+//! exits — including on unwind, which is exactly when the journal is
+//! most valuable. The recorder keeps only the newest `capacity` records
+//! (old ones are evicted, and the eviction count is kept), so it is
+//! always cheap and always holds the moments just before an anomaly,
+//! a worker panic, or `finish()` — the three dump points.
+//!
+//! Ticks are differenced with `wrapping_sub`, TSC-style; under the
+//! default tick clock they are logical event counts, so the journal is
+//! a causal trace, not a wall-time profile. Nothing here feeds the
+//! metrics registry: snapshots stay byte-deterministic while the journal
+//! is free to record scheduling-dependent detail.
+
+use crate::clock::now_ticks;
+use crate::registry::recording;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// One journaled span (or point event, when `start_ticks == end_ticks`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name from the fixed taxonomy (see OBSERVABILITY.md).
+    pub name: &'static str,
+    /// Caller-chosen argument (shard index, core id, item id, …).
+    pub arg: u64,
+    /// Tick at scope entry.
+    pub start_ticks: u64,
+    /// Tick at scope exit.
+    pub end_ticks: u64,
+    /// Journal sequence number (monotonic per recorder).
+    pub seq: u64,
+}
+
+impl SpanRecord {
+    /// Span duration in ticks (wrap-safe).
+    pub fn duration_ticks(&self) -> u64 {
+        self.end_ticks.wrapping_sub(self.start_ticks)
+    }
+}
+
+#[derive(Debug, Default)]
+struct FlightState {
+    ring: VecDeque<SpanRecord>,
+    next_seq: u64,
+    evicted: u64,
+}
+
+/// Fixed-capacity ring of the newest spans.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    state: Mutex<FlightState>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the newest `capacity` spans (min 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        FlightRecorder {
+            capacity: capacity.max(1),
+            state: Mutex::new(FlightState::default()),
+        }
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FlightState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Journal a finished span. Oldest records are evicted beyond
+    /// capacity; the sequence number is assigned under the journal lock
+    /// so it reflects commit order.
+    pub fn push(&self, name: &'static str, arg: u64, start_ticks: u64, end_ticks: u64) {
+        let mut st = self.lock();
+        let seq = st.next_seq;
+        st.next_seq = st.next_seq.wrapping_add(1);
+        if st.ring.len() == self.capacity {
+            st.ring.pop_front();
+            st.evicted = st.evicted.wrapping_add(1);
+        }
+        st.ring.push_back(SpanRecord {
+            name,
+            arg,
+            start_ticks,
+            end_ticks,
+            seq,
+        });
+    }
+
+    /// The retained spans, oldest first.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.lock().ring.iter().copied().collect()
+    }
+
+    /// How many spans have been evicted to make room.
+    pub fn evicted(&self) -> u64 {
+        self.lock().evicted
+    }
+
+    /// Drop all retained spans (eviction count and sequence continue).
+    pub fn clear(&self) {
+        self.lock().ring.clear();
+    }
+
+    /// Human-readable dump for post-mortems (stderr on worker panic).
+    pub fn dump_text(&self) -> String {
+        let st = self.lock();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "flight recorder: {} span(s) retained, {} evicted",
+            st.ring.len(),
+            st.evicted
+        );
+        for s in &st.ring {
+            let _ = writeln!(
+                out,
+                "  #{:<6} {:<24} arg={:<8} start={} dur={}",
+                s.seq,
+                s.name,
+                s.arg,
+                s.start_ticks,
+                s.duration_ticks()
+            );
+        }
+        out
+    }
+}
+
+/// Default flight-recorder depth: enough to cover the shards, batches
+/// and stages leading up to a failure without unbounded memory.
+const FLIGHT_CAPACITY: usize = 256;
+
+static FLIGHT: OnceLock<FlightRecorder> = OnceLock::new();
+
+/// The process-wide flight recorder.
+pub fn flight() -> &'static FlightRecorder {
+    FLIGHT.get_or_init(|| FlightRecorder::with_capacity(FLIGHT_CAPACITY))
+}
+
+/// RAII scope journaling into the process-wide flight recorder on drop.
+/// Inert (records nothing) while recording is disabled.
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: Option<&'static str>,
+    arg: u64,
+    start_ticks: u64,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(name) = self.name {
+            flight().push(name, self.arg, self.start_ticks, now_ticks());
+        }
+    }
+}
+
+/// Open a span scope; prefer the [`crate::span!`] macro. The guard
+/// journals the scope on drop, including during unwinding.
+pub fn span(name: &'static str, arg: u64) -> SpanGuard {
+    if !recording() {
+        return SpanGuard {
+            name: None,
+            arg: 0,
+            start_ticks: 0,
+        };
+    }
+    SpanGuard {
+        name: Some(name),
+        arg,
+        start_ticks: now_ticks(),
+    }
+}
+
+/// Journal a point event (zero-duration span) immediately.
+pub fn event(name: &'static str, arg: u64) {
+    if !recording() {
+        return;
+    }
+    let t = now_ticks();
+    flight().push(name, arg, t, t);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_eviction_keeps_exactly_the_newest_n() {
+        let r = FlightRecorder::with_capacity(8);
+        for i in 0..20u64 {
+            r.push("t.span", i, i, i + 1);
+        }
+        let spans = r.spans();
+        assert_eq!(spans.len(), 8, "capacity bounds retention");
+        assert_eq!(r.evicted(), 12, "everything beyond capacity is counted");
+        // Exactly the newest 8, oldest first, in commit order.
+        let args: Vec<u64> = spans.iter().map(|s| s.arg).collect();
+        assert_eq!(args, (12..20).collect::<Vec<u64>>());
+        let seqs: Vec<u64> = spans.iter().map(|s| s.seq).collect();
+        assert_eq!(seqs, (12..20).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn guard_records_on_drop_and_on_unwind() {
+        let before = flight().spans().len() + flight().evicted() as usize;
+        {
+            let _g = span("t.scope", 7);
+        }
+        let after = flight().spans().len() + flight().evicted() as usize;
+        assert!(after > before, "scope exit journaled a span");
+
+        let result = std::panic::catch_unwind(|| {
+            let _g = span("t.unwind", 9);
+            panic!("boom");
+        });
+        assert!(result.is_err());
+        let spans = flight().spans();
+        assert!(
+            spans.iter().any(|s| s.name == "t.unwind"),
+            "unwinding still journals the open span"
+        );
+    }
+
+    #[test]
+    fn events_are_zero_duration() {
+        event("t.event", 3);
+        let spans = flight().spans();
+        let e = spans
+            .iter()
+            .rev()
+            .find(|s| s.name == "t.event")
+            .copied()
+            .expect("event journaled");
+        assert_eq!(e.duration_ticks(), 0);
+        assert_eq!(e.arg, 3);
+    }
+
+    #[test]
+    fn dump_text_mentions_retention_and_spans() {
+        let r = FlightRecorder::with_capacity(4);
+        r.push("t.a", 1, 10, 15);
+        let text = r.dump_text();
+        assert!(text.contains("1 span(s) retained"));
+        assert!(text.contains("t.a"));
+        assert!(text.contains("dur=5"));
+    }
+}

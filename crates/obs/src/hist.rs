@@ -1,0 +1,230 @@
+//! Log-bucketed (HDR-style) histogram arithmetic: bucket mapping, exact
+//! merge, and the plain-data snapshot form the exporters consume.
+//!
+//! Values are bucketed by bit width: value `v` lands in bucket
+//! `64 - v.leading_zeros()` (bucket 0 holds only 0, bucket `i ≥ 1` holds
+//! `[2^(i-1), 2^i)`), giving 65 fixed buckets covering all of `u64` with
+//! ≤ 2x relative error — the classic HDR trade: O(1) record, O(1) space,
+//! exact *counts* per bucket. Because buckets are just counters, merging
+//! two histograms is element-wise addition: associative, commutative and
+//! lossless with respect to the bucketed representation (property-tested
+//! against a naive reference in this module's tests).
+
+/// Number of buckets: one for zero plus one per bit width of `u64`.
+pub const BUCKETS: usize = 65;
+
+/// Bucket index for a value: 0 for 0, otherwise its bit width.
+pub fn bucket_index(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Largest value that lands in bucket `i` (inclusive upper bound).
+/// Out-of-range indices saturate to `u64::MAX`.
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i).wrapping_sub(1)
+    }
+}
+
+/// Plain-data histogram state: per-bucket counts plus the exact sum of
+/// recorded values. This is what [`crate::Registry::snapshot`] produces
+/// after aggregating shards, and what the exporters serialize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Exact sum of every recorded value (wrapping).
+    pub sum: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            sum: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one value (bucket increment + sum), for building snapshots
+    /// outside the atomic registry (tests, reference models).
+    pub fn record(&mut self, v: u64) {
+        if let Some(b) = self.buckets.get_mut(bucket_index(v)) {
+            *b = b.wrapping_add(1);
+        }
+        self.sum = self.sum.wrapping_add(v);
+    }
+
+    /// Set the count of bucket `i` directly (registry aggregation).
+    pub fn set_bucket(&mut self, i: usize, count: u64) {
+        if let Some(b) = self.buckets.get_mut(i) {
+            *b = count;
+        }
+    }
+
+    /// Count in bucket `i` (0 for out-of-range indices).
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets.get(i).copied().unwrap_or(0)
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().fold(0u64, |a, &b| a.wrapping_add(b))
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// `(bucket_index, count)` for every non-empty bucket, ascending.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// Exact, lossless merge: element-wise bucket addition plus sum
+    /// addition. Associative and commutative, so shards (or machines)
+    /// can be combined in any order or grouping.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a = a.wrapping_add(*b);
+        }
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    /// Bucket-wise difference `self − base`, for delta snapshots taken
+    /// against a cumulative registry. Saturates at zero so a snapshot
+    /// pair taken out of order degrades to empty rather than garbage.
+    pub fn diff(&self, base: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut out = HistogramSnapshot::new();
+        for (i, (a, b)) in self.buckets.iter().zip(base.buckets.iter()).enumerate() {
+            out.set_bucket(i, a.saturating_sub(*b));
+        }
+        out.sum = self.sum.wrapping_sub(base.sum);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn from_values(xs: &[u64]) -> HistogramSnapshot {
+        let mut h = HistogramSnapshot::new();
+        for &x in xs {
+            h.record(x);
+        }
+        h
+    }
+
+    /// Naive reference: count occurrences per bucket with a plain loop.
+    fn naive_buckets(xs: &[u64]) -> Vec<u64> {
+        let mut counts = vec![0u64; BUCKETS];
+        for &x in xs {
+            if let Some(c) = counts.get_mut(bucket_index(x)) {
+                *c += 1;
+            }
+        }
+        counts
+    }
+
+    #[test]
+    fn bucket_mapping_covers_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // Every bucket's upper bound maps back into that bucket.
+        for i in 0..BUCKETS {
+            assert_eq!(bucket_index(bucket_upper_bound(i)), i, "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn count_and_sum_are_exact() {
+        let h = from_values(&[0, 1, 1, 7, 1024]);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum, 1033);
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.bucket(1), 2);
+        assert_eq!(h.bucket(3), 1);
+        assert_eq!(h.bucket(11), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn merge_is_lossless_vs_naive_reference(
+            xs in proptest::collection::vec(any::<u64>(), 0..200),
+            ys in proptest::collection::vec(any::<u64>(), 0..200),
+        ) {
+            let mut merged = from_values(&xs);
+            merged.merge(&from_values(&ys));
+            let mut all = xs.clone();
+            all.extend_from_slice(&ys);
+            // Bucket-for-bucket identical to bucketing the concatenated
+            // stream naively: nothing is lost or smeared by merging.
+            let reference = naive_buckets(&all);
+            for (i, &want) in reference.iter().enumerate() {
+                prop_assert_eq!(merged.bucket(i), want, "bucket {}", i);
+            }
+            prop_assert_eq!(merged, from_values(&all));
+        }
+
+        #[test]
+        fn merge_is_commutative(
+            xs in proptest::collection::vec(any::<u64>(), 0..200),
+            ys in proptest::collection::vec(any::<u64>(), 0..200),
+        ) {
+            let (a, b) = (from_values(&xs), from_values(&ys));
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            prop_assert_eq!(ab, ba);
+        }
+
+        #[test]
+        fn merge_is_associative(
+            xs in proptest::collection::vec(any::<u64>(), 0..100),
+            ys in proptest::collection::vec(any::<u64>(), 0..100),
+            zs in proptest::collection::vec(any::<u64>(), 0..100),
+        ) {
+            let (a, b, c) = (from_values(&xs), from_values(&ys), from_values(&zs));
+            let mut left = a.clone(); // (a ⊕ b) ⊕ c
+            left.merge(&b);
+            left.merge(&c);
+            let mut bc = b.clone(); // a ⊕ (b ⊕ c)
+            bc.merge(&c);
+            let mut right = a.clone();
+            right.merge(&bc);
+            prop_assert_eq!(left, right);
+        }
+
+        #[test]
+        fn diff_inverts_merge(
+            xs in proptest::collection::vec(any::<u64>(), 0..100),
+            ys in proptest::collection::vec(any::<u64>(), 0..100),
+        ) {
+            let base = from_values(&xs);
+            let mut total = base.clone();
+            total.merge(&from_values(&ys));
+            prop_assert_eq!(total.diff(&base), from_values(&ys));
+        }
+    }
+}

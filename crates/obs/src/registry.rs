@@ -1,0 +1,484 @@
+//! The lock-free, per-core-sharded metrics registry.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap clones of
+//! `Arc`'d atomic cell arrays; recording picks a shard from a
+//! thread-local hint (threads land on distinct cache-line-padded cells,
+//! so hot paths never contend) and performs one relaxed atomic add (two
+//! for histograms: bucket + sum). Registration takes a mutex, but only
+//! ever on the first touch of a name — the `counter!`/`gauge!`/
+//! `histogram!` macros cache handles behind `OnceLock`s.
+//!
+//! [`Registry::snapshot`] folds shards into totals under `BTreeMap`
+//! name ordering, so the exported bytes depend only on *what* was
+//! recorded, never on which thread recorded it, the shard count, or
+//! `FLUCTRACE_THREADS` (property-tested in this module and driven
+//! end-to-end by the fig4 golden obs snapshot in the conformance crate).
+
+use crate::catalog::{self, MetricKind};
+use crate::export;
+use crate::hist::{bucket_index, HistogramSnapshot, BUCKETS};
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+/// Pad each shard's cell to its own cache line so two threads recording
+/// the same metric never false-share.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct Pad(AtomicU64);
+
+fn cells(n: usize) -> Arc<[Pad]> {
+    (0..n).map(|_| Pad::default()).collect()
+}
+
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static SHARD_HINT: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// This thread's shard hint: assigned round-robin on first use, then
+/// cached. Masked by each handle against its own (power-of-two) shard
+/// count, so one hint serves registries of any width.
+fn shard_hint() -> usize {
+    SHARD_HINT.with(|c| {
+        let v = c.get();
+        if v != usize::MAX {
+            v
+        } else {
+            let v = NEXT_SHARD.fetch_add(1, Ordering::Relaxed);
+            c.set(v);
+            v
+        }
+    })
+}
+
+static RECORDING: AtomicBool = AtomicBool::new(true);
+
+/// Globally enable/disable hot-path recording. Used by the self-overhead
+/// harness (`obs_overhead` bin) to time instrumented vs uninstrumented
+/// runs of the same workload; the disabled path costs one relaxed load
+/// and a branch.
+pub fn set_recording(enabled: bool) {
+    RECORDING.store(enabled, Ordering::Relaxed);
+}
+
+/// True when hot-path recording is enabled (the default).
+pub fn recording() -> bool {
+    RECORDING.load(Ordering::Relaxed)
+}
+
+/// Monotonic counter handle: `add` is a single relaxed atomic op.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    cells: Arc<[Pad]>,
+}
+
+impl Counter {
+    /// Add `n` to the counter.
+    pub fn add(&self, n: u64) {
+        if !recording() {
+            return;
+        }
+        let mask = self.cells.len().wrapping_sub(1);
+        if let Some(c) = self.cells.get(shard_hint() & mask) {
+            c.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Add 1 to the counter.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current total across shards (test/inspection helper; exporters go
+    /// through [`Registry::snapshot`]).
+    pub fn total(&self) -> u64 {
+        self.cells
+            .iter()
+            .fold(0u64, |a, c| a.wrapping_add(c.0.load(Ordering::Relaxed)))
+    }
+}
+
+/// High-watermark gauge handle: `record` keeps the maximum value seen.
+/// (Watermarks — peak queue depth, peak degradation factor — are the
+/// gauge flavor whose aggregate is meaningful under sharding.)
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    cells: Arc<[Pad]>,
+}
+
+impl Gauge {
+    /// Raise the watermark to `v` if `v` is higher.
+    pub fn record(&self, v: u64) {
+        if !recording() {
+            return;
+        }
+        let mask = self.cells.len().wrapping_sub(1);
+        if let Some(c) = self.cells.get(shard_hint() & mask) {
+            c.0.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current watermark across shards.
+    pub fn peak(&self) -> u64 {
+        self.cells
+            .iter()
+            .map(|c| c.0.load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Log-bucketed histogram handle: `record` is two relaxed atomic ops
+/// (bucket count + exact sum). Bucket geometry lives in [`crate::hist`].
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// `shards × BUCKETS` bucket counters, shard-major.
+    buckets: Arc<[AtomicU64]>,
+    /// Per-shard exact sums.
+    sums: Arc<[Pad]>,
+}
+
+impl Histogram {
+    /// Record one value.
+    pub fn record(&self, v: u64) {
+        if !recording() {
+            return;
+        }
+        let mask = self.sums.len().wrapping_sub(1);
+        let shard = shard_hint() & mask;
+        if let Some(b) = self.buckets.get(shard * BUCKETS + bucket_index(v)) {
+            b.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(s) = self.sums.get(shard) {
+            s.0.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Aggregate the shards into a plain-data snapshot.
+    pub fn fold(&self) -> HistogramSnapshot {
+        let mut out = HistogramSnapshot::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let count = b.load(Ordering::Relaxed);
+            if count != 0 {
+                let bucket = i % BUCKETS;
+                out.set_bucket(bucket, out.bucket(bucket).wrapping_add(count));
+            }
+        }
+        out.sum = self
+            .sums
+            .iter()
+            .fold(0u64, |a, s| a.wrapping_add(s.0.load(Ordering::Relaxed)));
+        out
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<&'static str, Counter>,
+    gauges: BTreeMap<&'static str, Gauge>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+/// A sharded metrics registry. Most code uses the process-wide
+/// [`registry()`]; tests build private ones with [`Registry::with_shards`]
+/// to prove shard-count invariance.
+#[derive(Debug)]
+pub struct Registry {
+    shards: usize,
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// A registry with `shards` rounded up to a power of two (min 1).
+    pub fn with_shards(shards: usize) -> Self {
+        Registry {
+            shards: shards.max(1).next_power_of_two(),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Shard count (always a power of two).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Get or register the counter `name`.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        self.lock()
+            .counters
+            .entry(name)
+            .or_insert_with(|| Counter {
+                cells: cells(self.shards),
+            })
+            .clone()
+    }
+
+    /// Get or register the gauge `name`.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        self.lock()
+            .gauges
+            .entry(name)
+            .or_insert_with(|| Gauge {
+                cells: cells(self.shards),
+            })
+            .clone()
+    }
+
+    /// Get or register the histogram `name`.
+    pub fn histogram(&self, name: &'static str) -> Histogram {
+        self.lock()
+            .histograms
+            .entry(name)
+            .or_insert_with(|| Histogram {
+                buckets: (0..self.shards * BUCKETS)
+                    .map(|_| AtomicU64::new(0))
+                    .collect(),
+                sums: cells(self.shards),
+            })
+            .clone()
+    }
+
+    /// Pre-register every metric in the pinned catalog so snapshots
+    /// carry the full name set even for stages that never ran.
+    pub fn register_catalog(&self) {
+        for def in catalog::CATALOG {
+            match def.kind {
+                MetricKind::Counter => {
+                    self.counter(def.name);
+                }
+                MetricKind::Gauge => {
+                    self.gauge(def.name);
+                }
+                MetricKind::Histogram => {
+                    self.histogram(def.name);
+                }
+            }
+        }
+    }
+
+    /// Deterministic aggregate of everything recorded so far: shards are
+    /// summed (max'd for gauges) into per-name totals under `BTreeMap`
+    /// ordering. The result depends only on the recorded multiset of
+    /// events, not on threads or shard count.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.lock();
+        Snapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(&k, v)| (k.to_string(), v.total()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(&k, v)| (k.to_string(), v.peak()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(&k, v)| (k.to_string(), v.fold()))
+                .collect(),
+        }
+    }
+}
+
+/// Plain-data aggregate of a registry at one instant. Maps are ordered,
+/// so [`Snapshot::to_json`] / [`Snapshot::to_prometheus`] are
+/// byte-stable for equal contents.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge watermarks by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram aggregates by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Canonical JSON (2-space pretty, ordered keys, trailing newline).
+    pub fn to_json(&self) -> String {
+        export::to_json(self)
+    }
+
+    /// Prometheus text exposition format.
+    pub fn to_prometheus(&self) -> String {
+        export::to_prometheus(self)
+    }
+
+    /// Delta `self − base` for every metric, for scoping a measurement
+    /// window against the cumulative process-wide registry. Counter and
+    /// histogram values subtract (saturating); gauges keep `self`'s
+    /// watermark (a high-water mark has no meaningful difference).
+    pub fn diff(&self, base: &Snapshot) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, &v)| {
+                    let b = base.counters.get(k).copied().unwrap_or(0);
+                    (k.clone(), v.saturating_sub(b))
+                })
+                .collect(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, v)| {
+                    let out = match base.histograms.get(k) {
+                        Some(b) => v.diff(b),
+                        None => v.clone(),
+                    };
+                    (k.clone(), out)
+                })
+                .collect(),
+        }
+    }
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// Global shard count: fixed (not tied to `FLUCTRACE_THREADS`) so the
+/// layout of the registry can never vary with the thread configuration.
+const GLOBAL_SHARDS: usize = 8;
+
+/// The process-wide registry, with the full catalog pre-registered.
+pub fn registry() -> &'static Registry {
+    GLOBAL.get_or_init(|| {
+        let r = Registry::with_shards(GLOBAL_SHARDS);
+        r.register_catalog();
+        r
+    })
+}
+
+/// Snapshot the process-wide registry.
+pub fn snapshot() -> Snapshot {
+    registry().snapshot()
+}
+
+/// Canonical JSON snapshot of the process-wide registry.
+pub fn snapshot_json() -> String {
+    snapshot().to_json()
+}
+
+/// Prometheus text exposition of the process-wide registry.
+pub fn snapshot_prometheus() -> String {
+    snapshot().to_prometheus()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counters_sum_across_threads_and_shards() {
+        let r = Registry::with_shards(4);
+        let c = r.counter("t.counter");
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = c.clone();
+                thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker");
+        }
+        assert_eq!(r.counter("t.counter").total(), 4000);
+    }
+
+    #[test]
+    fn gauges_keep_the_watermark() {
+        let r = Registry::with_shards(2);
+        let g = r.gauge("t.peak");
+        g.record(3);
+        g.record(10);
+        g.record(7);
+        assert_eq!(g.peak(), 10);
+    }
+
+    #[test]
+    fn snapshot_bytes_are_invariant_across_shard_counts_and_threads() {
+        // The same multiset of events recorded into registries of
+        // different widths, by different numbers of threads, must yield
+        // byte-identical snapshots.
+        let mut jsons = Vec::new();
+        for shards in [1usize, 2, 4, 8] {
+            for threads in [1usize, 2, 4] {
+                let r = Arc::new(Registry::with_shards(shards));
+                let per = 120 / threads;
+                let workers: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let r = Arc::clone(&r);
+                        thread::spawn(move || {
+                            let c = r.counter("t.ops");
+                            let g = r.gauge("t.depth_peak");
+                            let h = r.histogram("t.latency");
+                            // Each worker records its slice of one fixed
+                            // global multiset, so only the *sharding*
+                            // varies across configurations.
+                            for i in (t * per)..((t + 1) * per) {
+                                c.add(2);
+                                g.record((i % 7) as u64);
+                                h.record((i as u64) * 17 % 1000);
+                            }
+                        })
+                    })
+                    .collect();
+                for w in workers {
+                    w.join().expect("worker");
+                }
+                jsons.push(r.snapshot().to_json());
+            }
+        }
+        let first = jsons.first().cloned().unwrap_or_default();
+        for (i, j) in jsons.iter().enumerate() {
+            assert_eq!(*j, first, "variant {i} diverged");
+        }
+    }
+
+    #[test]
+    fn snapshot_diff_scopes_a_window() {
+        let r = Registry::with_shards(1);
+        let c = r.counter("t.n");
+        let h = r.histogram("t.h");
+        c.add(5);
+        h.record(100);
+        let base = r.snapshot();
+        c.add(7);
+        h.record(3);
+        let delta = r.snapshot().diff(&base);
+        assert_eq!(delta.counters.get("t.n"), Some(&7));
+        let hs = delta.histograms.get("t.h").cloned().unwrap_or_default();
+        assert_eq!(hs.count(), 1);
+        assert_eq!(hs.sum, 3);
+    }
+
+    // The `set_recording` gate is process-global, so toggling it here
+    // would race with the exact-count assertions of sibling tests; it is
+    // covered in its own test binary (`tests/recording_gate.rs`).
+
+    #[test]
+    fn global_registry_carries_the_catalog() {
+        let snap = snapshot();
+        for def in crate::catalog::CATALOG {
+            let present = match def.kind {
+                MetricKind::Counter => snap.counters.contains_key(def.name),
+                MetricKind::Gauge => snap.gauges.contains_key(def.name),
+                MetricKind::Histogram => snap.histograms.contains_key(def.name),
+            };
+            assert!(present, "catalog metric {} missing from snapshot", def.name);
+        }
+    }
+}

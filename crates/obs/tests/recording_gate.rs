@@ -1,0 +1,48 @@
+//! The global recording gate, tested in its own process: toggling
+//! `set_recording` is process-wide, so it cannot share a test binary
+//! with tests that assert exact counts.
+
+use fluctrace_obs::{set_recording, Registry};
+
+#[test]
+fn disabled_recording_is_a_no_op_for_every_metric_kind() {
+    let r = Registry::with_shards(2);
+    let c = r.counter("t.gated");
+    let g = r.gauge("t.gated_peak");
+    let h = r.histogram("t.gated_hist");
+
+    set_recording(false);
+    c.add(100);
+    g.record(42);
+    h.record(7);
+    set_recording(true);
+    c.add(1);
+    g.record(5);
+    h.record(3);
+
+    let snap = r.snapshot();
+    assert_eq!(snap.counters.get("t.gated"), Some(&1));
+    assert_eq!(snap.gauges.get("t.gated_peak"), Some(&5));
+    let hist = snap
+        .histograms
+        .get("t.gated_hist")
+        .cloned()
+        .unwrap_or_default();
+    assert_eq!(hist.count(), 1);
+    assert_eq!(hist.sum, 3);
+
+    // Spans are gated too: nothing lands in the flight recorder while
+    // recording is off.
+    fluctrace_obs::flight().clear();
+    set_recording(false);
+    {
+        fluctrace_obs::span!("gated.span");
+    }
+    set_recording(true);
+    {
+        fluctrace_obs::span!("live.span");
+    }
+    let spans = fluctrace_obs::flight().spans();
+    assert_eq!(spans.len(), 1);
+    assert_eq!(spans.first().map(|s| s.name), Some("live.span"));
+}

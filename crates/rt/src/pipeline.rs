@@ -56,6 +56,9 @@ impl Pipeline {
         input: Vec<Timed<T>>,
         stages: Vec<StageDef<'_, T>>,
     ) -> PipelineReport<T> {
+        fluctrace_obs::span!("pipeline.run", stages.len());
+        fluctrace_obs::counter!("rt.pipeline.runs").inc();
+        fluctrace_obs::counter!("rt.pipeline.stages").add(stages.len() as u64);
         let mut items = input;
         for mut stage in stages {
             let mut core = machine.take_core(stage.core);

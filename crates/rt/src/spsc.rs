@@ -87,9 +87,14 @@ impl<T> RingProducer<T> {
             // officially dead before we overwrite it.
             self.cached_head = ring.head.0.load(Ordering::Acquire);
             if tail - self.cached_head == ring.capacity {
+                fluctrace_obs::counter!("rt.spsc.push_stalls").inc();
                 return Err(value);
             }
         }
+        fluctrace_obs::counter!("rt.spsc.pushes").inc();
+        // Depth as visible to the producer (cached head): no extra
+        // atomic traffic on the hot path, exact in single-producer use.
+        fluctrace_obs::gauge!("rt.spsc.depth_peak").record((tail + 1 - self.cached_head) as u64);
         let slot = &ring.buf[tail % ring.capacity];
         // SAFETY: slots in [head, tail) belong to the consumer; this slot
         // is at index `tail`, outside that window, and only this (single)
@@ -139,9 +144,11 @@ impl<T> RingConsumer<T> {
             // Release in `push`, making the slot's content visible.
             self.cached_tail = ring.tail.0.load(Ordering::Acquire);
             if head == self.cached_tail {
+                fluctrace_obs::counter!("rt.spsc.pop_stalls").inc();
                 return None;
             }
         }
+        fluctrace_obs::counter!("rt.spsc.pops").inc();
         let slot = &ring.buf[head % ring.capacity];
         // SAFETY: head < tail (checked above), so the producer published
         // this slot with a Release store and will not touch it again

@@ -86,6 +86,8 @@ pub fn run_stage<T, U>(
     mut process: impl FnMut(&mut Core, T) -> Option<U>,
 ) -> Vec<Timed<U>> {
     debug_assert!(crate::timed::is_sorted(&input), "unsorted stage input");
+    fluctrace_obs::span!("stage.run", input.len());
+    fluctrace_obs::counter!("rt.stage.runs").inc();
     let mut out = Vec::with_capacity(input.len());
     for Timed { at, value } in input {
         spin_until(core, at, opts.poll_func, opts.poll_ipc_milli);
@@ -99,6 +101,7 @@ pub fn run_stage<T, U>(
             out.push(Timed::new(core.now(), result));
         }
     }
+    fluctrace_obs::counter!("rt.stage.items").add(out.len() as u64);
     out
 }
 
@@ -120,6 +123,8 @@ pub fn run_stage_batched<T, U>(
 ) -> Vec<Timed<U>> {
     assert!(batch_max > 0, "zero batch size");
     debug_assert!(crate::timed::is_sorted(&input), "unsorted stage input");
+    fluctrace_obs::span!("stage.run_batched", input.len());
+    fluctrace_obs::counter!("rt.stage.runs").inc();
     let mut out = Vec::with_capacity(input.len());
     let mut iter = input.into_iter().peekable();
     while let Some(first) = iter.next() {
@@ -137,6 +142,8 @@ pub fn run_stage_batched<T, U>(
         if opts.pop_uops > 0 {
             core.exec(Exec::new(opts.poll_func, opts.pop_uops).ipc_milli(opts.poll_ipc_milli));
         }
+        fluctrace_obs::counter!("rt.stage.batches").inc();
+        fluctrace_obs::histogram!("rt.stage.batch_len").record(burst.len() as u64);
         let results = process(core, burst);
         if !results.is_empty() && opts.push_uops > 0 {
             core.exec(Exec::new(opts.poll_func, opts.push_uops).ipc_milli(opts.poll_ipc_milli));
@@ -144,6 +151,7 @@ pub fn run_stage_batched<T, U>(
         let at = core.now();
         out.extend(results.into_iter().map(|r| Timed::new(at, r)));
     }
+    fluctrace_obs::counter!("rt.stage.items").add(out.len() as u64);
     out
 }
 

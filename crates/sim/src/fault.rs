@@ -81,7 +81,21 @@ impl FaultPlan {
                 }
             })
             .collect();
-        FaultSchedule { faults }
+        let schedule = FaultSchedule { faults };
+        if fluctrace_obs::recording() {
+            let c = schedule.counts();
+            fluctrace_obs::counter!("sim.fault.schedules").inc();
+            fluctrace_obs::counter!("sim.fault.drop_open").add(c.drop_open);
+            fluctrace_obs::counter!("sim.fault.corrupt_close").add(c.corrupt_close);
+            fluctrace_obs::counter!("sim.fault.bursts").add(c.bursts);
+            let hist = fluctrace_obs::histogram!("sim.fault.burst_len");
+            for f in schedule.iter() {
+                if let Fault::Burst(n) = f {
+                    hist.record(u64::from(n));
+                }
+            }
+        }
+        schedule
     }
 }
 
