@@ -3,7 +3,7 @@
 //! the quantities Figs. 9/10 and the data-volume table report.
 
 use fluctrace_apps::{AclCostModel, Firewall, PacketType, Tester};
-use fluctrace_core::{integrate, EstimateTable, MappingMode, PipelineStats};
+use fluctrace_core::{integrate_soa, EstimateTable, MappingMode, PipelineStats};
 use fluctrace_cpu::{CoreConfig, DrainMode, ItemId, Machine, MachineConfig, PebsConfig, SinkKind};
 use fluctrace_sim::{Freq, RunningStats, SimDuration, SimTime};
 
@@ -122,17 +122,18 @@ pub fn run_acl(config: AclRunConfig) -> AclRunResult {
     let pebs_bytes = reports[1].pebs.bytes;
     let acl_core_busy = reports[1].busy_time;
 
-    // Hybrid estimates (profiled runs).
+    // Hybrid estimates (profiled runs) via the SoA fast path; the
+    // conformance harness pins it byte-identical to the AoS reference.
     let mut pipeline: Option<PipelineStats> = None;
     let estimates: Option<EstimateTable> = config.reset.map(|_| {
-        let it = integrate(
+        let soa = integrate_soa(
             &bundle,
             machine.symtab(),
             Freq::ghz(3),
             MappingMode::Intervals,
         );
-        let (table, estimate_ns) = EstimateTable::from_integrated_timed(&it);
-        let mut stats = it.stats;
+        let (table, estimate_ns) = EstimateTable::from_soa_timed(&soa);
+        let mut stats = soa.stats;
         stats.estimate_ns = estimate_ns;
         pipeline = Some(stats);
         table

@@ -18,6 +18,7 @@ pub mod acl_experiment;
 pub mod figures;
 pub mod obs_support;
 pub mod overload_experiment;
+pub mod perf_hunt;
 pub mod sampling_experiment;
 
 use std::path::PathBuf;

@@ -4,7 +4,10 @@
 //! [`check_workload`] runs a generated [`Workload`] through
 //!
 //! 1. the sharded offline pipeline (`integrate_with_threads` at 1, 2 and
-//!    4 workers, plus the `from_integrated_reference` estimator),
+//!    4 workers, the `from_integrated_reference` estimator, and the
+//!    columnar fast path — `integrate_soa_with_threads` +
+//!    `EstimateTable::from_soa`, with a byte-exact `to_integrated`
+//!    round-trip at one worker),
 //! 2. the online tracer (`OnlineTracer`, blocking submission, adaptive
 //!    degradation off), and
 //! 3. the naive oracles from [`crate::oracle`],
@@ -18,7 +21,9 @@
 use crate::gen::Workload;
 use crate::oracle::{self, OracleOffline, OracleOnline};
 use fluctrace_core::online::{OnlineConfig, OnlineTracer};
-use fluctrace_core::{integrate_with_threads, EstimateTable, IntervalError, MappingMode};
+use fluctrace_core::{
+    integrate_soa_with_threads, integrate_with_threads, EstimateTable, IntervalError, MappingMode,
+};
 use serde::Serialize;
 
 /// A canonical, order-stable projection of an estimate table. Both the
@@ -196,6 +201,8 @@ fn check_offline(
     for threads in [1usize, 2, 4] {
         let it =
             integrate_with_threads(&bundle, &w.symtab, w.freq, MappingMode::Intervals, threads);
+        let soa =
+            integrate_soa_with_threads(&bundle, &w.symtab, w.freq, MappingMode::Intervals, threads);
 
         if threads == 1 {
             summary.intervals = it.intervals.len() as u64;
@@ -242,12 +249,32 @@ fn check_offline(
             }
         }
 
+        if threads == 1 {
+            // The columnar trace must round-trip to the exact AoS trace:
+            // same attributed rows, same intervals, same errors. Serde
+            // bytes make "exact" unarguable.
+            let aos = serde_json::to_string(&it).unwrap_or_default();
+            let back = serde_json::to_string(&soa.to_integrated()).unwrap_or_default();
+            if aos != back {
+                return Err(fail(
+                    seed,
+                    "soa-roundtrip",
+                    format!(
+                        "to_integrated diverges from the AoS trace ({} vs {} bytes)",
+                        back.len(),
+                        aos.len()
+                    ),
+                ));
+            }
+        }
+
         for (which, table) in [
             ("estimate", EstimateTable::from_integrated(&it)),
             (
                 "estimate-reference",
                 EstimateTable::from_integrated_reference(&it),
             ),
+            ("estimate-soa", EstimateTable::from_soa(&soa)),
         ] {
             if table.samples_missing_span != 0 {
                 return Err(fail(

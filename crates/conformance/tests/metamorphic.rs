@@ -12,13 +12,18 @@
 //!   invents items or functions the full stream didn't have.
 //! * **Core-relabeling symmetry** — permuting core ids leaves the
 //!   estimate table and the online loss accounting untouched.
+//! * **SoA ingest-order invariance** — however the raw records were
+//!   permuted before the canonical sort, the columnar fast path builds
+//!   the same table, and that table equals the AoS reference's.
 //!
 //! Failures print the workload seed; see `TESTING.md` for how to replay
 //! it.
 
 use fluctrace_conformance::{generate, spec_from_seed, CanonicalTable, Workload};
 use fluctrace_core::online::{OnlineConfig, OnlineReport, OnlineTracer};
-use fluctrace_core::{integrate_with_threads, EstimateTable, MappingMode};
+use fluctrace_core::{
+    integrate_soa_with_threads, integrate_with_threads, EstimateTable, MappingMode,
+};
 use fluctrace_cpu::{CoreId, TraceBundle};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -102,6 +107,19 @@ fn relabel_cores(bundle: &TraceBundle, cores: u32) -> TraceBundle {
         m.core = map(m.core);
     }
     out
+}
+
+/// Deterministic Fisher–Yates driven by an LCG — enough entropy to
+/// scramble ingest order, no RNG dependency.
+fn shuffle<T>(v: &mut [T], seed: u64) {
+    let mut s = seed | 1;
+    for i in (1..v.len()).rev() {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = ((s >> 33) as usize) % (i + 1);
+        v.swap(i, j);
+    }
 }
 
 /// Per-`(item, func)` sample counts of a table.
@@ -190,6 +208,32 @@ proptest! {
             prev_counts = counts;
             prev_totals = total;
         }
+    }
+
+    #[test]
+    fn soa_ingest_order_is_invariant(seed in 0u64..1_000_000, shuffle_seed in 0u64..1 << 32) {
+        let w = generate(&spec_from_seed(seed));
+        let mut sorted = w.bundle.clone();
+        sorted.sort();
+        let soa = integrate_soa_with_threads(
+            &sorted, &w.symtab, w.freq, MappingMode::Intervals, 2,
+        );
+        let baseline = CanonicalTable::from_pipeline(&EstimateTable::from_soa(&soa)).to_json();
+        // Anchor: the fast path agrees with the AoS reference on the
+        // same records.
+        let aos = CanonicalTable::from_pipeline(&offline_table(&w, &w.bundle)).to_json();
+        prop_assert_eq!(&baseline, &aos, "seed {}", seed);
+        // Scramble raw ingest order (collector merge order is arbitrary
+        // in production), re-sort, and demand the identical table.
+        let mut scrambled = w.bundle.clone();
+        shuffle(&mut scrambled.samples, shuffle_seed ^ 0x5A5A);
+        shuffle(&mut scrambled.marks, shuffle_seed ^ 0xA5A5);
+        scrambled.sort();
+        let soa2 = integrate_soa_with_threads(
+            &scrambled, &w.symtab, w.freq, MappingMode::Intervals, 2,
+        );
+        let permuted = CanonicalTable::from_pipeline(&EstimateTable::from_soa(&soa2)).to_json();
+        prop_assert_eq!(&permuted, &baseline, "seed {} shuffle_seed {}", seed, shuffle_seed);
     }
 
     #[test]

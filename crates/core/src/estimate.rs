@@ -10,6 +10,8 @@
 //! item spent switched-out is not counted.
 
 use crate::integrate::{IntegratedTrace, MappingMode};
+use crate::interval::ItemInterval;
+use crate::soa::{SoaTrace, NO_FUNC, NO_ITEM, NO_SPAN};
 use fluctrace_cpu::{FuncId, ItemId};
 use fluctrace_obs as obs;
 use fluctrace_sim::{Freq, SimDuration};
@@ -170,80 +172,143 @@ impl EstimateTable {
         }
         flush_span(&mut scratch, cur_span, &mut flat);
 
-        // Fold spans into per-(item, func) estimates; convert cycles to
-        // time once at the end so truncation does not accumulate per
-        // span. Sorting the span list groups equal (item, func) pairs
-        // and yields the ascending push order the table guarantees.
-        flat.sort_unstable_by_key(|&(item, func, _, _, _)| (item, func));
+        let table = assemble_table(flat, unknown, samples_missing_span, &it.intervals, it.freq);
+        (table, obs::now_ticks().wrapping_sub(t0))
+    }
 
-        // Exact totals from marks.
-        let mut totals: BTreeMap<ItemId, u64> = BTreeMap::new();
-        for iv in &it.intervals {
-            *totals.entry(iv.item).or_insert(0) += iv.cycles();
+    /// Build the table from a columnar trace ([`crate::integrate_soa`]).
+    /// Byte-identical to [`Self::from_integrated`] on the equivalent AoS
+    /// trace — both scans feed the same [`assemble_table`] fold, and the
+    /// conformance sweep pins the agreement against the oracle.
+    pub fn from_soa(soa: &SoaTrace) -> Self {
+        Self::from_soa_timed(soa).0
+    }
+
+    /// [`Self::from_soa`] plus the estimation time in obs-clock ticks
+    /// (wall-ns in bench bins), feeding
+    /// [`PipelineStats::estimate_ns`](crate::PipelineStats).
+    ///
+    /// The scan is the columnar twin of [`Self::from_integrated_timed`].
+    /// In interval mode it is driven by the trace's item-run index
+    /// instead of walking every row: attributed samples come in maximal
+    /// same-item runs, so the scan jumps from run to run, touches only
+    /// the three columns it needs (`tsc`/`func`/`span`) and skips
+    /// unattributed gap samples without reading them at all. Register
+    /// mode keeps the row walk (run splitting needs the `core` column).
+    /// Either way the flat span list feeds the same [`assemble_table`]
+    /// fold as the AoS scan; span sums are commutative, so the run
+    /// ordering (by item, not by time) cannot change the table.
+    pub fn from_soa_timed(soa: &SoaTrace) -> (Self, u64) {
+        if let Some(aos) = &soa.aos_fallback {
+            // Reserved-id trace: the columns are ambiguous, the boxed
+            // AoS trace is authoritative (see `SoaTrace::aos_fallback`).
+            return Self::from_integrated_timed(aos);
         }
+        obs::span!("estimate.run", soa.cols.len());
+        let t0 = obs::now_ticks();
+        let mut flat: Vec<(ItemId, FuncId, u64, u64, u32)> = Vec::new();
+        let mut scratch: Vec<(u32, u64, u64, u32)> = Vec::new();
+        let mut unknown: BTreeMap<ItemId, u32> = BTreeMap::new();
+        let mut samples_missing_span = 0u64;
 
-        let mut items: BTreeMap<ItemId, ItemEstimate> = BTreeMap::new();
-        let mut spans = flat.iter().peekable();
-        while let Some(&(item, func, first_tsc, last_tsc, count)) = spans.next() {
-            let mut samples = count;
-            let mut cycles = last_tsc.wrapping_sub(first_tsc);
-            while let Some(&&(i2, f2, first_tsc, last_tsc, count)) = spans.peek() {
-                if i2 != item || f2 != func {
-                    break;
+        match soa.mode {
+            MappingMode::Intervals => {
+                for &(item, start, end) in &soa.item_index {
+                    let (lo, hi) = (start as usize, end as usize);
+                    let (Some(tscs), Some(funcs), Some(spans)) = (
+                        soa.cols.tsc.get(lo..hi),
+                        soa.cols.func.get(lo..hi),
+                        soa.cols.span.get(lo..hi),
+                    ) else {
+                        continue;
+                    };
+                    let mut unknown_in_run = 0u32;
+                    // NO_SPAN doubles as "no open span": sentinel-valued
+                    // samples are skipped before the comparison, so a
+                    // real span index can never collide with it.
+                    let mut cur = NO_SPAN;
+                    for ((&tsc, &func), &span_idx) in tscs.iter().zip(funcs).zip(spans) {
+                        if func == NO_FUNC {
+                            unknown_in_run += 1;
+                            continue;
+                        }
+                        if span_idx == NO_SPAN {
+                            samples_missing_span += 1;
+                            continue;
+                        }
+                        if span_idx != cur {
+                            for (f, first, last, count) in scratch.drain(..) {
+                                flat.push((item, FuncId(f), first, last, count));
+                            }
+                            cur = span_idx;
+                        }
+                        match scratch.iter_mut().find(|e| e.0 == func) {
+                            Some(e) => {
+                                e.1 = e.1.min(tsc);
+                                e.2 = e.2.max(tsc);
+                                e.3 += 1;
+                            }
+                            None => scratch.push((func, tsc, tsc, 1)),
+                        }
+                    }
+                    for (f, first, last, count) in scratch.drain(..) {
+                        flat.push((item, FuncId(f), first, last, count));
+                    }
+                    if unknown_in_run > 0 {
+                        *unknown.entry(item).or_insert(0) += unknown_in_run;
+                    }
                 }
-                samples += count;
-                cycles += last_tsc.wrapping_sub(first_tsc);
-                spans.next();
             }
-            items
-                .entry(item)
-                .or_insert_with(|| ItemEstimate {
-                    item,
-                    marked_total: totals.get(&item).map(|&c| it.freq.cycles_to_dur(c)),
-                    funcs: Vec::new(),
-                    unknown_func_samples: 0,
-                })
-                .funcs
-                .push(FuncEstimate {
-                    item,
-                    func,
-                    samples,
-                    elapsed: it.freq.cycles_to_dur(cycles),
-                });
-        }
-        // Items that have intervals but no attributable samples still
-        // appear (with empty func lists) so totals stay queryable.
-        for (&item, &cycles) in &totals {
-            items.entry(item).or_insert_with(|| ItemEstimate {
-                item,
-                marked_total: Some(it.freq.cycles_to_dur(cycles)),
-                funcs: Vec::new(),
-                unknown_func_samples: 0,
-            });
-        }
-        for (item, n) in unknown {
-            if let Some(ie) = items.get_mut(&item) {
-                ie.unknown_func_samples = n;
-            }
-        }
-        // Self-observability: volumes and sim-cycle span widths only
-        // (deterministic; the tick timing below never enters the
-        // registry).
-        if obs::recording() {
-            obs::counter!("core.estimate.runs").inc();
-            obs::counter!("core.estimate.spans").add(flat.len() as u64);
-            obs::counter!("core.estimate.samples_missing_span").add(samples_missing_span);
-            let span_cycles = obs::histogram!("core.estimate.span_cycles");
-            for &(_, _, first_tsc, last_tsc, _) in &flat {
-                span_cycles.record(last_tsc.wrapping_sub(first_tsc));
+            MappingMode::RegisterTag => {
+                let mut run_id = 0u64;
+                let mut last: Option<(u32, u64)> = None;
+                let mut cur_span: Option<(u64, u64)> = None;
+                let rows = soa
+                    .cols
+                    .core
+                    .iter()
+                    .zip(&soa.cols.tsc)
+                    .zip(&soa.cols.item)
+                    .zip(&soa.cols.func);
+                for (((&core, &tsc), &item), &func) in rows {
+                    // Track runs for *all* samples: a gap of
+                    // unattributed samples still splits a run.
+                    let cur = (core, item);
+                    if last != Some(cur) {
+                        run_id += 1;
+                        last = Some(cur);
+                    }
+                    if item == NO_ITEM {
+                        continue;
+                    }
+                    if func == NO_FUNC {
+                        *unknown.entry(ItemId(item)).or_insert(0) += 1;
+                        continue;
+                    }
+                    if cur_span != Some((item, run_id)) {
+                        flush_span_cols(&mut scratch, cur_span, &mut flat);
+                        cur_span = Some((item, run_id));
+                    }
+                    match scratch.iter_mut().find(|e| e.0 == func) {
+                        Some(e) => {
+                            e.1 = e.1.min(tsc);
+                            e.2 = e.2.max(tsc);
+                            e.3 += 1;
+                        }
+                        None => scratch.push((func, tsc, tsc, 1)),
+                    }
+                }
+                flush_span_cols(&mut scratch, cur_span, &mut flat);
             }
         }
 
-        let table = EstimateTable {
-            items,
-            freq: it.freq,
+        let table = assemble_table(
+            flat,
+            unknown,
             samples_missing_span,
-        };
+            &soa.intervals,
+            soa.freq,
+        );
         (table, obs::now_ticks().wrapping_sub(t0))
     }
 
@@ -372,6 +437,13 @@ impl EstimateTable {
         self.items.values()
     }
 
+    /// Consume the table, yielding item estimates in id order (lets
+    /// [`crate::batch::split_batches_owned`] move pass-through items
+    /// instead of cloning them).
+    pub fn into_items(self) -> impl Iterator<Item = ItemEstimate> {
+        self.items.into_values()
+    }
+
     /// Number of items with any information.
     pub fn len(&self) -> usize {
         self.items.len()
@@ -408,6 +480,174 @@ fn flush_span(
     };
     for (func, first, last, count) in scratch.drain(..) {
         flat.push((item, func, first, last, count));
+    }
+}
+
+/// [`flush_span`] with raw column ids (the SoA scan's scratch keys are
+/// plain `u32`/`u64`; typed ids are minted here, at the flat boundary).
+fn flush_span_cols(
+    scratch: &mut Vec<(u32, u64, u64, u32)>,
+    span: Option<(u64, u64)>,
+    flat: &mut Vec<(ItemId, FuncId, u64, u64, u32)>,
+) {
+    let Some((item, _)) = span else {
+        debug_assert!(scratch.is_empty());
+        return;
+    };
+    for (func, first, last, count) in scratch.drain(..) {
+        flat.push((ItemId(item), FuncId(func), first, last, count));
+    }
+}
+
+/// The shared tail of both estimators: sort the flat span list, fold
+/// per-(item, func), backfill sample-less items from the exact marked
+/// totals, and record the deterministic obs volumes. Factoring this out
+/// structurally guarantees the AoS and SoA scans produce the same table
+/// whenever they produce the same flat spans — the differential sweep
+/// then pins that the scans agree too.
+fn assemble_table(
+    mut flat: Vec<(ItemId, FuncId, u64, u64, u32)>,
+    unknown: BTreeMap<ItemId, u32>,
+    samples_missing_span: u64,
+    intervals: &[ItemInterval],
+    freq: Freq,
+) -> EstimateTable {
+    // Fold spans into per-(item, func) estimates; convert cycles to
+    // time once at the end so truncation does not accumulate per
+    // span. Sorting the span list groups equal (item, func) pairs
+    // and yields the ascending push order the table guarantees. From
+    // here on every input is sorted by item, so the whole assembly is
+    // merge joins over sorted lists — no tree lookups on the hot path;
+    // the one `BTreeMap` left is built from the sorted result at the
+    // API boundary.
+    //
+    // The run-driven SoA scan emits spans already grouped by ascending
+    // item, so item-sorted input only needs per-group sorts by func —
+    // each a handful of elements. Time-order scans interleave items and
+    // take the full sort. Both end states are sorted by (item, func),
+    // and every downstream fold over equal keys is commutative, so the
+    // resulting table is identical whichever branch ran.
+    if flat.is_sorted_by_key(|&(item, _, _, _, _)| item) {
+        for group in flat.chunk_by_mut(|a, b| a.0 == b.0) {
+            group.sort_unstable_by_key(|&(_, func, _, _, _)| func);
+        }
+    } else {
+        flat.sort_unstable_by_key(|&(item, func, _, _, _)| (item, func));
+    }
+
+    // Exact totals from marks, coalesced into a sorted list.
+    let mut raw_totals: Vec<(ItemId, u64)> =
+        intervals.iter().map(|iv| (iv.item, iv.cycles())).collect();
+    raw_totals.sort_unstable_by_key(|&(item, _)| item);
+    let mut totals: Vec<(ItemId, u64)> = Vec::with_capacity(raw_totals.len());
+    for &(item, cycles) in &raw_totals {
+        match totals.last_mut() {
+            Some((last_item, acc)) if *last_item == item => *acc += cycles,
+            _ => totals.push((item, cycles)),
+        }
+    }
+
+    // Items that have intervals but no attributable samples still
+    // appear (with empty func lists) so totals stay queryable — the
+    // merge join interleaves them in item order.
+    let backfill = |item: ItemId, cycles: u64| {
+        (
+            item,
+            ItemEstimate {
+                item,
+                marked_total: Some(freq.cycles_to_dur(cycles)),
+                funcs: Vec::new(),
+                unknown_func_samples: 0,
+            },
+        )
+    };
+    let mut items: Vec<(ItemId, ItemEstimate)> = Vec::with_capacity(totals.len());
+    let mut totals_iter = totals.iter().peekable();
+    for group in flat.chunk_by(|a, b| a.0 == b.0) {
+        let Some(&(item, ..)) = group.first() else {
+            continue;
+        };
+        while let Some(&&(t_item, cycles)) = totals_iter.peek() {
+            if t_item >= item {
+                break;
+            }
+            items.push(backfill(t_item, cycles));
+            totals_iter.next();
+        }
+        let marked_total = match totals_iter.peek() {
+            Some(&&(t_item, cycles)) if t_item == item => {
+                totals_iter.next();
+                Some(freq.cycles_to_dur(cycles))
+            }
+            _ => None,
+        };
+        let mut funcs = Vec::with_capacity(group.chunk_by(|a, b| a.1 == b.1).count());
+        for func_group in group.chunk_by(|a, b| a.1 == b.1) {
+            let Some(&(_, func, ..)) = func_group.first() else {
+                continue;
+            };
+            let mut samples = 0u32;
+            let mut cycles = 0u64;
+            for &(_, _, first_tsc, last_tsc, count) in func_group {
+                samples += count;
+                cycles += last_tsc.wrapping_sub(first_tsc);
+            }
+            funcs.push(FuncEstimate {
+                item,
+                func,
+                samples,
+                elapsed: freq.cycles_to_dur(cycles),
+            });
+        }
+        items.push((
+            item,
+            ItemEstimate {
+                item,
+                marked_total,
+                funcs,
+                unknown_func_samples: 0,
+            },
+        ));
+    }
+    for &(t_item, cycles) in totals_iter {
+        items.push(backfill(t_item, cycles));
+    }
+
+    // Unknown-function counts: merge join; counts for items absent from
+    // the table (no span, no interval) are dropped, as before.
+    let mut cursor = items.iter_mut().peekable();
+    for (u_item, n) in unknown {
+        while let Some((item, _)) = cursor.peek() {
+            if *item < u_item {
+                cursor.next();
+            } else {
+                break;
+            }
+        }
+        if let Some((item, ie)) = cursor.peek_mut() {
+            if *item == u_item {
+                ie.unknown_func_samples = n;
+                cursor.next();
+            }
+        }
+    }
+
+    // Self-observability: volumes and sim-cycle span widths only
+    // (deterministic; estimator tick timings never enter the registry).
+    if obs::recording() {
+        obs::counter!("core.estimate.runs").inc();
+        obs::counter!("core.estimate.spans").add(flat.len() as u64);
+        obs::counter!("core.estimate.samples_missing_span").add(samples_missing_span);
+        let span_cycles = obs::histogram!("core.estimate.span_cycles");
+        for &(_, _, first_tsc, last_tsc, _) in &flat {
+            span_cycles.record(last_tsc.wrapping_sub(first_tsc));
+        }
+    }
+
+    EstimateTable {
+        items: items.into_iter().collect(),
+        freq,
+        samples_missing_span,
     }
 }
 
@@ -692,6 +932,17 @@ mod tests {
             let (fast, _ns) = EstimateTable::from_integrated_timed(&it);
             let reference = EstimateTable::from_integrated_reference(&it);
             assert_eq!(fast, reference, "mode {mode:?}");
+            // The columnar estimator agrees too, both from a directly
+            // built SoA trace and from an AoS conversion.
+            let soa = crate::soa::integrate_soa(&bundle, &symtab, freq(), mode);
+            let (columnar, _ns) = EstimateTable::from_soa_timed(&soa);
+            assert_eq!(columnar, reference, "soa mode {mode:?}");
+            let converted = crate::soa::SoaTrace::from_integrated(&it);
+            assert_eq!(
+                EstimateTable::from_soa(&converted),
+                reference,
+                "converted soa mode {mode:?}"
+            );
         }
     }
 

@@ -143,7 +143,7 @@ pub struct IntegratedTrace {
 
 /// Below this many samples the shard fan-out is pure overhead; run the
 /// single-threaded path (same results by construction).
-const PARALLEL_MIN_SAMPLES: usize = 4096;
+pub(crate) const PARALLEL_MIN_SAMPLES: usize = 4096;
 
 /// Integrate a trace bundle against a symbol table.
 ///
@@ -262,15 +262,17 @@ pub fn integrate_with_threads(
     }
 }
 
-/// One core's sub-slices of the sorted streams.
-struct Shard<'a> {
-    marks: &'a [fluctrace_cpu::MarkRecord],
-    samples: &'a [PebsRecord],
+/// One core's sub-slices of the sorted streams. Shared with the
+/// columnar fast path ([`crate::soa`]), which attributes the same
+/// shards into pre-allocated columns.
+pub(crate) struct Shard<'a> {
+    pub(crate) marks: &'a [fluctrace_cpu::MarkRecord],
+    pub(crate) samples: &'a [PebsRecord],
 }
 
 /// Split the `(core, tsc)`-sorted streams into per-core shards covering
 /// the union of cores present in either stream, in ascending core order.
-fn shard_by_core<'a>(
+pub(crate) fn shard_by_core<'a>(
     marks: &'a [fluctrace_cpu::MarkRecord],
     samples: &'a [PebsRecord],
 ) -> Vec<Shard<'a>> {
@@ -353,7 +355,7 @@ fn attribute_shard(
 /// Collapse attributed samples into `(item, start, end)` runs sorted by
 /// `(item, start)`. Runs are maximal: consecutive samples of the same
 /// item form one range.
-fn build_item_index(samples: &[AttributedSample]) -> Vec<(ItemId, u32, u32)> {
+pub(crate) fn build_item_index(samples: &[AttributedSample]) -> Vec<(ItemId, u32, u32)> {
     let mut runs: Vec<(ItemId, u32, u32)> = Vec::new();
     for (i, s) in samples.iter().enumerate() {
         let Some(item) = s.item else { continue };

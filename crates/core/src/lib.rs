@@ -54,8 +54,9 @@ pub mod overhead;
 pub mod parallel;
 pub mod profile;
 pub mod report;
+pub mod soa;
 
-pub use batch::{split_batches, BatchMap};
+pub use batch::{split_batches, split_batches_owned, BatchMap};
 pub use estimate::{EstimateTable, FuncEstimate, ItemEstimate};
 pub use export::{anomaly_trace, chrome_trace, chrome_trace_string, ExportOptions};
 pub use fluct::{detect, FluctuationReport, GroupFuncStats, Outlier, TotalOutlier};
@@ -69,7 +70,11 @@ pub use online::{
     AdaptiveConfig, AdaptiveR, DegradeStats, LiveStats, LossStats, ObsSection, OnlineAnomaly,
     OnlineConfig, OnlineError, OnlineReport, OnlineTracer, SubmitError, SubmitOutcome,
 };
-pub use overhead::{fit_instrumentation, fit_inverse_reset, InstrumentationFit, OverheadModel};
-pub use parallel::{configured_threads, run_indexed};
+pub use overhead::{
+    fit_instrumentation, fit_instrumentation_ci, fit_inverse_reset, InstrumentationFit,
+    OverheadModel, SlopeCi,
+};
+pub use parallel::{configured_threads, run_indexed, run_parts};
 pub use profile::{FlatProfile, ProfileEntry};
 pub use report::{diagnosis, item_breakdown, item_breakdown_with_trace};
+pub use soa::{integrate_soa, integrate_soa_with_threads, SampleColumns, SoaTrace};

@@ -89,6 +89,54 @@ where
         .collect()
 }
 
+/// Fan `parts` out over up to `threads` scoped workers for their side
+/// effects only — no result slots, no collection pass.
+///
+/// Built for the columnar integrator: each part owns a disjoint
+/// `split_at_mut` chunk of a shared output buffer, so workers write
+/// their final bytes in place and the "merge" is free. Tasks are
+/// claimed from the same atomic cursor as [`run_indexed`] (dynamic load
+/// balancing), and the same obs counters are recorded, so a fast-path
+/// run is observably identical to an AoS run. A panicking task
+/// propagates out of the scope, as with sequential execution.
+pub fn run_parts<T, F>(parts: Vec<T>, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, T) + Sync,
+{
+    let n = parts.len();
+    let threads = threads.clamp(1, n.max(1));
+    if fluctrace_obs::recording() {
+        fluctrace_obs::counter!("core.parallel.runs").inc();
+        fluctrace_obs::counter!("core.parallel.tasks").add(n as u64);
+    }
+    if threads == 1 || n <= 1 {
+        for (i, part) in parts.into_iter().enumerate() {
+            f(i, part);
+        }
+        return;
+    }
+    let part_slots: Vec<Mutex<Option<T>>> =
+        parts.into_iter().map(|p| Mutex::new(Some(p))).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let part = part_slots[i]
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("each part index is claimed exactly once");
+                f(i, part);
+            });
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,5 +171,33 @@ mod tests {
     #[test]
     fn configured_threads_is_positive() {
         assert!(configured_threads() >= 1);
+    }
+
+    #[test]
+    fn run_parts_fills_disjoint_chunks_in_order() {
+        let mut out = vec![0u64; 100];
+        for threads in [1, 2, 4, 7] {
+            out.fill(0);
+            let chunks: Vec<(usize, &mut [u64])> = out.chunks_mut(13).enumerate().collect();
+            run_parts(chunks, threads, |i, (chunk_idx, chunk)| {
+                assert_eq!(i, chunk_idx);
+                for (k, slot) in chunk.iter_mut().enumerate() {
+                    *slot = (chunk_idx * 1000 + k) as u64;
+                }
+            });
+            let expected: Vec<u64> = (0..100).map(|i| (i / 13 * 1000 + i % 13) as u64).collect();
+            assert_eq!(out, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn run_parts_handles_empty_and_single() {
+        run_parts(Vec::<u8>::new(), 8, |_, _| panic!("no parts to run"));
+        let hit = AtomicUsize::new(0);
+        run_parts(vec![7u8], 8, |i, p| {
+            assert_eq!((i, p), (0, 7));
+            hit.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hit.load(Ordering::Relaxed), 1);
     }
 }

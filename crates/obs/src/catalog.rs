@@ -121,6 +121,22 @@ pub const CATALOG: &[MetricDef] = &[
         "cycles",
         "Per-span elapsed estimate in simulated TSC cycles",
     ),
+    // --- core::soa -------------------------------------------------------
+    counter(
+        "core.soa.runs",
+        "runs",
+        "SoA (columnar) integration passes over a trace bundle",
+    ),
+    counter(
+        "core.soa.samples",
+        "samples",
+        "Samples ingested into SoA sample columns",
+    ),
+    counter(
+        "core.soa.fallbacks",
+        "runs",
+        "SoA runs that fell back to the AoS path (reserved item id)",
+    ),
     // --- core::parallel --------------------------------------------------
     counter(
         "core.parallel.runs",
@@ -322,6 +338,21 @@ pub const CATALOG: &[MetricDef] = &[
         "bench.sweep.configs",
         "configs",
         "Sweep configurations executed",
+    ),
+    // Wall-derived throughput gauges, recorded ONLY by the perf-hunt
+    // binary (which writes BENCH_hotpath.json, never figure artifacts).
+    // Figure binaries leave them at zero, so deterministic snapshots
+    // stay byte-identical — the one sanctioned carve-out from the
+    // "no clock-derived values" rule above. See OBSERVABILITY.md.
+    gauge(
+        "bench.hotpath.integrate_samples_per_sec",
+        "samples_per_s",
+        "perf-hunt fast-path integrate throughput (wall-derived)",
+    ),
+    gauge(
+        "bench.hotpath.estimate_samples_per_sec",
+        "samples_per_s",
+        "perf-hunt fast-path estimate throughput (wall-derived)",
     ),
 ];
 
