@@ -43,7 +43,7 @@ impl Ipv4Prefix {
     /// byte `i` (0..4). Used by the trie builder.
     pub fn byte_range(&self, i: usize) -> (u8, u8) {
         debug_assert!(i < 4);
-        let byte = self.addr.to_be_bytes()[i];
+        let byte = self.addr.to_be_bytes().get(i).copied().unwrap_or(0);
         let covered_bits = (self.len as usize).saturating_sub(i * 8).min(8);
         if covered_bits == 8 {
             (byte, byte)
@@ -138,6 +138,7 @@ impl PortRange {
         let [lh, ll] = self.lo.to_be_bytes();
         let [hh, hl] = self.hi.to_be_bytes();
         if lh == hh {
+            // lint:allow(hot-path-alloc): ≤3-segment Vec built once per rule at table-build time, not per classified packet
             return vec![((lh, lh), (ll, hl))];
         }
         let mut segs = Vec::with_capacity(3);

@@ -18,6 +18,16 @@ use crate::key::{PacketKey, KEY_BYTES};
 use crate::meter::WorkMeter;
 use crate::rule::{AclRule, Action};
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
+
+thread_local! {
+    // Reusable DFS scratch: classification runs once per packet, and a
+    // per-packet Vec allocation is exactly the fluctuation source the
+    // hot-path-alloc lint exists to prevent. `Cell::take`/`set` keeps
+    // the borrow panic-free — a re-entrant call would simply start with
+    // a fresh, empty stack.
+    static DFS_SCRATCH: Cell<Vec<(u32, usize)>> = const { Cell::new(Vec::new()) };
+}
 
 /// A terminal entry: the rule that this full key path satisfies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -60,6 +70,7 @@ impl Trie {
     /// An empty trie (just a root).
     pub fn new() -> Self {
         Trie {
+            // lint:allow(hot-path-alloc): one-time root-node allocation when the trie is built, not per classified packet
             nodes: vec![Node::default()],
             rules: 0,
         }
@@ -152,8 +163,11 @@ impl Trie {
     ) {
         meter.on_trie_start();
         let bytes = key.bytes();
-        // Iterative DFS over (node, depth).
-        let mut stack: Vec<(u32, usize)> = vec![(0, 0)];
+        // Iterative DFS over (node, depth), on the reused scratch stack
+        // (amortized alloc-free after the first classification).
+        let mut stack = DFS_SCRATCH.with(Cell::take);
+        stack.clear();
+        stack.push((0, 0));
         while let Some((node_idx, depth)) = stack.pop() {
             let Some(node) = self.nodes.get(node_idx as usize) else {
                 continue;
@@ -181,6 +195,7 @@ impl Trie {
                 }
             }
         }
+        DFS_SCRATCH.with(|cell| cell.set(stack));
     }
 
     /// Convenience single-trie classification.

@@ -575,6 +575,7 @@ pub type BatchInspector = Box<dyn FnMut(&TraceBundle) + Send>;
 /// `&self` and may race with `live()` snapshots).
 #[derive(Default)]
 struct ShedCounters {
+    // lint:allow(atomic-ordering): statistical loss counter — a racing live() snapshot may under-count by one batch, never affects control flow
     batches_dropped: AtomicU64,
     samples_dropped: AtomicU64,
     samples_thinned: AtomicU64,

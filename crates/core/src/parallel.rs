@@ -11,7 +11,15 @@
 //! available parallelism; `1` reproduces fully sequential behaviour).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Slot mutexes are poison-tolerant: a panicking task already
+/// propagates out of the thread scope, so a poisoned lock carries no
+/// extra information here — taking the inner value keeps the claim
+/// loop itself panic-free.
+fn lock_ok<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Worker count selected via the `FLUCTRACE_THREADS` environment
 /// variable. Unset or unparsable values fall back to the machine's
@@ -65,17 +73,20 @@ where
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
+                // lint:allow(atomic-ordering): claim ticket only — the cursor hands out disjoint indices; the slot Mutex synchronizes the task payload itself
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
+                // `get` doubles as the `i >= n` termination check, and
+                // an already-empty slot (impossible: each index is
+                // handed out once) degrades to a break, not a panic.
+                let Some((task_slot, result_slot)) = task_slots.get(i).zip(result_slots.get(i))
+                else {
                     break;
-                }
-                let task = task_slots[i]
-                    .lock()
-                    .unwrap()
-                    .take()
-                    .expect("each task index is claimed exactly once");
+                };
+                let Some(task) = lock_ok(task_slot).take() else {
+                    break;
+                };
                 let result = f(i, task);
-                *result_slots[i].lock().unwrap() = Some(result);
+                *lock_ok(result_slot) = Some(result);
             });
         }
     });
@@ -83,7 +94,8 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .unwrap()
+                .unwrap_or_else(PoisonError::into_inner)
+                // lint:allow(panic-safety-transitive): post-scope invariant — a missing result means a worker panicked, which already propagated out of the scope above
                 .expect("every slot is filled before the scope ends")
         })
         .collect()
@@ -123,14 +135,9 @@ where
         for _ in 0..threads {
             scope.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
+                let Some(part) = part_slots.get(i).and_then(|slot| lock_ok(slot).take()) else {
                     break;
-                }
-                let part = part_slots[i]
-                    .lock()
-                    .unwrap()
-                    .take()
-                    .expect("each part index is claimed exactly once");
+                };
                 f(i, part);
             });
         }

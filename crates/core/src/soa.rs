@@ -89,11 +89,11 @@ impl SampleColumns {
     /// Zero-filled columns of length `n`, ready for chunked writes.
     fn zeroed(n: usize) -> Self {
         SampleColumns {
-            core: vec![0; n],
-            tsc: vec![0; n],
-            item: vec![0; n],
-            func: vec![0; n],
-            span: vec![0; n],
+            core: vec![0; n], // lint:allow(hot-path-alloc): one-time transpose-time column allocation, not per sample
+            tsc: vec![0; n], // lint:allow(hot-path-alloc): one-time transpose-time column allocation, not per sample
+            item: vec![0; n], // lint:allow(hot-path-alloc): one-time transpose-time column allocation, not per sample
+            func: vec![0; n], // lint:allow(hot-path-alloc): one-time transpose-time column allocation, not per sample
+            span: vec![0; n], // lint:allow(hot-path-alloc): one-time transpose-time column allocation, not per sample
         }
     }
 }
@@ -503,6 +503,7 @@ impl SoaTrace {
             mode: it.mode,
             stats: it.stats,
             item_index: build_item_index(&it.samples),
+            // lint:allow(hot-path-alloc): rare-path fallback built once per transpose when a reserved id is present, not per sample
             aos_fallback: reserved_id.then(|| Box::new(it.clone())),
         }
     }

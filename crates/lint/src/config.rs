@@ -20,6 +20,17 @@ pub struct Config {
     pub unsafe_hygiene_paths: Vec<String>,
     /// Sim-domain crates where `Instant`/`SystemTime` are banned.
     pub clock_hygiene_paths: Vec<String>,
+    /// Hot-path entry-point files: the shared roots for the closure
+    /// rules (`panic-safety-transitive`, `hot-path-alloc`).
+    pub entry_points: Vec<String>,
+    /// Entry override for `panic-safety-transitive`; empty = use
+    /// `[entry-points]`.
+    pub panic_transitive_paths: Vec<String>,
+    /// Entry override for `hot-path-alloc`; empty = use `[entry-points]`.
+    pub hot_path_alloc_paths: Vec<String>,
+    /// Crates whose atomic fields are inventoried by `atomic-ordering`;
+    /// empty disables the rule.
+    pub atomic_ordering_paths: Vec<String>,
     /// Directory holding the offline shim crates; `None` disables the
     /// shim-drift rule.
     pub shim_dir: Option<String>,
@@ -98,6 +109,12 @@ impl Config {
             ("tsc-arithmetic", "paths") => self.tsc_arithmetic_paths = parse_array(value, line)?,
             ("unsafe-hygiene", "paths") => self.unsafe_hygiene_paths = parse_array(value, line)?,
             ("clock-hygiene", "paths") => self.clock_hygiene_paths = parse_array(value, line)?,
+            ("entry-points", "paths") => self.entry_points = parse_array(value, line)?,
+            ("panic-safety-transitive", "paths") => {
+                self.panic_transitive_paths = parse_array(value, line)?
+            }
+            ("hot-path-alloc", "paths") => self.hot_path_alloc_paths = parse_array(value, line)?,
+            ("atomic-ordering", "paths") => self.atomic_ordering_paths = parse_array(value, line)?,
             ("shim-drift", "dir") => self.shim_dir = Some(parse_string(value, line)?),
             ("engine", "exclude") => self.exclude = parse_array(value, line)?,
             _ => {

@@ -1,0 +1,398 @@
+//! Pass 2: the dataflow rules that run over the [`crate::graph`]
+//! symbol table — properties of call graphs and atomics, not of single
+//! lines.
+//!
+//! * `panic-safety-transitive` — the configured `[entry-points]` files
+//!   are hot-path roots; every function *reachable* from them (across
+//!   files and crates) must be free of the panic constructs the lexical
+//!   `panic-safety` rule bans. Files already covered by the lexical
+//!   rule are skipped here, so each line is gated exactly once.
+//! * `hot-path-alloc` — no per-item allocation inside the hot-path
+//!   closure: `Box::new`, `vec!`, `format!`, `.to_string()`,
+//!   `.collect::<Vec…>`/`::<String>`, `String::new`/`from`/
+//!   `with_capacity`, and `.push_str` are banned for every function
+//!   reachable from the alloc entry points. Pre-sized buffers
+//!   (`Vec::with_capacity` + `push`) stay legal — the rule targets the
+//!   canonical fluctuation source, allocation per data item.
+//! * `atomic-ordering` — every atomic field in the configured crates is
+//!   inventoried with its `Ordering::*` use sites; a field that is both
+//!   stored and loaded but never through a Release-store/Acquire-load
+//!   pair is flagged as a mis-synchronized publication index unless a
+//!   `lint:allow` documents why relaxed is safe (statistical counters).
+
+use crate::config::{path_matches, Config};
+use crate::diag::Violation;
+use crate::graph::{AtomicOp, Symbols};
+use crate::rules::{panic_findings, SourceFile};
+use std::collections::BTreeMap;
+
+/// Run all graph rules; `files` and `symbols` come from the engine's
+/// pass 1.
+pub fn run(files: &[SourceFile], symbols: &Symbols, config: &Config) -> Vec<Violation> {
+    let mut out = Vec::new();
+    out.extend(panic_safety_transitive(files, symbols, config));
+    out.extend(hot_path_alloc(files, symbols, config));
+    out.extend(atomic_ordering(files, symbols, config));
+    out
+}
+
+/// L7 — `panic-safety-transitive`.
+pub fn panic_safety_transitive(
+    files: &[SourceFile],
+    symbols: &Symbols,
+    config: &Config,
+) -> Vec<Violation> {
+    let entries = entry_paths(config, &config.panic_transitive_paths);
+    if entries.is_empty() {
+        return Vec::new();
+    }
+    let roots = symbols.fns_in_paths(files, entries);
+    let reach = symbols.reachable(&roots);
+    let mut out = Vec::new();
+    for &fn_idx in reach.keys() {
+        let def = &symbols.fns[fn_idx];
+        let file = &files[def.file];
+        // The lexical rule already gates these files line by line.
+        if path_matches(&file.rel, &config.panic_safety_paths) {
+            continue;
+        }
+        if file.is_test_code {
+            continue;
+        }
+        for li in body_lines(def, file) {
+            if file.in_test.get(li).copied().unwrap_or(false) {
+                continue;
+            }
+            for (what, _fix) in panic_findings(&file.lines[li].code) {
+                out.push(Violation {
+                    rule: "panic-safety-transitive",
+                    path: file.rel.clone(),
+                    line: li + 1,
+                    message: format!(
+                        "{what} in `{}`, reachable from a hot-path entry point \
+                         ({}); the closure of {} must be panic-free",
+                        def.name,
+                        symbols.chain(&reach, fn_idx),
+                        entry_label(entries),
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// L8 — `hot-path-alloc`.
+pub fn hot_path_alloc(files: &[SourceFile], symbols: &Symbols, config: &Config) -> Vec<Violation> {
+    let entries = entry_paths(config, &config.hot_path_alloc_paths);
+    if entries.is_empty() {
+        return Vec::new();
+    }
+    let roots = symbols.fns_in_paths(files, entries);
+    let reach = symbols.reachable(&roots);
+    let mut out = Vec::new();
+    for &fn_idx in reach.keys() {
+        let def = &symbols.fns[fn_idx];
+        let file = &files[def.file];
+        if file.is_test_code {
+            continue;
+        }
+        for li in body_lines(def, file) {
+            if file.in_test.get(li).copied().unwrap_or(false) {
+                continue;
+            }
+            for what in alloc_findings(&file.lines[li].code) {
+                out.push(Violation {
+                    rule: "hot-path-alloc",
+                    path: file.rel.clone(),
+                    line: li + 1,
+                    message: format!(
+                        "{what} in `{}`, reachable from an alloc-free entry point \
+                         ({}); allocation per data item is the canonical \
+                         fluctuation source — pre-size buffers outside the hot \
+                         loop or `lint:allow` a proven one-time setup allocation",
+                        def.name,
+                        symbols.chain(&reach, fn_idx),
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Allocation constructs banned in the hot-path closure, as displayable
+/// labels.
+pub fn alloc_findings(code: &str) -> Vec<&'static str> {
+    let mut out = Vec::new();
+    if code.contains("Box::new") {
+        out.push("`Box::new(..)` (heap allocation)");
+    }
+    if crate::rules::macro_call(code, "vec") {
+        out.push("`vec![..]` (heap allocation)");
+    }
+    if crate::rules::macro_call(code, "format") {
+        out.push("`format!(..)` (String allocation)");
+    }
+    if crate::rules::method_call(code, "to_string") {
+        out.push("`.to_string()` (String allocation)");
+    }
+    if code.contains(".collect::<Vec") || code.contains(".collect::<String") {
+        out.push("`.collect::<Vec<_>>()`-style collection build");
+    }
+    for growth in ["String::new", "String::from", "String::with_capacity"] {
+        if code.contains(growth) {
+            out.push("`String` construction");
+            break;
+        }
+    }
+    if crate::rules::method_call(code, "push_str") {
+        out.push("`.push_str(..)` (String growth)");
+    }
+    out
+}
+
+/// L9 — `atomic-ordering`.
+pub fn atomic_ordering(files: &[SourceFile], symbols: &Symbols, config: &Config) -> Vec<Violation> {
+    if config.atomic_ordering_paths.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for ((file_idx, field), group) in &symbols.atomics {
+        let file = &files[*file_idx];
+        if !path_matches(&file.rel, &config.atomic_ordering_paths) {
+            continue;
+        }
+        let mut store_lines = Vec::new();
+        let mut load_lines = Vec::new();
+        let mut released = false;
+        let mut acquired = false;
+        for site in &group.sites {
+            let store_like = matches!(site.op, AtomicOp::Store | AtomicOp::Rmw);
+            let load_like = matches!(site.op, AtomicOp::Load | AtomicOp::Rmw);
+            if store_like {
+                store_lines.push(site.line + 1);
+            }
+            if load_like {
+                load_lines.push(site.line + 1);
+            }
+            for ord in &site.orderings {
+                match ord.as_str() {
+                    "Release" if store_like => released = true,
+                    "Acquire" if load_like => acquired = true,
+                    "AcqRel" | "SeqCst" => {
+                        released = store_like || released;
+                        acquired = load_like || acquired;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if store_lines.is_empty() || load_lines.is_empty() || (released && acquired) {
+            continue;
+        }
+        let line = group.decl_line.or(group.sites.first().map(|s| s.line));
+        let Some(line) = line else { continue };
+        out.push(Violation {
+            rule: "atomic-ordering",
+            path: file.rel.clone(),
+            line: line + 1,
+            message: format!(
+                "atomic `{field}` is written (line{} {}) and read (line{} {}) \
+                 but never through a Release-store/Acquire-load pair; if it \
+                 publishes data across threads this is a mis-synchronization \
+                 — pair the orderings, or `lint:allow` why relaxed is safe \
+                 (e.g. a statistical counter)",
+                plural(&store_lines),
+                join_lines(&store_lines),
+                plural(&load_lines),
+                join_lines(&load_lines),
+            ),
+        });
+    }
+    out
+}
+
+/// The effective entry set for a closure rule: the rule's own `paths`
+/// when configured, else the shared `[entry-points]` list.
+fn entry_paths<'a>(config: &'a Config, own: &'a [String]) -> &'a [String] {
+    if own.is_empty() {
+        &config.entry_points
+    } else {
+        own
+    }
+}
+
+fn entry_label(entries: &[String]) -> String {
+    match entries {
+        [] => "the configured entry points".to_string(),
+        [one] => format!("entry `{one}`"),
+        more => format!("{} entry-point files", more.len()),
+    }
+}
+
+/// Clamped body line range of a fn.
+fn body_lines(def: &crate::graph::FnDef, file: &SourceFile) -> std::ops::RangeInclusive<usize> {
+    let end = def.body.1.min(file.lines.len().saturating_sub(1));
+    def.body.0..=end
+}
+
+fn plural(lines: &[usize]) -> &'static str {
+    if lines.len() == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+fn join_lines(lines: &[usize]) -> String {
+    let mut shown: Vec<String> = lines.iter().take(4).map(|l| l.to_string()).collect();
+    if lines.len() > 4 {
+        shown.push("…".to_string());
+    }
+    shown.join(", ")
+}
+
+/// Dedup helper for closure rules: the same line can be reached through
+/// several fns when ranges nest (a closure-heavy fn). Keep the first.
+pub fn dedup_by_site(violations: &mut Vec<Violation>) {
+    let mut seen: BTreeMap<(String, usize, &'static str), ()> = BTreeMap::new();
+    violations.retain(|v| seen.insert((v.path.clone(), v.line, v.rule), ()).is_none());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::test_mask;
+    use crate::lexer::split_lines;
+
+    fn file(rel: &str, src: &str) -> SourceFile {
+        let lines = split_lines(src);
+        let in_test = test_mask(&lines);
+        SourceFile {
+            rel: rel.into(),
+            lines,
+            in_test,
+            is_test_code: false,
+        }
+    }
+
+    fn config(entries: &[&str]) -> Config {
+        Config {
+            entry_points: entries.iter().map(|s| s.to_string()).collect(),
+            atomic_ordering_paths: vec!["crates".into()],
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn transitive_panic_reaches_across_files() {
+        let files = vec![
+            file(
+                "crates/core/src/hot.rs",
+                "use fluctrace_analysis::prep;\npub fn entry() {\n    prep(1);\n}\n",
+            ),
+            file(
+                "crates/analysis/src/lib.rs",
+                "pub fn prep(x: u32) {\n    helper(x);\n}\nfn helper(x: u32) {\n    let v: Vec<u32> = Vec::new();\n    let _ = v[x as usize];\n}\nfn unreached() {\n    panic!(\"never flagged\");\n}\n",
+            ),
+        ];
+        let sym = Symbols::build(&files);
+        let v = panic_safety_transitive(&files, &sym, &config(&["crates/core/src/hot.rs"]));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].path, "crates/analysis/src/lib.rs");
+        assert_eq!(v[0].line, 6);
+        assert!(
+            v[0].message.contains("entry → prep → helper"),
+            "{}",
+            v[0].message
+        );
+    }
+
+    #[test]
+    fn lexically_covered_files_are_not_double_flagged() {
+        let files = vec![file(
+            "crates/core/src/hot.rs",
+            "pub fn entry() {\n    helper();\n}\nfn helper() {\n    panic!(\"x\");\n}\n",
+        )];
+        let sym = Symbols::build(&files);
+        let mut cfg = config(&["crates/core/src/hot.rs"]);
+        cfg.panic_safety_paths = vec!["crates/core/src/hot.rs".into()];
+        assert!(panic_safety_transitive(&files, &sym, &cfg).is_empty());
+        cfg.panic_safety_paths.clear();
+        assert_eq!(panic_safety_transitive(&files, &sym, &cfg).len(), 1);
+    }
+
+    #[test]
+    fn alloc_rule_flags_per_item_allocation_in_closure() {
+        let files = vec![
+            file(
+                "crates/core/src/kernel.rs",
+                "pub fn kernel(n: usize) {\n    let mut buf = Vec::with_capacity(n);\n    buf.push(1);\n    step();\n}\n",
+            ),
+            file(
+                "crates/core/src/helpers.rs",
+                "pub fn step() {\n    let label = format!(\"{}\", 1);\n    let b = Box::new(label);\n    drop(b);\n}\n",
+            ),
+        ];
+        let sym = Symbols::build(&files);
+        let v = hot_path_alloc(&files, &sym, &config(&["crates/core/src/kernel.rs"]));
+        let lines: Vec<(usize, String)> = v.iter().map(|v| (v.line, v.path.clone())).collect();
+        assert_eq!(
+            lines,
+            vec![
+                (2, "crates/core/src/helpers.rs".to_string()),
+                (3, "crates/core/src/helpers.rs".to_string()),
+            ],
+            "with_capacity+push pass, format!/Box::new in the closure fail: {v:?}"
+        );
+    }
+
+    #[test]
+    fn atomic_ordering_requires_a_release_acquire_pair() {
+        let files = vec![file(
+            "crates/rt/src/g.rs",
+            "static GATE: AtomicBool = AtomicBool::new(false);\nfn open() {\n    GATE.store(true, Ordering::Relaxed);\n}\nfn check() -> bool {\n    GATE.load(Ordering::Relaxed)\n}\n",
+        )];
+        let sym = Symbols::build(&files);
+        let v = atomic_ordering(&files, &sym, &config(&[]));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 1, "attributed to the declaration");
+        assert!(v[0].message.contains("GATE"));
+    }
+
+    #[test]
+    fn paired_and_one_sided_atomics_pass() {
+        let files = vec![file(
+            "crates/rt/src/g.rs",
+            "struct R {\n    tail: CachePadded<AtomicUsize>,\n    limit: AtomicUsize,\n}\nimpl R {\n    fn push(&self) {\n        let t = self.tail.0.load(Ordering::Relaxed);\n        self.tail.0.store(t + 1, Ordering::Release);\n    }\n    fn pop(&self) -> usize {\n        self.tail.0.load(Ordering::Acquire)\n    }\n    fn limit(&self) -> usize {\n        self.limit.load(Ordering::Relaxed)\n    }\n}\n",
+        )];
+        let sym = Symbols::build(&files);
+        let v = atomic_ordering(&files, &sym, &config(&[]));
+        assert!(
+            v.is_empty(),
+            "release/acquire-paired tail and load-only limit pass: {v:?}"
+        );
+    }
+
+    #[test]
+    fn seqcst_counts_as_paired() {
+        let files = vec![file(
+            "crates/rt/src/g.rs",
+            "static N: AtomicU64 = AtomicU64::new(0);\nfn bump() {\n    N.fetch_add(1, Ordering::SeqCst);\n}\nfn read() -> u64 {\n    N.load(Ordering::SeqCst)\n}\n",
+        )];
+        let sym = Symbols::build(&files);
+        assert!(atomic_ordering(&files, &sym, &config(&[])).is_empty());
+    }
+
+    #[test]
+    fn relaxed_rmw_counter_is_flagged_for_an_allow() {
+        let files = vec![file(
+            "crates/obs/src/reg.rs",
+            "static HITS: AtomicU64 = AtomicU64::new(0);\nfn hit() {\n    HITS.fetch_add(1, Ordering::Relaxed);\n}\nfn total() -> u64 {\n    HITS.load(Ordering::Relaxed)\n}\n",
+        )];
+        let sym = Symbols::build(&files);
+        let v = atomic_ordering(&files, &sym, &config(&[]));
+        assert_eq!(v.len(), 1, "counters surface so the allow documents them");
+    }
+}

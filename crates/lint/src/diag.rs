@@ -47,6 +47,102 @@ pub fn to_json(violations: &[Violation]) -> String {
     out
 }
 
+/// The self-describing fix-report (`--fix-report`, schema v2): rule
+/// descriptions, the surviving violations, and the allow inventory with
+/// per-rule counts and every stated reason — so the CI artifact can be
+/// audited without the source tree.
+pub fn report_v2_json(report: &crate::engine::Report) -> String {
+    let mut out = String::from("{\n  \"schema\": \"fluctrace.lint.report.v2\",\n  \"rules\": [\n");
+    let rules = crate::rules::RULE_DESCRIPTIONS;
+    for (i, (name, desc)) in rules.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"description\": \"{}\"}}{}\n",
+            escape(name),
+            escape(desc),
+            comma(i, rules.len()),
+        ));
+    }
+    out.push_str("  ],\n  \"violations\": [\n");
+    for (i, v) in report.violations.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}{}\n",
+            escape(v.rule),
+            escape(&v.path),
+            v.line,
+            escape(&v.message),
+            comma(i, report.violations.len()),
+        ));
+    }
+    out.push_str("  ],\n  \"allows\": {\n");
+    out.push_str(&format!("    \"count\": {},\n", report.allows.len()));
+    out.push_str("    \"by_rule\": {");
+    let mut by_rule: Vec<(&str, usize)> = Vec::new();
+    for a in &report.allows {
+        match by_rule.iter_mut().find(|(r, _)| *r == a.rule) {
+            Some((_, n)) => *n += 1,
+            None => by_rule.push((&a.rule, 1)),
+        }
+    }
+    by_rule.sort();
+    for (i, (rule, n)) in by_rule.iter().enumerate() {
+        out.push_str(&format!(
+            "{}\"{}\": {}",
+            if i == 0 { "" } else { ", " },
+            escape(rule),
+            n
+        ));
+    }
+    out.push_str("},\n    \"entries\": [\n");
+    for (i, a) in report.allows.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"reason\": \"{}\"}}{}\n",
+            escape(&a.rule),
+            escape(&a.path),
+            a.line,
+            escape(&a.reason),
+            comma(i, report.allows.len()),
+        ));
+    }
+    out.push_str("    ]\n  }\n}");
+    out
+}
+
+fn comma(i: usize, len: usize) -> &'static str {
+    if i + 1 < len {
+        ","
+    } else {
+        ""
+    }
+}
+
+/// Render violations as GitHub Actions workspace commands
+/// (`::error file=…,line=…::…`) so they surface inline on the PR diff.
+pub fn to_github(violations: &[Violation]) -> String {
+    let mut out = String::new();
+    for v in violations {
+        out.push_str(&format!(
+            "::error file={},line={},title=fluctrace-lint {}::{}\n",
+            escape_gh_property(&v.path),
+            v.line,
+            escape_gh_property(v.rule),
+            escape_gh_data(&v.message),
+        ));
+    }
+    out
+}
+
+/// Workspace-command data escaping: `%`, CR, LF.
+fn escape_gh_data(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
+}
+
+/// Workspace-command property escaping: data escapes plus `:` and `,`.
+fn escape_gh_property(s: &str) -> String {
+    escape_gh_data(s).replace(':', "%3A").replace(',', "%2C")
+}
+
 fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -88,5 +184,45 @@ mod tests {
         assert!(json.contains("back\\\\slash"));
         assert!(json.trim_end().ends_with(']'));
         assert_eq!(to_json(&[]), "[\n]");
+    }
+
+    #[test]
+    fn github_annotations_escape_properties_and_data() {
+        let v = vec![Violation {
+            rule: "atomic-ordering",
+            path: "a,b.rs".into(),
+            line: 2,
+            message: "50% slower\nsecond line".into(),
+        }];
+        assert_eq!(
+            to_github(&v),
+            "::error file=a%2Cb.rs,line=2,title=fluctrace-lint atomic-ordering\
+             ::50%25 slower%0Asecond line\n"
+        );
+    }
+
+    #[test]
+    fn report_v2_shape() {
+        let report = crate::engine::Report {
+            violations: vec![Violation {
+                rule: "determinism",
+                path: "a.rs".into(),
+                line: 1,
+                message: "m".into(),
+            }],
+            allows: vec![crate::engine::AllowRecord {
+                rule: "atomic-ordering".into(),
+                path: "b.rs".into(),
+                line: 7,
+                reason: "statistical counter".into(),
+            }],
+        };
+        let json = report_v2_json(&report);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"schema\": \"fluctrace.lint.report.v2\""));
+        assert!(json.contains("\"name\": \"panic-safety-transitive\""));
+        assert!(json.contains("\"count\": 1"));
+        assert!(json.contains("\"by_rule\": {\"atomic-ordering\": 1}"));
+        assert!(json.contains("\"reason\": \"statistical counter\""));
     }
 }

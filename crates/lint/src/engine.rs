@@ -12,13 +12,42 @@ use crate::config::{path_matches, Config};
 use crate::diag::Violation;
 use crate::lexer::{split_lines, Line};
 use crate::rules::{self, SourceFile, RULE_NAMES};
+use crate::{dataflow, graph};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+/// One *used* `lint:allow` comment — the allow inventory in the
+/// fix-report makes every suppression and its stated reason auditable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowRecord {
+    /// Rule being suppressed.
+    pub rule: String,
+    /// Path relative to the lint root, `/`-separated.
+    pub path: String,
+    /// 1-based line of the allow comment.
+    pub line: usize,
+    /// The stated reason (engine-enforced non-empty).
+    pub reason: String,
+}
+
+/// Full lint result: surviving violations plus the allow inventory.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations sorted by (path, line, rule).
+    pub violations: Vec<Violation>,
+    /// Used allows sorted by (path, line).
+    pub allows: Vec<AllowRecord>,
+}
+
 /// Lint everything under `root` with `config`; returns violations
 /// sorted by (path, line, rule).
 pub fn run(root: &Path, config: &Config) -> io::Result<Vec<Violation>> {
+    Ok(run_report(root, config)?.violations)
+}
+
+/// Like [`run`], but also returns the allow inventory.
+pub fn run_report(root: &Path, config: &Config) -> io::Result<Report> {
     let mut paths = Vec::new();
     collect_rs_files(root, root, &config.exclude, &mut paths)?;
     paths.sort();
@@ -28,9 +57,27 @@ pub fn run(root: &Path, config: &Config) -> io::Result<Vec<Violation>> {
         let text = fs::read_to_string(path)?;
         files.push(load_source(root, path, &text));
     }
+    Ok(lint_files(&files, config))
+}
 
+/// Lint in-memory sources — `(rel_path, text)` pairs — with the same
+/// two-pass engine the filesystem walk uses. This is how the tests
+/// mutate a fixture (e.g. delete one call edge) without touching disk.
+pub fn run_sources(sources: &[(&str, &str)], config: &Config) -> Report {
+    let mut files: Vec<SourceFile> = sources
+        .iter()
+        .filter(|(rel, _)| !path_matches(rel, &config.exclude))
+        .map(|(rel, text)| load_source_rel(rel, text))
+        .collect();
+    files.sort_by(|a, b| a.rel.cmp(&b.rel));
+    lint_files(&files, config)
+}
+
+/// Both passes over an already-loaded file set.
+fn lint_files(files: &[SourceFile], config: &Config) -> Report {
+    // Pass 1 rules: per-line, per-file.
     let mut violations = Vec::new();
-    for file in &files {
+    for file in files {
         if path_applies(&file.rel, &config.determinism_paths, false) {
             violations.extend(rules::determinism(file));
         }
@@ -48,12 +95,19 @@ pub fn run(root: &Path, config: &Config) -> io::Result<Vec<Violation>> {
         }
     }
     if let Some(shim_dir) = &config.shim_dir {
-        violations.extend(rules::shim_drift(&files, shim_dir));
+        violations.extend(rules::shim_drift(files, shim_dir));
     }
 
-    violations = apply_allows(&files, violations);
+    // Pass 2 rules: symbol table + call graph + atomic inventory.
+    let symbols = graph::Symbols::build(files);
+    let mut graph_violations = dataflow::run(files, &symbols, config);
+    dataflow::dedup_by_site(&mut graph_violations);
+    violations.extend(graph_violations);
+
+    let (mut violations, mut allows) = apply_allows(files, violations);
     violations.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
-    Ok(violations)
+    allows.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Report { violations, allows }
 }
 
 /// Empty path list means "everywhere" for the workspace-wide rules.
@@ -99,7 +153,10 @@ fn relative(root: &Path, path: &Path) -> String {
 }
 
 fn load_source(root: &Path, path: &Path, text: &str) -> SourceFile {
-    let rel = relative(root, path);
+    load_source_rel(&relative(root, path), text)
+}
+
+fn load_source_rel(rel: &str, text: &str) -> SourceFile {
     let lines = split_lines(text);
     let in_test = test_mask(&lines);
     let is_test_code = rel.starts_with("tests/")
@@ -109,7 +166,7 @@ fn load_source(root: &Path, path: &Path, text: &str) -> SourceFile {
         || rel.starts_with("examples/")
         || rel.contains("/examples/");
     SourceFile {
-        rel,
+        rel: rel.to_string(),
         lines,
         in_test,
         is_test_code,
@@ -158,10 +215,14 @@ struct Allow {
     line_idx: usize,
     target_line: Option<usize>, // 1-based; None when no code line follows
     rule: String,
+    reason: String,
     used: bool,
 }
 
-fn apply_allows(files: &[SourceFile], violations: Vec<Violation>) -> Vec<Violation> {
+fn apply_allows(
+    files: &[SourceFile],
+    violations: Vec<Violation>,
+) -> (Vec<Violation>, Vec<AllowRecord>) {
     let mut out = Vec::new();
     let mut allows_by_file: Vec<(usize, Vec<Allow>)> = Vec::new();
     for (fi, file) in files.iter().enumerate() {
@@ -188,9 +249,17 @@ fn apply_allows(files: &[SourceFile], violations: Vec<Violation>) -> Vec<Violati
         }
     }
 
+    let mut records = Vec::new();
     for (fi, allows) in &allows_by_file {
         for a in allows {
-            if !a.used {
+            if a.used {
+                records.push(AllowRecord {
+                    rule: a.rule.clone(),
+                    path: files[*fi].rel.clone(),
+                    line: a.line_idx + 1,
+                    reason: a.reason.clone(),
+                });
+            } else {
                 out.push(Violation {
                     rule: "allow-syntax",
                     path: files[*fi].rel.clone(),
@@ -204,7 +273,7 @@ fn apply_allows(files: &[SourceFile], violations: Vec<Violation>) -> Vec<Violati
             }
         }
     }
-    out
+    (out, records)
 }
 
 fn parse_allows(file: &SourceFile) -> (Vec<Allow>, Vec<Violation>) {
@@ -257,6 +326,7 @@ fn parse_allows(file: &SourceFile) -> (Vec<Allow>, Vec<Violation>) {
             line_idx: i,
             target_line: allow_target(file, i),
             rule,
+            reason: reason.to_string(),
             used: false,
         });
     }

@@ -1,0 +1,1316 @@
+//! Pass 1 of the two-pass analyzer: the workspace symbol table.
+//!
+//! From the lexer's code/comment split this module extracts, for every
+//! file, the `fn` items (with body line ranges, enclosing `impl` type,
+//! and crate/module location), the `use`-import map, every call site
+//! (free, path-qualified, and method calls, plus macro invocations),
+//! and the atomic-access inventory (`.load`/`.store`/RMW sites with
+//! their `Ordering::*` arguments, grouped per accessed field).
+//!
+//! Call edges are then resolved name-wise against the symbol table:
+//!
+//! * qualified calls (`parallel::run(..)`, `Type::new(..)`,
+//!   `fluctrace_obs::now_ticks(..)`) resolve through crate and module
+//!   path matching (the last qualifier must name the defining file's
+//!   module, the defining crate, or the `impl` type);
+//! * bare calls resolve to the same file first, then through the
+//!   file's `use` imports, then to free functions of the same crate;
+//! * method calls resolve within the same file, then to same-crate
+//!   methods, then — only when the name is defined exactly once in the
+//!   whole workspace — to that unique method.
+//!
+//! The result deliberately over-approximates (an unresolved name simply
+//! produces no edge; an ambiguous one produces an edge to every
+//! candidate), which is the safe direction for the reachability rules
+//! built on top: a spurious edge can at worst demand a `lint:allow`
+//! with a written reason, a missing edge would hide a panic.
+
+use crate::config::path_matches;
+use crate::lexer::Line;
+use crate::rules::SourceFile;
+use std::collections::BTreeMap;
+
+/// One `fn` item: where it lives and which lines belong to it.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Index into the workspace file list.
+    pub file: usize,
+    /// Function name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type name, when the fn is a method or
+    /// associated function.
+    pub impl_type: Option<String>,
+    /// 0-based line of the `fn` keyword.
+    pub decl_line: usize,
+    /// 0-based inclusive body range (covers the whole item).
+    pub body: (usize, usize),
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Index of the calling [`FnDef`].
+    pub caller: usize,
+    /// 0-based line of the call.
+    pub line: usize,
+    /// Callee name (last path segment).
+    pub name: String,
+    /// Path qualifiers before the name (`a::b::name` → `["a", "b"]`).
+    pub quals: Vec<String>,
+    /// `.name(..)` receiver call.
+    pub is_method: bool,
+}
+
+/// What an atomic access does to the cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomicOp {
+    /// `load`
+    Load,
+    /// `store`
+    Store,
+    /// `fetch_*`, `swap`, `compare_exchange*`: both a load and a store.
+    Rmw,
+}
+
+/// One atomic access site.
+#[derive(Debug, Clone)]
+pub struct AtomicSite {
+    /// 0-based line.
+    pub line: usize,
+    /// Access kind.
+    pub op: AtomicOp,
+    /// `Ordering::*` idents found in the argument list.
+    pub orderings: Vec<String>,
+}
+
+/// All atomic accesses to one field name within one file, plus the
+/// declaration line when a field/static of that name is declared there.
+#[derive(Debug, Clone, Default)]
+pub struct AtomicGroup {
+    /// Declaration line (0-based) of `name: AtomicX` / `static NAME`.
+    pub decl_line: Option<usize>,
+    /// Access sites in line order.
+    pub sites: Vec<AtomicSite>,
+}
+
+/// The resolved workspace symbol table.
+#[derive(Debug, Default)]
+pub struct Symbols {
+    /// Every `fn` item, ordered by (file, decl line).
+    pub fns: Vec<FnDef>,
+    /// Every call site, ordered by (caller, line).
+    pub calls: Vec<CallSite>,
+    /// Resolved call edges: `edges[f]` = callee fn indices from fn `f`,
+    /// each with the 0-based call line it was resolved from.
+    pub edges: Vec<Vec<(usize, usize)>>,
+    /// Atomic inventory: `(file index, field name) → group`.
+    pub atomics: BTreeMap<(usize, String), AtomicGroup>,
+}
+
+/// Crate key of a file: `crates/core/src/x.rs` → `core`,
+/// `shims/serde/src/lib.rs` → `serde`, root `src/` and `tests/` → ``.
+pub fn crate_key(rel: &str) -> String {
+    let mut parts = rel.split('/');
+    match parts.next() {
+        Some("crates") | Some("shims") => parts.next().unwrap_or("").to_string(),
+        _ => String::new(),
+    }
+}
+
+/// `crate ident → crate key` for every crate seen in the file set.
+/// Workspace crates are addressed as `fluctrace_<dir>` in source (so a
+/// bare `core::` stays std's `core`); shims carry their upstream names
+/// (`serde`, `crossbeam`, …) verbatim.
+fn crate_ident_map(files: &[SourceFile]) -> BTreeMap<String, String> {
+    let mut map = BTreeMap::new();
+    for f in files {
+        let key = crate_key(&f.rel);
+        if key.is_empty() {
+            continue;
+        }
+        if f.rel.starts_with("shims/") {
+            map.insert(key.clone(), key);
+        } else {
+            map.insert(format!("fluctrace_{key}"), key);
+        }
+    }
+    map
+}
+
+impl Symbols {
+    /// Build the full symbol table from lexed files.
+    pub fn build(files: &[SourceFile]) -> Symbols {
+        let mut sym = Symbols::default();
+        let mut imports: Vec<BTreeMap<String, Vec<String>>> = Vec::with_capacity(files.len());
+        for (fi, file) in files.iter().enumerate() {
+            extract_fns(fi, file, &mut sym.fns);
+            imports.push(extract_imports(file));
+            extract_atomics(fi, file, &mut sym.atomics);
+        }
+        // Stable order so downstream reachability walks are reproducible.
+        sym.fns.sort_by_key(|d| (d.file, d.decl_line));
+        for (idx, def) in sym.fns.iter().enumerate() {
+            extract_calls(idx, def, &files[def.file], &mut sym.calls);
+        }
+        sym.resolve(files, &imports);
+        sym
+    }
+
+    /// All fn indices defined in files matching `paths`.
+    pub fn fns_in_paths(&self, files: &[SourceFile], paths: &[String]) -> Vec<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| path_matches(&files[d.file].rel, paths))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// BFS over call edges from `roots`; returns, for every reachable
+    /// fn, the predecessor edge that first discovered it (`None` for
+    /// roots). Deterministic: roots and edges are visited in order.
+    pub fn reachable(&self, roots: &[usize]) -> BTreeMap<usize, Option<usize>> {
+        let mut seen: BTreeMap<usize, Option<usize>> = BTreeMap::new();
+        let mut queue: Vec<usize> = Vec::new();
+        for &r in roots {
+            if let std::collections::btree_map::Entry::Vacant(e) = seen.entry(r) {
+                e.insert(None);
+                queue.push(r);
+            }
+        }
+        let mut at = 0;
+        while at < queue.len() {
+            let cur = queue[at];
+            at += 1;
+            if let Some(out) = self.edges.get(cur) {
+                for &(callee, _) in out {
+                    if let std::collections::btree_map::Entry::Vacant(e) = seen.entry(callee) {
+                        e.insert(Some(cur));
+                        queue.push(callee);
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// Human-readable call chain `root → … → target` from a
+    /// [`Symbols::reachable`] parent map.
+    pub fn chain(&self, parents: &BTreeMap<usize, Option<usize>>, target: usize) -> String {
+        let mut names = Vec::new();
+        let mut cur = Some(target);
+        while let Some(i) = cur {
+            names.push(self.fns[i].name.clone());
+            cur = parents.get(&i).copied().flatten();
+        }
+        names.reverse();
+        if names.len() > 6 {
+            let tail = names.split_off(names.len() - 3);
+            names.truncate(2);
+            names.push("…".to_string());
+            names.extend(tail);
+        }
+        names.join(" → ")
+    }
+
+    fn resolve(&mut self, files: &[SourceFile], imports: &[BTreeMap<String, Vec<String>>]) {
+        let crate_idents = crate_ident_map(files);
+        // name → fn indices, for candidate lookup.
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, d) in self.fns.iter().enumerate() {
+            by_name.entry(&d.name).or_default().push(i);
+        }
+        self.edges = vec![Vec::new(); self.fns.len()];
+        for call in &self.calls {
+            let caller = &self.fns[call.caller];
+            let from_file = caller.file;
+            let from_crate = crate_key(&files[from_file].rel);
+            let candidates = by_name.get(call.name.as_str()).map_or(&[][..], |v| v);
+            let targets = resolve_call(
+                call,
+                candidates,
+                &self.fns,
+                files,
+                from_file,
+                &from_crate,
+                &imports[from_file],
+                &crate_idents,
+            );
+            for t in targets {
+                if t != call.caller {
+                    self.edges[call.caller].push((t, call.line));
+                }
+            }
+        }
+        for out in &mut self.edges {
+            out.sort_unstable();
+            out.dedup_by_key(|&mut (t, _)| t);
+        }
+    }
+}
+
+/// Method names that std/core types expose on primitives, collections,
+/// atomics, locks, iterators, strings, and channels. A `.name(..)` call
+/// with one of these names is overwhelmingly a std call, so the
+/// typeless cross-crate fallback must not claim it.
+const STD_METHOD_NAMES: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_max",
+    "fetch_min",
+    "parse",
+    "collect",
+    "clone",
+    "next",
+    "len",
+    "is_empty",
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "contains",
+    "contains_key",
+    "push",
+    "pop",
+    "push_back",
+    "pop_front",
+    "send",
+    "recv",
+    "try_send",
+    "try_recv",
+    "drop",
+    "take",
+    "read",
+    "write",
+    "lock",
+    "wait",
+    "join",
+    "name",
+    "range",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "map",
+    "filter",
+    "fold",
+    "find",
+    "count",
+    "sum",
+    "min",
+    "max",
+    "abs",
+    "zip",
+    "rev",
+    "peek",
+    "split",
+    "trim",
+    "starts_with",
+    "ends_with",
+    "flush",
+    "extend",
+    "fill",
+    "sort",
+    "resize",
+    "clear",
+    "as_ref",
+    "as_mut",
+    "as_str",
+    "as_bytes",
+    "to_vec",
+    "to_owned",
+    "fmt",
+    "eq",
+    "cmp",
+    "hash",
+];
+
+/// Resolve one call site to candidate fn indices (possibly empty).
+#[allow(clippy::too_many_arguments)]
+fn resolve_call(
+    call: &CallSite,
+    candidates: &[usize],
+    fns: &[FnDef],
+    files: &[SourceFile],
+    from_file: usize,
+    from_crate: &str,
+    imports: &BTreeMap<String, Vec<String>>,
+    crate_idents: &BTreeMap<String, String>,
+) -> Vec<usize> {
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    if call.is_method {
+        // `.name(..)`: same file → same crate → workspace-unique method.
+        let same_file: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&i| fns[i].file == from_file)
+            .collect();
+        if !same_file.is_empty() {
+            return same_file;
+        }
+        let same_crate: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&i| crate_key(&files[fns[i].file].rel) == from_crate)
+            .collect();
+        if !same_crate.is_empty() {
+            return same_crate;
+        }
+        // The cross-crate fallback below has no type information, so a
+        // method whose name collides with a std/primitive method would
+        // bind `head.load(..)` to an unrelated workspace fn and drag its
+        // whole crate into the closure. Such names never resolve across
+        // crates; same-file and same-crate matches above still work.
+        if STD_METHOD_NAMES.contains(&call.name.as_str()) {
+            return Vec::new();
+        }
+        let methods: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&i| fns[i].impl_type.is_some())
+            .collect();
+        return if methods.len() == 1 {
+            methods
+        } else {
+            Vec::new()
+        };
+    }
+
+    // Expand the path through the import map: a bare imported name or a
+    // qualifier that is itself an imported module/alias.
+    let mut path: Vec<String> = call.quals.clone();
+    if let Some(first) = path.first().cloned() {
+        if let Some(target) = imports.get(&first) {
+            let mut full = target.clone();
+            full.extend(path.drain(1..));
+            path = full;
+        }
+    } else if let Some(target) = imports.get(&call.name) {
+        path = target.clone();
+    }
+
+    if path.is_empty() {
+        // Bare call: same file first, then free fns of the same crate.
+        let same_file: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&i| fns[i].file == from_file)
+            .collect();
+        if !same_file.is_empty() {
+            return same_file;
+        }
+        return candidates
+            .iter()
+            .copied()
+            .filter(|&i| {
+                fns[i].impl_type.is_none() && crate_key(&files[fns[i].file].rel) == from_crate
+            })
+            .collect();
+    }
+
+    // Qualified call: pin down the crate, then match the trailing
+    // qualifier against the module (file stem) or the impl type.
+    let mut want_crate: Option<String> = None;
+    let mut mods = path.as_slice();
+    match mods.first().map(String::as_str) {
+        Some("crate") | Some("self") | Some("super") => {
+            want_crate = Some(from_crate.to_string());
+            mods = &mods[1..];
+        }
+        Some(seg) if crate_idents.contains_key(seg) => {
+            want_crate = crate_idents.get(seg).cloned();
+            mods = &mods[1..];
+        }
+        Some("std") | Some("core") | Some("alloc") => return Vec::new(),
+        _ => {}
+    }
+    let last = mods.last().map(String::as_str);
+    candidates
+        .iter()
+        .copied()
+        .filter(|&i| {
+            let def = &fns[i];
+            let def_rel = &files[def.file].rel;
+            if let Some(k) = &want_crate {
+                if crate_key(def_rel) != *k {
+                    return false;
+                }
+            }
+            match last {
+                None => {
+                    // `fluctrace_x::name(..)` — a free fn of that crate.
+                    def.impl_type.is_none() || want_crate.is_none()
+                }
+                Some(q) if q.starts_with(char::is_uppercase) => def.impl_type.as_deref() == Some(q),
+                Some(q) => {
+                    // Module qualifier: the defining file must be
+                    // `<q>.rs` or live under a `<q>/` directory.
+                    def_rel.ends_with(&format!("/{q}.rs")) || def_rel.contains(&format!("/{q}/"))
+                }
+            }
+        })
+        .collect()
+}
+
+/// Track `fn` items (with `impl` context) via brace depth.
+fn extract_fns(fi: usize, file: &SourceFile, out: &mut Vec<FnDef>) {
+    struct OpenItem {
+        kind: ItemKind,
+        close_depth: usize,
+    }
+    enum ItemKind {
+        Fn(usize), // index into `out`
+        Impl(String),
+        Opaque, // macro_rules! and friends: never attribute fns inside
+    }
+    let mut depth = 0usize;
+    let mut stack: Vec<OpenItem> = Vec::new();
+    // A header (`fn`/`impl`) seen but its `{` not yet.
+    enum Pending {
+        Fn { name: String, decl_line: usize },
+        Impl { text: String },
+        Opaque,
+    }
+    let mut pending: Option<Pending> = None;
+
+    for (i, line) in file.lines.iter().enumerate() {
+        let code = &line.code;
+        // New headers are only recognized when not already waiting for a
+        // body brace (a multi-line signature never contains another).
+        if pending.is_none() {
+            if crate::lexer::has_word(code, "macro_rules") {
+                pending = Some(Pending::Opaque);
+            } else if let Some(name) = fn_header_name(code) {
+                pending = Some(Pending::Fn { name, decl_line: i });
+            } else if let Some(rest) = impl_header(code) {
+                pending = Some(Pending::Impl { text: rest });
+            }
+        } else if let Some(Pending::Impl { text }) = &mut pending {
+            // `impl` headers can spread the type over several lines.
+            text.push(' ');
+            text.push_str(code);
+        }
+
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    match pending.take() {
+                        Some(Pending::Fn { name, decl_line }) => {
+                            let in_opaque =
+                                stack.iter().any(|it| matches!(it.kind, ItemKind::Opaque));
+                            let impl_type = stack.iter().rev().find_map(|it| match &it.kind {
+                                ItemKind::Impl(t) => Some(t.clone()),
+                                _ => None,
+                            });
+                            if in_opaque {
+                                stack.push(OpenItem {
+                                    kind: ItemKind::Opaque,
+                                    close_depth: depth,
+                                });
+                            } else {
+                                out.push(FnDef {
+                                    file: fi,
+                                    name,
+                                    impl_type,
+                                    decl_line,
+                                    body: (decl_line, i),
+                                });
+                                stack.push(OpenItem {
+                                    kind: ItemKind::Fn(out.len() - 1),
+                                    close_depth: depth,
+                                });
+                            }
+                        }
+                        Some(Pending::Impl { text }) => {
+                            stack.push(OpenItem {
+                                kind: ItemKind::Impl(impl_type_name(&text)),
+                                close_depth: depth,
+                            });
+                        }
+                        Some(Pending::Opaque) => {
+                            stack.push(OpenItem {
+                                kind: ItemKind::Opaque,
+                                close_depth: depth,
+                            });
+                        }
+                        None => {}
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if stack.last().is_some_and(|it| it.close_depth == depth) {
+                        if let Some(OpenItem {
+                            kind: ItemKind::Fn(idx),
+                            ..
+                        }) = stack.pop()
+                        {
+                            if let Some(def) = out.get_mut(idx) {
+                                def.body.1 = i;
+                            }
+                        }
+                    }
+                }
+                ';' => {
+                    // A trait method declaration (or macro invocation)
+                    // ended without a body.
+                    if matches!(pending, Some(Pending::Fn { .. }) | Some(Pending::Opaque)) {
+                        pending = None;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Name of a `fn` declared on this line, if any.
+fn fn_header_name(code: &str) -> Option<String> {
+    let pos = crate::lexer::find_word(code, "fn")?;
+    let rest = code[pos + 2..].trim_start();
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty()).then_some(name)
+}
+
+/// The text after an `impl` keyword opening an impl/trait block, if the
+/// line starts one (`impl Foo`, `impl<T> Tr for Foo<T>`, `trait Tr`).
+fn impl_header(code: &str) -> Option<String> {
+    for kw in ["impl", "trait"] {
+        if let Some(pos) = crate::lexer::find_word(code, kw) {
+            // Only item headers: the keyword must open the line (after
+            // visibility/unsafe), not sit mid-expression (`impl Fn()` in
+            // a type position is filtered by requiring start-of-line).
+            let before = code[..pos].trim();
+            let prefix_ok = before.is_empty()
+                || before == "pub"
+                || before.ends_with("pub")
+                || before == "unsafe"
+                || before.ends_with(')'); // pub(crate) etc.
+            if prefix_ok {
+                return Some(code[pos + kw.len()..].to_string());
+            }
+        }
+    }
+    None
+}
+
+/// Extract the implemented type name from an impl header's tail text:
+/// the path after ` for ` when present, else the first path after the
+/// generics; generic arguments are stripped, the last segment kept.
+fn impl_type_name(text: &str) -> String {
+    let tail = match text.find(" for ") {
+        Some(p) => &text[p + 5..],
+        None => {
+            // Skip leading generics `<...>`.
+            let t = text.trim_start();
+            if let Some(stripped) = t.strip_prefix('<') {
+                let mut depth = 1usize;
+                let mut idx = 0usize;
+                for (i, c) in stripped.char_indices() {
+                    match c {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                idx = i + 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                &stripped[idx..]
+            } else {
+                t
+            }
+        }
+    };
+    let tail = tail.trim_start();
+    let name: String = tail
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_' || *c == ':')
+        .collect();
+    let last = name.rsplit("::").next().unwrap_or(&name);
+    last.to_string()
+}
+
+/// Parse the file's `use` statements into `name → full path` (the path
+/// includes every segment before the imported name; aliases map the
+/// alias to the original path *including* the original name).
+fn extract_imports(file: &SourceFile) -> BTreeMap<String, Vec<String>> {
+    let mut map = BTreeMap::new();
+    let mut i = 0;
+    while i < file.lines.len() {
+        let code = file.lines[i].code.trim_start();
+        let is_use = code.starts_with("use ") || code.starts_with("pub use ");
+        if !is_use {
+            i += 1;
+            continue;
+        }
+        // Join the statement until its `;`.
+        let mut stmt = String::new();
+        let mut j = i;
+        while let Some(line) = file.lines.get(j) {
+            stmt.push_str(line.code.trim());
+            if line.code.contains(';') {
+                break;
+            }
+            stmt.push(' ');
+            j += 1;
+        }
+        i = j + 1;
+        let stmt = stmt
+            .trim_start_matches("pub ")
+            .trim_start_matches("use ")
+            .trim_end_matches(';')
+            .trim();
+        parse_use_tree(stmt, &mut Vec::new(), &mut map);
+    }
+    map
+}
+
+/// Recursive `use` tree: `a::b::{c, d as e, f::g}`.
+fn parse_use_tree(tree: &str, prefix: &mut Vec<String>, out: &mut BTreeMap<String, Vec<String>>) {
+    let tree = tree.trim();
+    if let Some(brace) = tree.find('{') {
+        let head = tree[..brace].trim().trim_end_matches("::");
+        let inner = tree[brace + 1..].trim_end().trim_end_matches('}');
+        let depth_before = prefix.len();
+        prefix.extend(head.split("::").filter(|s| !s.is_empty()).map(String::from));
+        for part in split_top_level(inner) {
+            parse_use_tree(&part, prefix, out);
+        }
+        prefix.truncate(depth_before);
+        return;
+    }
+    // Leaf: `a::b::name` or `a::b::name as alias` or `a::b::*`.
+    let (path_part, alias) = match tree.split_once(" as ") {
+        Some((p, a)) => (p.trim(), Some(a.trim().to_string())),
+        None => (tree, None),
+    };
+    let mut segs: Vec<String> = prefix.clone();
+    segs.extend(
+        path_part
+            .split("::")
+            .filter(|s| !s.is_empty())
+            .map(String::from),
+    );
+    let Some(last) = segs.last().cloned() else {
+        return;
+    };
+    if last == "*" {
+        return; // glob imports stay unresolved
+    }
+    match alias {
+        Some(a) => {
+            out.insert(a, segs);
+        }
+        None => {
+            // The imported name maps to the path *before* it, so a call
+            // `name(..)` resolves as `prefix::name`.
+            let path = segs[..segs.len() - 1].to_vec();
+            out.insert(last, if path.is_empty() { segs } else { path });
+        }
+    }
+}
+
+/// Split `a, b::{c, d}, e` on top-level commas only.
+fn split_top_level(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for c in s.chars() {
+        match c {
+            '{' => {
+                depth += 1;
+                cur.push(c);
+            }
+            '}' => {
+                depth = depth.saturating_sub(1);
+                cur.push(c);
+            }
+            ',' if depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out.into_iter()
+        .map(|p| p.trim().to_string())
+        .filter(|p| !p.is_empty())
+        .collect()
+}
+
+/// Rust keywords that must never be treated as call names.
+fn is_call_keyword(name: &str) -> bool {
+    matches!(
+        name,
+        "if" | "else"
+            | "match"
+            | "while"
+            | "for"
+            | "loop"
+            | "return"
+            | "break"
+            | "continue"
+            | "fn"
+            | "let"
+            | "mut"
+            | "ref"
+            | "move"
+            | "in"
+            | "as"
+            | "where"
+            | "impl"
+            | "dyn"
+            | "use"
+            | "pub"
+            | "unsafe"
+            | "const"
+            | "static"
+            | "struct"
+            | "enum"
+            | "trait"
+            | "type"
+            | "mod"
+    )
+}
+
+/// Extract call sites from a fn's body lines. Test-masked lines are
+/// skipped — reachability rules gate production behaviour only.
+fn extract_calls(fn_idx: usize, def: &FnDef, file: &SourceFile, out: &mut Vec<CallSite>) {
+    for li in def.body.0..=def.body.1.min(file.lines.len().saturating_sub(1)) {
+        if file.in_test.get(li).copied().unwrap_or(false) {
+            continue;
+        }
+        scan_calls_on_line(&file.lines[li], |name, quals, is_method| {
+            out.push(CallSite {
+                caller: fn_idx,
+                line: li,
+                name: name.to_string(),
+                quals: quals.to_vec(),
+                is_method,
+            });
+        });
+    }
+}
+
+/// Find every `name(`, `path::name(`, `.name(` and `name::<T>(` on one
+/// code line and feed them to `emit`. Macro invocations (`name!`) and
+/// `fn` declarations are skipped.
+pub fn scan_calls_on_line(line: &Line, mut emit: impl FnMut(&str, &[String], bool)) {
+    let code: &str = &line.code;
+    let bytes = code.as_bytes();
+    let mut quals: Vec<String> = Vec::new();
+    let mut i = 0usize;
+    let mut prev_word = String::new();
+    while i < bytes.len() {
+        let b = bytes[i];
+        if !(b.is_ascii_alphabetic() || b == b'_') {
+            if !b.is_ascii_digit() {
+                // Any separator other than `::` breaks a path chain;
+                // handled below when the next ident is examined.
+            }
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+            i += 1;
+        }
+        let name = &code[start..i];
+        let before = &bytes[..start];
+        let is_method = before.last() == Some(&b'.');
+        let continues_path = before.len() >= 2 && &before[before.len() - 2..] == b"::";
+        if !continues_path {
+            quals.clear();
+        }
+        // `fn name` declarations are not calls.
+        if prev_word == "fn" {
+            prev_word = name.to_string();
+            continue;
+        }
+        prev_word = name.to_string();
+        // What follows the ident?
+        let mut j = i;
+        if bytes.get(j) == Some(&b'!') {
+            // Macro invocation — not a fn call edge.
+            quals.clear();
+            continue;
+        }
+        if j + 1 < bytes.len() && bytes[j] == b':' && bytes[j + 1] == b':' {
+            if bytes.get(j + 2) == Some(&b'<') {
+                // Turbofish: skip the balanced `<...>`.
+                let mut depth = 0usize;
+                let mut k = j + 2;
+                while k < bytes.len() {
+                    match bytes[k] {
+                        b'<' => depth += 1,
+                        b'>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                j = k + 1;
+            } else {
+                // Path continues: this ident is a qualifier.
+                if !is_call_keyword(name) {
+                    quals.push(name.to_string());
+                }
+                continue;
+            }
+        }
+        if bytes.get(j) == Some(&b'(') && !is_call_keyword(name) {
+            emit(name, &quals, is_method);
+        }
+        quals.clear();
+    }
+}
+
+const ATOMIC_METHODS: [(&str, AtomicOp); 12] = [
+    ("load", AtomicOp::Load),
+    ("store", AtomicOp::Store),
+    ("swap", AtomicOp::Rmw),
+    ("fetch_add", AtomicOp::Rmw),
+    ("fetch_sub", AtomicOp::Rmw),
+    ("fetch_max", AtomicOp::Rmw),
+    ("fetch_min", AtomicOp::Rmw),
+    ("fetch_and", AtomicOp::Rmw),
+    ("fetch_or", AtomicOp::Rmw),
+    ("fetch_xor", AtomicOp::Rmw),
+    ("compare_exchange", AtomicOp::Rmw),
+    ("compare_exchange_weak", AtomicOp::Rmw),
+];
+
+const ATOMIC_TYPES: [&str; 10] = [
+    "AtomicBool",
+    "AtomicU8",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "AtomicI8",
+    "AtomicI32",
+    "AtomicI64",
+    "AtomicIsize",
+];
+
+/// Inventory atomic field declarations and access sites in one file.
+/// Sites are grouped under the accessed field's name: the last
+/// non-numeric segment of the receiver chain (`ring.tail.0.load` →
+/// `tail`), which also matches tuple-wrapped cells and statics.
+fn extract_atomics(fi: usize, file: &SourceFile, out: &mut BTreeMap<(usize, String), AtomicGroup>) {
+    for (i, line) in file.lines.iter().enumerate() {
+        if file.is_test_code || file.in_test.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let code = &line.code;
+        // Declarations: `name: AtomicX` fields and `static NAME: AtomicX`,
+        // including wrapped cells (`head: CachePadded<AtomicUsize>`).
+        for ty in ATOMIC_TYPES {
+            let Some(pos) = crate::lexer::find_word(code, ty) else {
+                continue;
+            };
+            if let Some(name) = atomic_decl_name(code, pos) {
+                let group = out.entry((fi, name)).or_default();
+                if group.decl_line.is_none() {
+                    group.decl_line = Some(i);
+                }
+            }
+        }
+        // Access sites.
+        for (method, op) in ATOMIC_METHODS {
+            let mut from = 0usize;
+            while let Some(pos) = code[from..].find(&format!(".{method}(")) {
+                let at = from + pos;
+                from = at + 1;
+                let chain = receiver_chain(code, at);
+                let Some(field) = field_of_chain(&chain) else {
+                    continue;
+                };
+                let orderings = orderings_after(file, i, at + 1 + method.len());
+                if orderings.is_empty() {
+                    continue; // not an atomic (e.g. `Vec::swap`, parser `load`)
+                }
+                out.entry((fi, field)).or_default().sites.push(AtomicSite {
+                    line: i,
+                    op,
+                    orderings,
+                });
+            }
+        }
+    }
+}
+
+/// Field/static name declared with an atomic type at byte `ty_pos`: the
+/// identifier before the `:` that introduces the type, looking through
+/// wrapper idents and generics (`tail: CachePadded<AtomicUsize>` →
+/// `tail`). `AtomicX::new(..)` constructor positions return `None`.
+fn atomic_decl_name(code: &str, ty_pos: usize) -> Option<String> {
+    let b = code.as_bytes();
+    let mut j = ty_pos;
+    while j > 0 {
+        let c = b[j - 1];
+        if c.is_ascii_alphanumeric() || c == b'_' || c == b'<' || c == b'&' || c == b' ' {
+            j -= 1;
+        } else {
+            break;
+        }
+    }
+    if j == 0 || b[j - 1] != b':' || (j >= 2 && b[j - 2] == b':') {
+        return None;
+    }
+    let left = code[..j - 1].trim_end();
+    let name: String = left
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect();
+    (!name.is_empty() && !name.chars().next().is_some_and(|c| c.is_ascii_digit())).then_some(name)
+}
+
+/// The `a.b.0`-style receiver chain ending right before byte `end`.
+fn receiver_chain(code: &str, end: usize) -> String {
+    let bytes = code.as_bytes();
+    let mut j = end;
+    while j > 0 {
+        let c = bytes[j - 1];
+        if c.is_ascii_alphanumeric() || c == b'_' || c == b'.' {
+            j -= 1;
+        } else {
+            break;
+        }
+    }
+    code[j..end].to_string()
+}
+
+/// The field name a receiver chain accesses: the last segment that is
+/// not a tuple index (`ring.tail.0` → `tail`; `RECORDING` → itself).
+fn field_of_chain(chain: &str) -> Option<String> {
+    chain
+        .split('.')
+        .rev()
+        .find(|seg| !seg.is_empty() && !seg.chars().all(|c| c.is_ascii_digit()))
+        .map(str::to_string)
+}
+
+/// `Ordering::X` idents in the argument list starting at the opening
+/// paren (byte `open` of line `li`), scanning across wrapped lines
+/// until the parens balance (bounded lookahead).
+fn orderings_after(file: &SourceFile, li: usize, open: usize) -> Vec<String> {
+    let mut text = String::new();
+    let mut depth = 0i32;
+    'outer: for (k, line) in file.lines.iter().enumerate().skip(li).take(4) {
+        let code: &str = if k == li {
+            &line.code[open..]
+        } else {
+            &line.code
+        };
+        for c in code.chars() {
+            text.push(c);
+            match c {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break 'outer;
+                    }
+                }
+                _ => {}
+            }
+        }
+        text.push(' ');
+    }
+    let mut out = Vec::new();
+    let mut rest = text.as_str();
+    while let Some(pos) = rest.find("Ordering::") {
+        let tail = &rest[pos + "Ordering::".len()..];
+        let name: String = tail
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if !name.is_empty() {
+            out.push(name);
+        }
+        rest = tail;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::test_mask;
+    use crate::lexer::split_lines;
+
+    fn file(rel: &str, src: &str) -> SourceFile {
+        let lines = split_lines(src);
+        let in_test = test_mask(&lines);
+        SourceFile {
+            rel: rel.into(),
+            lines,
+            in_test,
+            is_test_code: false,
+        }
+    }
+
+    #[test]
+    fn fn_extraction_with_impls_and_nesting() {
+        let f = file(
+            "crates/core/src/x.rs",
+            "pub fn free() {\n    inner();\n}\nimpl Foo {\n    pub fn method(&self) -> u8 {\n        0\n    }\n}\nimpl Tr for Bar {\n    fn t(&self) {}\n}\n",
+        );
+        let sym = Symbols::build(std::slice::from_ref(&f));
+        let names: Vec<(String, Option<String>)> = sym
+            .fns
+            .iter()
+            .map(|d| (d.name.clone(), d.impl_type.clone()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("free".into(), None),
+                ("method".into(), Some("Foo".into())),
+                ("t".into(), Some("Bar".into())),
+            ]
+        );
+        assert_eq!(sym.fns[0].body, (0, 2));
+    }
+
+    #[test]
+    fn trait_decls_without_bodies_are_skipped() {
+        let f = file(
+            "crates/core/src/x.rs",
+            "trait T {\n    fn required(&self) -> u8;\n    fn provided(&self) -> u8 {\n        1\n    }\n}\n",
+        );
+        let sym = Symbols::build(std::slice::from_ref(&f));
+        let names: Vec<&str> = sym.fns.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, vec!["provided"]);
+        assert_eq!(sym.fns[0].impl_type.as_deref(), Some("T"));
+    }
+
+    #[test]
+    fn macro_rules_bodies_are_opaque() {
+        let f = file(
+            "crates/obs/src/lib.rs",
+            "macro_rules! m {\n    () => {\n        pub fn fake() {}\n    };\n}\npub fn real() {}\n",
+        );
+        let sym = Symbols::build(std::slice::from_ref(&f));
+        let names: Vec<&str> = sym.fns.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, vec!["real"]);
+    }
+
+    #[test]
+    fn calls_resolve_same_file_and_qualified() {
+        let a = file(
+            "crates/core/src/integrate.rs",
+            "use crate::interval::build_intervals;\npub fn run() {\n    build_intervals(1);\n    helper::prep();\n}\n",
+        );
+        let b = file(
+            "crates/core/src/interval.rs",
+            "pub fn build_intervals(_n: u32) {}\n",
+        );
+        let c = file("crates/core/src/helper.rs", "pub fn prep() {}\n");
+        let files = vec![a, b, c];
+        let sym = Symbols::build(&files);
+        let run = sym.fns.iter().position(|d| d.name == "run").unwrap();
+        let callees: Vec<&str> = sym.edges[run]
+            .iter()
+            .map(|&(t, _)| sym.fns[t].name.as_str())
+            .collect();
+        assert_eq!(callees, vec!["build_intervals", "prep"]);
+    }
+
+    #[test]
+    fn cross_crate_calls_resolve_via_imports_and_crate_paths() {
+        let a = file(
+            "crates/core/src/hot.rs",
+            "use fluctrace_analysis::normalize;\npub fn hot() {\n    normalize(1);\n    fluctrace_analysis::shape::fit(2);\n}\n",
+        );
+        let b = file(
+            "crates/analysis/src/lib.rs",
+            "pub fn normalize(_x: u32) {}\n",
+        );
+        let c = file("crates/analysis/src/shape.rs", "pub fn fit(_x: u32) {}\n");
+        let files = vec![a, b, c];
+        let sym = Symbols::build(&files);
+        let hot = sym.fns.iter().position(|d| d.name == "hot").unwrap();
+        let callees: Vec<&str> = sym.edges[hot]
+            .iter()
+            .map(|&(t, _)| sym.fns[t].name.as_str())
+            .collect();
+        assert_eq!(callees, vec!["normalize", "fit"]);
+    }
+
+    #[test]
+    fn method_calls_resolve_same_crate_then_unique() {
+        let a = file(
+            "crates/core/src/hot.rs",
+            "pub fn hot(x: Foo) {\n    x.step();\n    x.unique_helper();\n}\n",
+        );
+        let b = file(
+            "crates/core/src/other.rs",
+            "impl Foo {\n    pub fn step(&self) {}\n}\n",
+        );
+        let c = file(
+            "crates/cpu/src/far.rs",
+            "impl Bar {\n    pub fn unique_helper(&self) {}\n}\n",
+        );
+        let files = vec![a, b, c];
+        let sym = Symbols::build(&files);
+        let hot = sym.fns.iter().position(|d| d.name == "hot").unwrap();
+        let callees: Vec<&str> = sym.edges[hot]
+            .iter()
+            .map(|&(t, _)| sym.fns[t].name.as_str())
+            .collect();
+        assert_eq!(callees, vec!["step", "unique_helper"]);
+    }
+
+    #[test]
+    fn std_paths_and_macros_produce_no_edges() {
+        let a = file(
+            "crates/core/src/hot.rs",
+            "pub fn hot() {\n    std::mem::take(&mut 1);\n    vec![1, 2];\n    println!(\"x\");\n}\npub fn take() {}\n",
+        );
+        let sym = Symbols::build(std::slice::from_ref(&a));
+        let hot = sym.fns.iter().position(|d| d.name == "hot").unwrap();
+        assert!(sym.edges[hot].is_empty());
+    }
+
+    #[test]
+    fn reachability_and_chain() {
+        let a = file(
+            "crates/core/src/hot.rs",
+            "pub fn a() {\n    b();\n}\nfn b() {\n    c();\n}\nfn c() {}\nfn unrelated() {}\n",
+        );
+        let files = [a];
+        let sym = Symbols::build(&files);
+        let a_idx = sym.fns.iter().position(|d| d.name == "a").unwrap();
+        let c_idx = sym.fns.iter().position(|d| d.name == "c").unwrap();
+        let reach = sym.reachable(&[a_idx]);
+        assert!(reach.contains_key(&c_idx));
+        assert_eq!(reach.len(), 3, "unrelated is not reachable");
+        assert_eq!(sym.chain(&reach, c_idx), "a → b → c");
+    }
+
+    #[test]
+    fn atomic_inventory_groups_by_field() {
+        let f = file(
+            "crates/rt/src/ring.rs",
+            "struct R {\n    tail: AtomicUsize,\n}\nimpl R {\n    fn push(&self) {\n        self.tail.0.store(1, Ordering::Release);\n    }\n    fn peek(&self) -> usize {\n        self.tail.0.load(Ordering::Acquire)\n    }\n}\n",
+        );
+        let files = [f];
+        let sym = Symbols::build(&files);
+        let g = sym.atomics.get(&(0, "tail".to_string())).expect("group");
+        assert_eq!(g.decl_line, Some(1));
+        assert_eq!(g.sites.len(), 2);
+        assert_eq!(g.sites[0].op, AtomicOp::Store);
+        assert_eq!(g.sites[0].orderings, vec!["Release".to_string()]);
+    }
+
+    #[test]
+    fn wrapped_ordering_arguments_are_found() {
+        let f = file(
+            "crates/obs/src/reg.rs",
+            "static N: AtomicU64 = AtomicU64::new(0);\nfn f() {\n    N.fetch_add(\n        1,\n        Ordering::Relaxed,\n    );\n}\n",
+        );
+        let files = [f];
+        let sym = Symbols::build(&files);
+        let g = sym.atomics.get(&(0, "N".to_string())).expect("group");
+        assert_eq!(g.sites.len(), 1);
+        assert_eq!(g.sites[0].orderings, vec!["Relaxed".to_string()]);
+    }
+
+    #[test]
+    fn non_atomic_swap_and_load_are_ignored() {
+        let f = file(
+            "crates/rt/src/x.rs",
+            "fn f(v: &mut Vec<u8>) {\n    v.swap(0, 1);\n    let _ = parser.load(path);\n}\n",
+        );
+        let files = [f];
+        let sym = Symbols::build(&files);
+        assert!(sym.atomics.is_empty());
+    }
+
+    #[test]
+    fn use_tree_parsing() {
+        let f = file(
+            "crates/core/src/x.rs",
+            "use crate::interval::{build_intervals, IntervalError};\nuse fluctrace_obs as obs;\nuse fluctrace_cpu::{decode_tag, pebs::PebsRecord};\n",
+        );
+        let map = extract_imports(&f);
+        assert_eq!(
+            map.get("build_intervals"),
+            Some(&vec!["crate".to_string(), "interval".to_string()])
+        );
+        assert_eq!(map.get("obs"), Some(&vec!["fluctrace_obs".to_string()]));
+        assert_eq!(
+            map.get("decode_tag"),
+            Some(&vec!["fluctrace_cpu".to_string()])
+        );
+        assert_eq!(
+            map.get("PebsRecord"),
+            Some(&vec!["fluctrace_cpu".to_string(), "pebs".to_string()])
+        );
+    }
+
+    #[test]
+    fn crate_keys_and_idents() {
+        assert_eq!(crate_key("crates/core/src/integrate.rs"), "core");
+        assert_eq!(crate_key("shims/serde/src/lib.rs"), "serde");
+        assert_eq!(crate_key("src/main.rs"), "");
+        let files = vec![
+            file("crates/core/src/lib.rs", ""),
+            file("shims/serde/src/lib.rs", ""),
+        ];
+        let map = crate_ident_map(&files);
+        assert_eq!(map.get("fluctrace_core"), Some(&"core".to_string()));
+        assert_eq!(map.get("serde"), Some(&"serde".to_string()));
+        assert!(
+            !map.contains_key("core"),
+            "bare `core::` must stay std's core"
+        );
+    }
+
+    #[test]
+    fn atomic_decl_names_through_wrappers() {
+        let probe = |code: &str| {
+            let pos = ATOMIC_TYPES
+                .iter()
+                .find_map(|t| crate::lexer::find_word(code, t))?;
+            atomic_decl_name(code, pos)
+        };
+        assert_eq!(
+            probe("    head: CachePadded<AtomicUsize>,"),
+            Some("head".into())
+        );
+        assert_eq!(
+            probe("static NEXT: AtomicUsize = AtomicUsize::new(0);"),
+            Some("NEXT".into())
+        );
+        assert_eq!(probe("struct Pad(AtomicU64);"), None);
+        assert_eq!(probe("let v = AtomicU64::new(0);"), None);
+    }
+}

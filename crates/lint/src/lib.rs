@@ -4,17 +4,33 @@
 //! artifacts are byte-identical across `FLUCTRACE_THREADS` settings,
 //! hot paths never panic mid-item, TSC deltas survive counter wrap, and
 //! the offline shims stay exactly as large as the workspace needs. This
-//! crate checks those invariants at CI time with a lightweight lexer —
-//! no rustc plugin, no external dependencies, std only.
+//! crate checks those invariants at CI time in two passes — pass 1
+//! lexes every file and builds a workspace symbol table (fn items,
+//! intra-workspace call edges, atomic-field inventory), pass 2 runs
+//! per-line lexical rules plus call-graph dataflow rules over it. No
+//! rustc plugin, no external dependencies, std only.
 //!
-//! Rules (see `LINTS.md` at the repo root for the full rationale):
+//! Lexical rules (see `LINTS.md` at the repo root for the rationale):
 //!
 //! * `determinism` — no `HashMap`/`HashSet` in artifact-writing paths;
 //! * `panic-safety` — no `unwrap`/`expect`/explicit-panic/indexing in
 //!   hot-path modules;
 //! * `tsc-arithmetic` — raw `-` never touches a TSC operand;
 //! * `unsafe-hygiene` — every `unsafe` carries a `// SAFETY:` comment;
-//! * `shim-drift` — shim crates expose no `pub fn` nobody calls.
+//! * `shim-drift` — shim crates expose no `pub fn` nobody calls;
+//! * `clock-hygiene` — wall-clock reads only at sanctioned sites.
+//!
+//! Dataflow rules (pass 2, over the [`graph`] symbol table):
+//!
+//! * `panic-safety-transitive` — the full call-graph closure of the
+//!   configured `[entry-points]` files must be panic-free, across
+//!   files and crates;
+//! * `hot-path-alloc` — no per-item allocation (`Box::new`, `vec!`,
+//!   `format!`, `.to_string()`, collection builds, `String` growth)
+//!   anywhere in the hot-path closure;
+//! * `atomic-ordering` — atomics written and read in the configured
+//!   crates must go through a Release-store/Acquire-load pair unless
+//!   an allow documents why relaxed is safe.
 //!
 //! Escape hatch: `// lint:allow(<rule>): <reason>` — the engine rejects
 //! allows without a reason, with an unknown rule name, or that no
@@ -24,8 +40,10 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod dataflow;
 pub mod diag;
 pub mod engine;
+pub mod graph;
 pub mod lexer;
 pub mod rules;
 

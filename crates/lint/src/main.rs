@@ -1,24 +1,44 @@
 //! CLI for `fluctrace-lint`.
 //!
 //! ```text
-//! fluctrace-lint [--root DIR] [--config FILE] [--deny] [--fix-report FILE|-]
+//! fluctrace-lint [--root DIR] [--config FILE] [--deny]
+//!                [--fix-report FILE|-] [--format human|github]
+//!                [--changed-only [BASE]]
 //! ```
 //!
 //! Without `--deny` the tool reports violations and exits 0 (advisory
 //! mode); with `--deny` any violation makes it exit 1 — that is the CI
-//! gate. `--fix-report` writes the violations as JSON for tooling
-//! (`-` for stdout).
+//! gate. `--fix-report` writes the self-describing report JSON (rule
+//! descriptions + violations + allow inventory) for tooling (`-` for
+//! stdout). `--format github` emits `::error file=…,line=…::` workspace
+//! commands on stdout so violations annotate the PR diff inline.
+//! `--changed-only` reports only violations in files changed relative
+//! to BASE (default `HEAD`) per `git diff --name-only`, plus untracked
+//! files — the call graph is still built workspace-wide, so transitive
+//! rules stay sound.
 
-use fluctrace_lint::{engine, to_json, Config};
+use fluctrace_lint::diag::{report_v2_json, to_github};
+use fluctrace_lint::{engine, Config};
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+enum Format {
+    Human,
+    Github,
+}
 
 struct Args {
     root: PathBuf,
     config: Option<PathBuf>,
     deny: bool,
     fix_report: Option<String>,
+    format: Format,
+    changed_only: Option<String>, // the git base ref
 }
+
+const USAGE: &str = "fluctrace-lint [--root DIR] [--config FILE] [--deny] \
+                     [--fix-report FILE|-] [--format human|github] \
+                     [--changed-only [BASE]]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -26,8 +46,10 @@ fn parse_args() -> Result<Args, String> {
         config: None,
         deny: false,
         fix_report: None,
+        format: Format::Human,
+        changed_only: None,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--deny" => args.deny = true,
@@ -40,16 +62,64 @@ fn parse_args() -> Result<Args, String> {
             "--fix-report" => {
                 args.fix_report = Some(it.next().ok_or("--fix-report needs a file or `-`")?);
             }
+            "--format" => match it.next().as_deref() {
+                Some("human") => args.format = Format::Human,
+                Some("github") => args.format = Format::Github,
+                other => {
+                    return Err(format!(
+                        "--format needs `human` or `github`, got `{}`",
+                        other.unwrap_or("")
+                    ))
+                }
+            },
+            "--changed-only" => {
+                // Optional BASE: consume the next arg unless it is a flag.
+                let base = match it.peek() {
+                    Some(next) if !next.starts_with("--") => it.next().unwrap(),
+                    _ => "HEAD".to_string(),
+                };
+                args.changed_only = Some(base);
+            }
             "--help" | "-h" => {
-                println!(
-                    "fluctrace-lint [--root DIR] [--config FILE] [--deny] [--fix-report FILE|-]"
-                );
+                println!("{USAGE}");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
     Ok(args)
+}
+
+/// Files changed relative to `base` plus untracked files, as
+/// `/`-separated paths relative to `root`.
+fn changed_files(root: &PathBuf, base: &str) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    for extra in [
+        &["diff", "--name-only", base][..],
+        &["ls-files", "--others", "--exclude-standard"][..],
+    ] {
+        let output = std::process::Command::new("git")
+            .arg("-C")
+            .arg(root)
+            .args(extra)
+            .output()
+            .map_err(|e| format!("cannot run git: {e}"))?;
+        if !output.status.success() {
+            return Err(format!(
+                "git {} failed: {}",
+                extra.join(" "),
+                String::from_utf8_lossy(&output.stderr).trim()
+            ));
+        }
+        out.extend(
+            String::from_utf8_lossy(&output.stdout)
+                .lines()
+                .map(str::to_string),
+        );
+    }
+    out.sort();
+    out.dedup();
+    Ok(out)
 }
 
 fn main() -> ExitCode {
@@ -78,16 +148,29 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let violations = match engine::run(&args.root, &config) {
-        Ok(v) => v,
+    let mut report = match engine::run_report(&args.root, &config) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("fluctrace-lint: {e}");
             return ExitCode::from(2);
         }
     };
 
+    if let Some(base) = &args.changed_only {
+        // The engine still linted (and graphed) the whole workspace;
+        // only the *reporting* narrows, so cross-file rules stay sound.
+        let changed = match changed_files(&args.root, base) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("fluctrace-lint: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        report.violations.retain(|v| changed.contains(&v.path));
+    }
+
     if let Some(target) = &args.fix_report {
-        let json = to_json(&violations);
+        let json = report_v2_json(&report);
         if target == "-" {
             println!("{json}");
         } else if let Err(e) = std::fs::write(target, json) {
@@ -96,16 +179,24 @@ fn main() -> ExitCode {
         }
     }
 
-    for v in &violations {
-        eprintln!("{v}");
+    match args.format {
+        Format::Human => {
+            for v in &report.violations {
+                eprintln!("{v}");
+            }
+        }
+        Format::Github => {
+            // Workspace commands must reach stdout for the runner.
+            print!("{}", to_github(&report.violations));
+        }
     }
-    if violations.is_empty() {
+    if report.violations.is_empty() {
         eprintln!("fluctrace-lint: clean");
         ExitCode::SUCCESS
     } else {
         eprintln!(
             "fluctrace-lint: {} violation(s){}",
-            violations.len(),
+            report.violations.len(),
             if args.deny { " (--deny)" } else { "" }
         );
         if args.deny {

@@ -1,13 +1,17 @@
-//! The six project rules.
+//! The lexical (per-line) rules. The graph rules live in
+//! [`crate::dataflow`] on top of [`crate::graph`].
 //!
-//! | rule             | invariant                                                        |
-//! |------------------|------------------------------------------------------------------|
-//! | `determinism`    | no `HashMap`/`HashSet` in artifact/figure-writing modules        |
-//! | `panic-safety`   | no `unwrap`/`expect`/explicit-panic/indexing in hot-path modules |
-//! | `tsc-arithmetic` | raw `-` never touches a TSC-typed operand (use `wrapping_sub`)   |
-//! | `unsafe-hygiene` | every `unsafe` is preceded by a `// SAFETY:` comment             |
-//! | `shim-drift`     | shim crates expose no `pub fn` the workspace never calls         |
-//! | `clock-hygiene`  | no `Instant`/`SystemTime` in sim-domain crates (use `obs::Clock`)|
+//! | rule                      | invariant                                                        |
+//! |---------------------------|------------------------------------------------------------------|
+//! | `determinism`             | no `HashMap`/`HashSet` in artifact/figure-writing modules        |
+//! | `panic-safety`            | no `unwrap`/`expect`/explicit-panic/indexing in hot-path modules |
+//! | `tsc-arithmetic`          | raw `-` never touches a TSC-typed operand (use `wrapping_sub`)   |
+//! | `unsafe-hygiene`          | every `unsafe` is preceded by a `// SAFETY:` comment             |
+//! | `shim-drift`              | shim crates expose no `pub fn` the workspace never calls         |
+//! | `clock-hygiene`           | no `Instant`/`SystemTime` in sim-domain crates (use `obs::Clock`)|
+//! | `panic-safety-transitive` | everything *reachable* from an entry point is panic-free         |
+//! | `hot-path-alloc`          | no per-item allocation inside the hot-path closure               |
+//! | `atomic-ordering`         | written+read atomics use a Release/Acquire pair (or an allow)    |
 //!
 //! All rules work on the lexer's code/comment split, so literals and
 //! comments can never produce false positives, and all of them honour
@@ -18,13 +22,67 @@ use crate::diag::Violation;
 use crate::lexer::{find_word, has_word, Line};
 
 /// Rule identifiers, in reporting order.
-pub const RULE_NAMES: [&str; 6] = [
+pub const RULE_NAMES: [&str; 9] = [
     "determinism",
     "panic-safety",
     "tsc-arithmetic",
     "unsafe-hygiene",
     "shim-drift",
     "clock-hygiene",
+    "panic-safety-transitive",
+    "hot-path-alloc",
+    "atomic-ordering",
+];
+
+/// One-line description per rule, aligned with [`RULE_NAMES`]; embedded
+/// in the fix-report JSON so the CI artifact is self-describing.
+pub const RULE_DESCRIPTIONS: [(&str, &str); 9] = [
+    (
+        "determinism",
+        "artifact-writing modules must not use HashMap/HashSet: hashed iteration \
+         order varies run to run and breaks byte-identical figures",
+    ),
+    (
+        "panic-safety",
+        "hot-path modules must not unwrap/expect/panic!/index: a panic mid-item \
+         poisons the pipeline",
+    ),
+    (
+        "tsc-arithmetic",
+        "raw `-` must never touch a TSC operand: counters wrap and per-core \
+         offsets go negative; use wrapping_sub/checked_sub",
+    ),
+    (
+        "unsafe-hygiene",
+        "every `unsafe` must carry a // SAFETY: comment stating why the \
+         invariants hold",
+    ),
+    (
+        "shim-drift",
+        "offline shim crates must expose exactly the API subset the workspace \
+         calls; unused pub fns are drift",
+    ),
+    (
+        "clock-hygiene",
+        "sim-domain crates must not read the wall clock (Instant/SystemTime); \
+         timing goes through the obs::Clock trait",
+    ),
+    (
+        "panic-safety-transitive",
+        "the full call-graph closure of the [entry-points] files must be \
+         panic-free, including cross-crate helpers",
+    ),
+    (
+        "hot-path-alloc",
+        "no Box::new/vec!/format!/.to_string()/.collect::<Vec>/String growth \
+         anywhere in the hot-path closure: per-item allocation is the canonical \
+         fluctuation source",
+    ),
+    (
+        "atomic-ordering",
+        "an atomic field that is both written and read must use a Release-store/\
+         Acquire-load pair, or a lint:allow documenting why relaxed is safe",
+    ),
 ];
 
 /// A lexed source file plus the file-level facts rules share.
@@ -41,7 +99,9 @@ pub struct SourceFile {
 }
 
 impl SourceFile {
-    fn prod_lines(&self) -> impl Iterator<Item = (usize, &Line)> {
+    /// Lines that count as production code: skips whole-file test code
+    /// and `#[cfg(test)]` regions.
+    pub fn prod_lines(&self) -> impl Iterator<Item = (usize, &Line)> {
         self.lines
             .iter()
             .enumerate()
@@ -79,38 +139,48 @@ pub fn determinism(file: &SourceFile) -> Vec<Violation> {
 pub fn panic_safety(file: &SourceFile) -> Vec<Violation> {
     let mut out = Vec::new();
     for (i, line) in file.prod_lines() {
-        let code = &line.code;
-        let mut push = |what: &str, fix: &str| {
+        for (what, fix) in panic_findings(&line.code) {
             out.push(Violation {
                 rule: "panic-safety",
                 path: file.rel.clone(),
                 line: i + 1,
                 message: format!("{what} in a hot-path module; {fix}"),
             });
-        };
-        if method_call(code, "unwrap") {
-            push("`.unwrap()`", "return a `Result`, or match on the `Option`");
         }
-        if method_call(code, "expect") {
-            push(
-                "`.expect(..)`",
-                "return a `Result`, or match on the `Option`",
-            );
+    }
+    out
+}
+
+/// The panic constructs on one code line, as `(what, fix)` pairs —
+/// shared by the lexical rule above and the transitive closure rule in
+/// [`crate::dataflow`].
+pub fn panic_findings(code: &str) -> Vec<(String, &'static str)> {
+    let mut out = Vec::new();
+    if method_call(code, "unwrap") {
+        out.push((
+            "`.unwrap()`".to_string(),
+            "return a `Result`, or match on the `Option`",
+        ));
+    }
+    if method_call(code, "expect") {
+        out.push((
+            "`.expect(..)`".to_string(),
+            "return a `Result`, or match on the `Option`",
+        ));
+    }
+    for mac in ["panic", "unreachable", "todo", "unimplemented"] {
+        if macro_call(code, mac) {
+            out.push((
+                format!("`{mac}!`"),
+                "restructure so the impossible case is unrepresentable",
+            ));
         }
-        for mac in ["panic", "unreachable", "todo", "unimplemented"] {
-            if macro_call(code, mac) {
-                push(
-                    &format!("`{mac}!`"),
-                    "restructure so the impossible case is unrepresentable",
-                );
-            }
-        }
-        if has_index_expr(code) {
-            push(
-                "`[..]` indexing (panics when out of bounds)",
-                "use `.get()`/slice patterns, or prove the bound and `lint:allow` it",
-            );
-        }
+    }
+    if has_index_expr(code) {
+        out.push((
+            "`[..]` indexing (panics when out of bounds)".to_string(),
+            "use `.get()`/slice patterns, or prove the bound and `lint:allow` it",
+        ));
     }
     out
 }
@@ -227,7 +297,7 @@ pub fn clock_hygiene(file: &SourceFile) -> Vec<Violation> {
 }
 
 /// `.name(` with optional whitespace around the method name.
-fn method_call(code: &str, name: &str) -> bool {
+pub fn method_call(code: &str, name: &str) -> bool {
     let mut from = 0;
     while let Some(pos) = code[from..].find(&format!(".{name}")) {
         let start = from + pos;
@@ -245,7 +315,7 @@ fn method_call(code: &str, name: &str) -> bool {
 }
 
 /// `name!(`, `name![` or `name!{`.
-fn macro_call(code: &str, name: &str) -> bool {
+pub fn macro_call(code: &str, name: &str) -> bool {
     find_word(code, name).is_some_and(|pos| code[pos + name.len()..].starts_with('!'))
 }
 
@@ -294,7 +364,8 @@ fn has_index_expr(code: &str) -> bool {
 fn is_keyword(chain: &str) -> bool {
     matches!(
         chain,
-        "mut"
+        "let"
+            | "mut"
             | "ref"
             | "dyn"
             | "impl"

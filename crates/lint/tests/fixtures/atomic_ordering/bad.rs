@@ -1,0 +1,18 @@
+//! A flag that publishes readiness but is written and read Relaxed —
+//! the consumer can observe the flag without the data it guards.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub struct Gate {
+    ready: AtomicBool,
+}
+
+impl Gate {
+    pub fn open(&self) {
+        self.ready.store(true, Ordering::Relaxed);
+    }
+
+    pub fn is_open(&self) -> bool {
+        self.ready.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,21 @@
+//! The same gate, correctly published through a Release-store /
+//! Acquire-load pair, plus an allowed statistical counter.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub struct Gate {
+    ready: AtomicBool,
+    // lint:allow(atomic-ordering): statistical counter — a torn read skews a report, never control flow
+    opens: AtomicU64,
+}
+
+impl Gate {
+    pub fn open(&self) {
+        self.opens.fetch_add(1, Ordering::Relaxed);
+        self.ready.store(true, Ordering::Release);
+    }
+
+    pub fn is_open(&self) -> bool {
+        self.ready.load(Ordering::Acquire)
+    }
+}

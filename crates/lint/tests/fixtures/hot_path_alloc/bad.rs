@@ -1,0 +1,15 @@
+//! Per-item allocation hiding in a helper of the hot loop's closure.
+
+pub fn process(items: &[u32]) -> usize {
+    let mut total = 0;
+    for &it in items {
+        total += render(it);
+    }
+    total
+}
+
+fn render(it: u32) -> usize {
+    let label = format!("item-{it}");
+    let boxed = Box::new(it);
+    label.len() + *boxed as usize
+}

@@ -1,0 +1,14 @@
+//! Cross-module helper: no lexical rule covers this file, so the
+//! `.unwrap()` in `scale` is visible only through the call graph.
+
+pub fn prepare(v: u64) -> u64 {
+    scale(v)
+}
+
+fn scale(v: u64) -> u64 {
+    v.checked_mul(3).unwrap()
+}
+
+fn unreached(v: u64) -> u64 {
+    v.checked_add(1).unwrap()
+}

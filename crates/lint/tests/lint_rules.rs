@@ -2,6 +2,7 @@
 //! a known-good file through the full engine (walk → lex → rules →
 //! allows), asserting exactly which lines are flagged.
 
+use fluctrace_lint::engine::run_sources;
 use fluctrace_lint::{run, Config, Violation};
 use std::path::PathBuf;
 
@@ -122,6 +123,97 @@ fn clock_hygiene_fixture() {
         "wall-clock reads flagged in bad.rs only; the allow and the \
          string literal stay clean: {v:?}"
     );
+}
+
+#[test]
+fn panic_transitive_fixture() {
+    // The `.unwrap()` lives in `helper.rs`, a file no lexical rule
+    // covers — only the call-graph closure of `entry.rs` reaches it.
+    // `unreached` holds the same construct but has no incoming edge,
+    // so it must stay silent.
+    let v = lint_fixture(
+        "panic_transitive",
+        "[entry-points]\npaths = [\"entry.rs\"]\n",
+    );
+    let keys = keys(&v);
+    assert_eq!(
+        keys,
+        vec![("helper.rs".to_string(), 9, "panic-safety-transitive")],
+        "only the reachable cross-module unwrap is flagged: {v:?}"
+    );
+    assert!(
+        v[0].message.contains("ingest → prepare → scale"),
+        "message carries the call chain from the entry point: {}",
+        v[0].message
+    );
+}
+
+#[test]
+fn panic_transitive_mutant_deleting_the_call_edge_goes_clean() {
+    // Mutant teeth: the same sources minus the single `prepare(v)` call
+    // edge must lint clean — proving the finding flows through the call
+    // graph, not through any lexical scan of `helper.rs`.
+    let entry = std::fs::read_to_string(fixture_root("panic_transitive").join("entry.rs")).unwrap();
+    let helper =
+        std::fs::read_to_string(fixture_root("panic_transitive").join("helper.rs")).unwrap();
+    let config = Config::parse("[entry-points]\npaths = [\"entry.rs\"]\n").unwrap();
+
+    let intact = run_sources(&[("entry.rs", &entry), ("helper.rs", &helper)], &config);
+    assert_eq!(intact.violations.len(), 1, "{:?}", intact.violations);
+
+    let mutated = entry.replace("acc.wrapping_add(prepare(v))", "acc.wrapping_add(v)");
+    assert_ne!(mutated, entry, "the mutation must actually apply");
+    let cut = run_sources(&[("entry.rs", &mutated), ("helper.rs", &helper)], &config);
+    assert!(
+        cut.violations.is_empty(),
+        "with the edge deleted nothing is reachable: {:?}",
+        cut.violations
+    );
+}
+
+#[test]
+fn hot_path_alloc_fixture() {
+    let v = lint_fixture(
+        "hot_path_alloc",
+        "[hot-path-alloc]\npaths = [\"bad.rs\", \"good.rs\"]\n",
+    );
+    let keys = keys(&v);
+    assert_eq!(
+        keys,
+        vec![
+            ("bad.rs".to_string(), 12, "hot-path-alloc"),
+            ("bad.rs".to_string(), 13, "hot-path-alloc"),
+        ],
+        "format!/Box::new in the closure flagged; the reused pre-sized \
+         buffer in good.rs passes: {v:?}"
+    );
+}
+
+#[test]
+fn atomic_ordering_fixture() {
+    let v = lint_fixture(
+        "atomic_ordering",
+        "[atomic-ordering]\npaths = [\"bad.rs\", \"good.rs\"]\n",
+    );
+    let keys = keys(&v);
+    assert_eq!(
+        keys,
+        vec![("bad.rs".to_string(), 7, "atomic-ordering")],
+        "the Relaxed-Relaxed gate is flagged at its declaration; the \
+         Release/Acquire pair and the allowed counter pass: {v:?}"
+    );
+    assert!(v[0].message.contains("ready"), "{}", v[0].message);
+}
+
+#[test]
+fn atomic_ordering_allow_is_recorded_in_the_report() {
+    let good = std::fs::read_to_string(fixture_root("atomic_ordering").join("good.rs")).unwrap();
+    let config = Config::parse("[atomic-ordering]\npaths = [\"good.rs\"]\n").unwrap();
+    let report = run_sources(&[("good.rs", &good)], &config);
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    assert_eq!(report.allows.len(), 1, "{:?}", report.allows);
+    assert_eq!(report.allows[0].rule, "atomic-ordering");
+    assert!(report.allows[0].reason.contains("statistical counter"));
 }
 
 #[test]

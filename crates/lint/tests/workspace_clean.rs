@@ -59,11 +59,49 @@ fn deny_exits_one_on_bad_fixture() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("bad.rs"), "stderr:\n{stderr}");
     assert!(!stderr.contains("good.rs:"), "stderr:\n{stderr}");
-    // --fix-report - emits a JSON array on stdout.
+    // --fix-report - emits the self-describing v2 JSON object on stdout.
     let stdout = String::from_utf8_lossy(&out.stdout);
     let trimmed = stdout.trim();
-    assert!(trimmed.starts_with('[') && trimmed.ends_with(']'));
+    assert!(trimmed.starts_with('{') && trimmed.ends_with('}'));
+    assert!(trimmed.contains("\"schema\": \"fluctrace.lint.report.v2\""));
     assert!(trimmed.contains("\"rule\": \"determinism\""));
+    assert!(trimmed.contains("\"allows\""));
+}
+
+#[test]
+fn github_format_emits_annotations_on_stdout() {
+    let fixture = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/determinism");
+    let out = Command::new(env!("CARGO_BIN_EXE_fluctrace-lint"))
+        .arg("--root")
+        .arg(&fixture)
+        .args(["--deny", "--format", "github"])
+        .output()
+        .expect("lint binary runs");
+    assert_eq!(out.status.code(), Some(1), "violations + --deny → exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("::error file=bad.rs,line="),
+        "stdout:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("title=fluctrace-lint determinism::"),
+        "stdout:\n{stdout}"
+    );
+}
+
+#[test]
+fn changed_only_on_the_real_repo_stays_clean() {
+    // The graph is workspace-wide either way; on a clean workspace the
+    // changed-file filter must not invent violations, and the flag must
+    // parse both with and without an explicit base.
+    let out = Command::new(env!("CARGO_BIN_EXE_fluctrace-lint"))
+        .arg("--root")
+        .arg(repo_root())
+        .args(["--deny", "--changed-only", "HEAD"])
+        .output()
+        .expect("lint binary runs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "expected exit 0, stderr:\n{stderr}");
 }
 
 #[test]

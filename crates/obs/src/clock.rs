@@ -30,6 +30,7 @@ pub trait Clock: Send + Sync {
 /// never depend on host time.
 #[derive(Debug, Default)]
 pub struct TickClock {
+    // lint:allow(atomic-ordering): logical tick ticket — fetch_add hands out unique values; no data is published through it
     ticks: AtomicU64,
 }
 

@@ -32,6 +32,7 @@ fn cells(n: usize) -> Arc<[Pad]> {
     (0..n).map(|_| Pad::default()).collect()
 }
 
+// lint:allow(atomic-ordering): round-robin ticket — the value only seeds a thread-local shard hint; no data is published through it
 static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
 
 thread_local! {
@@ -58,15 +59,20 @@ static RECORDING: AtomicBool = AtomicBool::new(true);
 
 /// Globally enable/disable hot-path recording. Used by the self-overhead
 /// harness (`obs_overhead` bin) to time instrumented vs uninstrumented
-/// runs of the same workload; the disabled path costs one relaxed load
-/// and a branch.
+/// runs of the same workload; the disabled path costs one acquire load
+/// and a branch (free on x86, same cost as relaxed).
+///
+/// Release/Acquire pairing: the flag gates whether other threads touch
+/// the metric cells at all, so the flip must be ordered against the
+/// cell writes around it — a plain relaxed gate could let a disabled
+/// thread's counter add drift past the harness's timing boundary.
 pub fn set_recording(enabled: bool) {
-    RECORDING.store(enabled, Ordering::Relaxed);
+    RECORDING.store(enabled, Ordering::Release);
 }
 
 /// True when hot-path recording is enabled (the default).
 pub fn recording() -> bool {
-    RECORDING.load(Ordering::Relaxed)
+    RECORDING.load(Ordering::Acquire)
 }
 
 /// Monotonic counter handle: `add` is a single relaxed atomic op.
@@ -83,6 +89,7 @@ impl Counter {
         }
         let mask = self.cells.len().wrapping_sub(1);
         if let Some(c) = self.cells.get(shard_hint() & mask) {
+            // lint:allow(atomic-ordering): statistical counter cell — relaxed add/load can only tear a snapshot total, never control flow
             c.0.fetch_add(n, Ordering::Relaxed);
         }
     }
@@ -150,9 +157,11 @@ impl Histogram {
         let mask = self.sums.len().wrapping_sub(1);
         let shard = shard_hint() & mask;
         if let Some(b) = self.buckets.get(shard * BUCKETS + bucket_index(v)) {
+            // lint:allow(atomic-ordering): statistical histogram bucket — relaxed add/load can only tear a snapshot, never control flow
             b.fetch_add(1, Ordering::Relaxed);
         }
         if let Some(s) = self.sums.get(shard) {
+            // lint:allow(atomic-ordering): statistical histogram sum — relaxed add/load can only tear a snapshot, never control flow
             s.0.fetch_add(v, Ordering::Relaxed);
         }
     }

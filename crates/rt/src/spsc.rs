@@ -95,10 +95,10 @@ impl<T> RingProducer<T> {
         // Depth as visible to the producer (cached head): no extra
         // atomic traffic on the hot path, exact in single-producer use.
         fluctrace_obs::gauge!("rt.spsc.depth_peak").record((tail + 1 - self.cached_head) as u64);
-        let slot = &ring.buf[tail % ring.capacity];
-        // SAFETY: slots in [head, tail) belong to the consumer; this slot
-        // is at index `tail`, outside that window, and only this (single)
-        // producer writes it until the Release store below publishes it.
+        let slot = &ring.buf[tail % ring.capacity]; // lint:allow(panic-safety-transitive): index is `x % capacity` and `buf.len() == capacity`, proven in bounds
+                                                    // SAFETY: slots in [head, tail) belong to the consumer; this slot
+                                                    // is at index `tail`, outside that window, and only this (single)
+                                                    // producer writes it until the Release store below publishes it.
         unsafe { (*slot.get()).write(value) };
         ring.tail.0.store(tail + 1, Ordering::Release);
         Ok(())
@@ -149,10 +149,10 @@ impl<T> RingConsumer<T> {
             }
         }
         fluctrace_obs::counter!("rt.spsc.pops").inc();
-        let slot = &ring.buf[head % ring.capacity];
-        // SAFETY: head < tail (checked above), so the producer published
-        // this slot with a Release store and will not touch it again
-        // until our Release store below returns it.
+        let slot = &ring.buf[head % ring.capacity]; // lint:allow(panic-safety-transitive): index is `x % capacity` and `buf.len() == capacity`, proven in bounds
+                                                    // SAFETY: head < tail (checked above), so the producer published
+                                                    // this slot with a Release store and will not touch it again
+                                                    // until our Release store below returns it.
         let value = unsafe { (*slot.get()).assume_init_read() };
         ring.head.0.store(head + 1, Ordering::Release);
         Some(value)
@@ -198,9 +198,9 @@ impl<T> Drop for Ring<T> {
         let head = *self.head.0.get_mut();
         let tail = *self.tail.0.get_mut();
         for i in head..tail {
-            let slot = self.buf[i % self.capacity].get_mut();
-            // SAFETY: slots in [head, tail) hold initialized values that
-            // were never popped; we have exclusive access in drop.
+            let slot = self.buf[i % self.capacity].get_mut(); // lint:allow(panic-safety-transitive): index is `x % capacity` and `buf.len() == capacity`, proven in bounds
+                                                              // SAFETY: slots in [head, tail) hold initialized values that
+                                                              // were never popped; we have exclusive access in drop.
             unsafe { slot.assume_init_drop() };
         }
     }

@@ -1,0 +1,176 @@
+//! Bounded-interleaving stress for the SPSC ring.
+//!
+//! Free-running producer/consumer threads spend almost all their time in
+//! the easy middle of the ring; the bugs live at the full/empty
+//! boundaries where the cached head/tail must be refreshed and a slot
+//! changes hands. This test forces those boundaries two ways: tiny
+//! capacities (1 and 2 make *every* operation a boundary operation) and
+//! deterministic yield injection from a seeded xorshift schedule, so
+//! each (capacity, seed) pair explores a different but reproducible
+//! interleaving. Every run checks strict FIFO order, exact item counts,
+//! and — via `Arc` strong counts — that no payload is leaked or
+//! double-dropped, including items still in the ring when it drops.
+
+use fluctrace_rt::spsc_ring;
+use std::sync::Arc;
+use std::thread;
+
+/// xorshift64: deterministic, cheap, good enough to decorrelate the
+/// two threads' yield points.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Yield with probability ~1/`period`, driven by the schedule stream.
+fn maybe_yield(state: &mut u64, period: u64) {
+    if xorshift(state).is_multiple_of(period) {
+        thread::yield_now();
+    }
+}
+
+const CAPACITIES: [usize; 3] = [1, 2, 16];
+const SEEDS: [u64; 4] = [0x9e37_79b9, 0x1234_5678, 0xdead_beef, 0x0bad_cafe];
+
+#[test]
+fn interleaved_stream_is_fifo_and_lossless() {
+    const N: u64 = 4_000;
+    for capacity in CAPACITIES {
+        for seed in SEEDS {
+            let (mut tx, mut rx) = spsc_ring(capacity);
+            let producer = thread::spawn(move || {
+                // Offset the producer's schedule so the two threads
+                // never share a yield pattern.
+                let mut sched = seed ^ 0xffff_0000_ffff_0000;
+                for i in 0..N {
+                    maybe_yield(&mut sched, 3);
+                    loop {
+                        match tx.push(i) {
+                            Ok(()) => break,
+                            Err(_) => thread::yield_now(),
+                        }
+                    }
+                }
+            });
+            let consumer = thread::spawn(move || {
+                let mut sched = seed;
+                let mut expected = 0u64;
+                while expected < N {
+                    maybe_yield(&mut sched, 3);
+                    match rx.pop() {
+                        Some(v) => {
+                            assert_eq!(
+                                v, expected,
+                                "FIFO violated at capacity {capacity}, seed {seed:#x}"
+                            );
+                            expected += 1;
+                        }
+                        None => thread::yield_now(),
+                    }
+                }
+            });
+            producer.join().unwrap();
+            consumer.join().unwrap();
+        }
+    }
+}
+
+#[test]
+fn bursty_interleaving_accounts_for_every_item() {
+    // The producer pushes in bursts and gives up (sheds) when the ring
+    // stays full; the consumer drains in bursts. Totals must reconcile:
+    // pushed == popped + left-in-ring, and every payload is dropped
+    // exactly once — `Arc::strong_count` returns to 1 even for items
+    // that die inside the ring's own `Drop`.
+    const ATTEMPTS: u64 = 2_000;
+    for capacity in CAPACITIES {
+        for seed in SEEDS {
+            let token = Arc::new(());
+            let (mut tx, mut rx) = spsc_ring(capacity);
+            let tx_token = Arc::clone(&token);
+            let producer = thread::spawn(move || {
+                let mut sched = seed ^ 0x5555_aaaa_5555_aaaa;
+                let mut pushed = 0u64;
+                for i in 0..ATTEMPTS {
+                    maybe_yield(&mut sched, 2);
+                    if tx.push((i, Arc::clone(&tx_token))).is_ok() {
+                        pushed += 1;
+                    }
+                }
+                pushed
+            });
+            let consumer = thread::spawn(move || {
+                let mut sched = seed;
+                let mut popped = 0u64;
+                let mut last: Option<u64> = None;
+                for _ in 0..ATTEMPTS {
+                    maybe_yield(&mut sched, 2);
+                    while let Some((i, _token)) = rx.pop() {
+                        assert!(
+                            last.is_none_or(|l| l < i),
+                            "order violated at capacity {capacity}, seed {seed:#x}"
+                        );
+                        last = Some(i);
+                        popped += 1;
+                    }
+                }
+                (rx, popped)
+            });
+            let pushed = producer.join().unwrap();
+            let (rx, popped) = consumer.join().unwrap();
+            let left = rx.len() as u64;
+            assert_eq!(
+                pushed,
+                popped + left,
+                "accounting broke at capacity {capacity}, seed {seed:#x}"
+            );
+            assert!(left <= capacity as u64);
+            drop(rx); // drops the items still in the ring
+            assert_eq!(
+                Arc::strong_count(&token),
+                1,
+                "payload leaked or double-dropped at capacity {capacity}, seed {seed:#x}"
+            );
+        }
+    }
+}
+
+#[test]
+fn capacity_one_ring_alternates_strictly() {
+    // With capacity 1 the ring degenerates to a rendezvous slot: the
+    // producer can never be more than one item ahead, so the observed
+    // depth is always 0 or 1 no matter how the threads interleave.
+    const N: u64 = 4_000;
+    let (mut tx, mut rx) = spsc_ring(1);
+    let producer = thread::spawn(move || {
+        let mut sched = 0xabcd_ef01_2345_6789u64;
+        for i in 0..N {
+            maybe_yield(&mut sched, 4);
+            loop {
+                let depth = tx.len();
+                assert!(depth <= 1, "capacity-1 ring held {depth} items");
+                match tx.push(i) {
+                    Ok(()) => break,
+                    Err(_) => thread::yield_now(),
+                }
+            }
+        }
+    });
+    let mut expected = 0u64;
+    let mut sched = 0x1357_9bdf_0246_8aceu64;
+    while expected < N {
+        maybe_yield(&mut sched, 4);
+        match rx.pop() {
+            Some(v) => {
+                assert_eq!(v, expected);
+                expected += 1;
+            }
+            None => thread::yield_now(),
+        }
+    }
+    producer.join().unwrap();
+}

@@ -7,7 +7,14 @@
 /// Bounded MPMC channel.
 pub mod channel {
     use std::collections::VecDeque;
-    use std::sync::{Arc, Condvar, Mutex};
+    use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+    /// Poison-tolerant lock: a panicking worker must surface through
+    /// the pipeline's loss accounting, not cascade poisoned-mutex
+    /// panics into every peer thread touching the channel.
+    fn lock_ok<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+        m.lock().unwrap_or_else(PoisonError::into_inner)
+    }
 
     struct State<T> {
         queue: VecDeque<T>,
@@ -89,7 +96,7 @@ pub mod channel {
     impl<T> Sender<T> {
         /// Block until there is room, then enqueue.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            let mut state = self.inner.state.lock().unwrap();
+            let mut state = lock_ok(&self.inner.state);
             loop {
                 if state.receivers == 0 {
                     return Err(SendError(value));
@@ -99,14 +106,18 @@ pub mod channel {
                     self.inner.not_empty.notify_one();
                     return Ok(());
                 }
-                state = self.inner.not_full.wait(state).unwrap();
+                state = self
+                    .inner
+                    .not_full
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         }
 
         /// Enqueue without blocking; fails with [`TrySendError::Full`]
         /// when the channel is at capacity.
         pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
-            let mut state = self.inner.state.lock().unwrap();
+            let mut state = lock_ok(&self.inner.state);
             if state.receivers == 0 {
                 return Err(TrySendError::Disconnected(value));
             }
@@ -120,7 +131,7 @@ pub mod channel {
 
         /// Number of messages currently queued.
         pub fn len(&self) -> usize {
-            self.inner.state.lock().unwrap().queue.len()
+            lock_ok(&self.inner.state).queue.len()
         }
 
         /// True when no messages are queued.
@@ -136,7 +147,7 @@ pub mod channel {
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            self.inner.state.lock().unwrap().senders += 1;
+            lock_ok(&self.inner.state).senders += 1;
             Sender {
                 inner: Arc::clone(&self.inner),
             }
@@ -145,7 +156,7 @@ pub mod channel {
 
     impl<T> Drop for Sender<T> {
         fn drop(&mut self) {
-            let mut state = self.inner.state.lock().unwrap();
+            let mut state = lock_ok(&self.inner.state);
             state.senders -= 1;
             if state.senders == 0 {
                 self.inner.not_empty.notify_all();
@@ -161,7 +172,7 @@ pub mod channel {
     impl<T> Receiver<T> {
         /// Block until a message arrives or all senders disconnect.
         pub fn recv(&self) -> Result<T, RecvError> {
-            let mut state = self.inner.state.lock().unwrap();
+            let mut state = lock_ok(&self.inner.state);
             loop {
                 if let Some(v) = state.queue.pop_front() {
                     self.inner.not_full.notify_one();
@@ -170,14 +181,18 @@ pub mod channel {
                 if state.senders == 0 {
                     return Err(RecvError);
                 }
-                state = self.inner.not_empty.wait(state).unwrap();
+                state = self
+                    .inner
+                    .not_empty
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         }
     }
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
-            self.inner.state.lock().unwrap().receivers += 1;
+            lock_ok(&self.inner.state).receivers += 1;
             Receiver {
                 inner: Arc::clone(&self.inner),
             }
@@ -186,7 +201,7 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            let mut state = self.inner.state.lock().unwrap();
+            let mut state = lock_ok(&self.inner.state);
             state.receivers -= 1;
             if state.receivers == 0 {
                 self.inner.not_full.notify_all();
