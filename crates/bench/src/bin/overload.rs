@@ -11,19 +11,61 @@
 //! content-derived counts, so they are byte-identical across
 //! `FLUCTRACE_THREADS` settings — CI diffs them.
 //!
+//! `overload diagnose` (or `--diagnose`) runs the DepGraph ground-truth
+//! recovery sweep instead: every seeded fault scenario is diagnosed by
+//! the wait-dependency walker, the per-episode explanations are
+//! printed, and `depgraph.json` / `depgraph_report.json` are emitted —
+//! both canonical and byte-identical across `FLUCTRACE_THREADS`.
+//!
 //! Figure assembly lives in
 //! [`fluctrace_bench::figures::overload_data`] (shared with the golden
 //! tests); this bin adds the ledger, the stall scenario, and the
 //! assertions.
 
 use fluctrace_analysis::{accounting_exact, loss_table, LossRow};
+use fluctrace_bench::depgraph_experiment::{depgraph_data, explanations};
 use fluctrace_bench::figures::overload_data;
 use fluctrace_bench::overload_experiment::run_stall;
-use fluctrace_bench::{emit, Scale};
+use fluctrace_bench::{artifact_dir, emit, Scale};
+
+fn diagnose_main(scale: Scale) {
+    println!("DepGraph wait-dependency diagnosis — ground-truth recovery sweep\n");
+    let data = depgraph_data(scale);
+    for line in explanations(&data.report) {
+        println!("  {line}");
+    }
+    println!(
+        "\n{} cases: all_recovered={} all_exact={}",
+        data.report.cases.len(),
+        data.all_recovered,
+        data.all_exact
+    );
+    assert!(
+        data.all_recovered && data.all_exact,
+        "walker must recover every declared root with exact accounting"
+    );
+
+    emit(&data.figure);
+    let report_path = artifact_dir().join("depgraph_report.json");
+    let write = std::fs::create_dir_all(artifact_dir())
+        .and_then(|()| std::fs::write(&report_path, data.report.to_canonical_json()));
+    match write {
+        Ok(()) => println!("[artifact] {}", report_path.display()),
+        Err(e) => eprintln!("[artifact] write failed: {e}"),
+    }
+    fluctrace_bench::obs_support::finish();
+}
 
 fn main() {
     fluctrace_bench::obs_support::init();
     let scale = Scale::from_env();
+    if std::env::args()
+        .skip(1)
+        .any(|a| a == "diagnose" || a == "--diagnose")
+    {
+        diagnose_main(scale);
+        return;
+    }
     let items = match scale {
         Scale::Quick => 2_000,
         Scale::Paper => 20_000,
@@ -98,7 +140,9 @@ fn main() {
     println!(
         "adaptive-R under a triangle occupancy wave: {} episodes, peak factor {}x, \
          final factor {}x",
-        data.degrade.episodes, data.degrade.peak_factor, data.degrade.final_factor
+        data.degrade.episodes,
+        data.degrade.peak_factor_milli as f64 / 1000.0,
+        data.degrade.final_factor_milli as f64 / 1000.0
     );
 
     emit(&data.figure);

@@ -15,6 +15,7 @@
 #![forbid(unsafe_code)]
 
 pub mod acl_experiment;
+pub mod depgraph_experiment;
 pub mod figures;
 pub mod obs_support;
 pub mod overload_experiment;

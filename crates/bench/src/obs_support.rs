@@ -102,12 +102,29 @@ pub fn obs_probe() {
 
     // The lock-free ring, single-threaded so stall counts are exact:
     // the 9th push stalls on the full ring, the final pop observes it
-    // empty.
+    // empty. The stall run and the empty pop each open a typed wait
+    // edge that the handle Drop closes, so `rt.wait.*` is nonzero.
     let (mut tx, mut rx) = fluctrace_rt::spsc_ring::<u64>(8);
     for i in 0..9 {
         let _ = tx.push(i);
     }
     while rx.pop().is_some() {}
+    drop((tx, rx));
+
+    // A bounded three-stage pipeline with a slow middle stage: the DP
+    // offers deterministic stage-handoff / ring-full / ring-empty wait
+    // edges (the DepGraph diagnosis substrate).
+    let run = fluctrace_rt::run_bounded(&fluctrace_rt::BoundedSpec {
+        ring_capacity: 2,
+        arrivals: (0..12).map(|i| i * 40).collect(),
+        stages: (0..3)
+            .map(|s| fluctrace_rt::BoundedStage {
+                core: s,
+                service: vec![if s == 1 { 90 } else { 30 }; 12],
+            })
+            .collect(),
+    });
+    assert_eq!(run.items(), 12);
 }
 
 /// Write the registry snapshot as canonical JSON, creating parent

@@ -356,6 +356,6 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(stats_a, stats_b);
         assert!(stats_a.episodes >= 1, "the wave crosses high water");
-        assert!(stats_a.peak_factor > 1);
+        assert!(stats_a.peak_factor_milli > 1000);
     }
 }

@@ -641,6 +641,113 @@ pub fn default_trajectory_path() -> std::path::PathBuf {
     crate::artifact_dir().join("BENCH_hotpath.json")
 }
 
+/// Repo-root mirror of a bench document. CI runs the bins from the
+/// workspace root, so the bare file name lands next to `Cargo.toml` —
+/// keeping the repo-root `BENCH_*.json` trajectory (the one reviewers
+/// and `git log` see) in lockstep with the `artifacts/` copy.
+pub fn repo_root_bench_path(name: &str) -> std::path::PathBuf {
+    std::path::PathBuf::from(name)
+}
+
+/// Schema tag of `BENCH_depgraph.json`.
+pub const DEPGRAPH_SCHEMA: &str = "fluctrace.bench.depgraph.v1";
+
+/// Wall-clock cost of the DepGraph diagnosis pass over the ground-truth
+/// sweep (`BENCH_depgraph.json`). All timings are min-of-`reps` —
+/// the usual noise floor estimator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DepgraphBench {
+    /// Schema tag ([`DEPGRAPH_SCHEMA`]).
+    pub schema: String,
+    /// Entry label (usually the git rev or "HEAD").
+    pub label: String,
+    /// Repetitions measured.
+    pub reps: u64,
+    /// Sweep cases diagnosed per repetition.
+    pub cases: u64,
+    /// Items across all cases (denominator of `ns_per_item`).
+    pub items_total: u64,
+    /// Min wall time to materialize + run the bounded DPs, ns.
+    pub run_ns_min: u64,
+    /// Min wall time for the diagnosis walk over every run, ns.
+    pub diagnose_ns_min: u64,
+    /// `diagnose_ns_min / items_total` — the per-item overhead of the
+    /// diagnosis pass itself.
+    pub ns_per_item: f64,
+}
+
+/// Measure the diagnosis-pass overhead over the quick ground-truth
+/// sweep: how long the bounded DPs take to run, and how long the walker
+/// takes on top. Pure wall-clock measurement — results go to
+/// `BENCH_depgraph.json`, never into figure artifacts.
+pub fn measure_depgraph(label: &str, reps: u64) -> DepgraphBench {
+    use crate::depgraph_experiment::{depgraph_cases, run_case, spec_of};
+    use fluctrace_core::depgraph::{diagnose, DepgraphConfig};
+    use fluctrace_rt::run_bounded;
+
+    let cases = depgraph_cases(crate::Scale::Quick);
+    let reps = reps.max(1);
+
+    // Materialize once so the timed loops see identical inputs.
+    let schedules: Vec<_> = cases
+        .iter()
+        .map(|c| (c.plan.schedule(c.seed), c.plan.ring_capacity))
+        .collect();
+    let items_total: u64 = schedules.iter().map(|(s, _)| s.arrivals.len() as u64).sum();
+
+    let mut run_ns_min = u64::MAX;
+    let mut diagnose_ns_min = u64::MAX;
+    let mut runs = Vec::new();
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        runs = schedules
+            .iter()
+            .map(|(s, cap)| run_bounded(&spec_of(s, *cap)))
+            .collect();
+        run_ns_min = run_ns_min.min(t0.elapsed().as_nanos() as u64);
+
+        let t1 = Instant::now();
+        let diagnoses: Vec<_> = runs
+            .iter()
+            .map(|r| diagnose(r, &DepgraphConfig::new()))
+            .collect();
+        diagnose_ns_min = diagnose_ns_min.min(t1.elapsed().as_nanos() as u64);
+        assert_eq!(diagnoses.len(), cases.len());
+    }
+    // Keep the last runs alive through both timed loops (no dead-code
+    // elision of the DP) and sanity-check the walker agrees with the
+    // sweep's own recovery test.
+    if let Some(case) = cases.first() {
+        let _ = run_case(case);
+    }
+    drop(runs);
+
+    DepgraphBench {
+        schema: DEPGRAPH_SCHEMA.to_string(),
+        label: label.to_string(),
+        reps,
+        cases: cases.len() as u64,
+        items_total,
+        run_ns_min,
+        diagnose_ns_min,
+        ns_per_item: diagnose_ns_min as f64 / items_total.max(1) as f64,
+    }
+}
+
+impl DepgraphBench {
+    /// Write pretty JSON to `path`, creating parent directories.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+            }
+        }
+        let text = serde_json::to_string_pretty(self).map_err(|e| format!("serialize: {e}"))?;
+        std::fs::write(path, text + "\n").map_err(|e| format!("write {}: {e}", path.display()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -14,6 +14,7 @@
 //! `artifacts/` regeneration at Quick scale — CI checks both).
 
 use fluctrace_analysis::Figure;
+use fluctrace_bench::depgraph_experiment::depgraph_data;
 use fluctrace_bench::figures::{fig10_data, fig4_data, fig9_data, overload_data};
 use fluctrace_bench::Scale;
 use std::path::PathBuf;
@@ -110,6 +111,42 @@ fn overload_matches_golden() {
     );
     check_golden(&data.figure);
     check_golden(&data.degrade_figure);
+}
+
+#[test]
+fn depgraph_matches_golden() {
+    let data = depgraph_data(Scale::Quick);
+    assert!(
+        data.all_recovered && data.all_exact,
+        "depgraph walker must recover every declared root with exact accounting"
+    );
+    check_golden(&data.figure);
+    check_golden_text("depgraph_report", &data.report.to_canonical_json());
+}
+
+/// Like [`check_golden`] but for non-figure canonical-JSON documents
+/// (the depgraph recovery report).
+fn check_golden_text(id: &str, actual: &str) {
+    let path = golden_dir().join(format!("{id}.json"));
+    if blessing() {
+        std::fs::create_dir_all(golden_dir()).expect("create golden dir");
+        std::fs::write(&path, actual).expect("write golden");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); bless it with FLUCTRACE_BLESS=1",
+            path.display()
+        )
+    });
+    assert!(
+        expected == actual,
+        "golden artifact drift in {}:\n{}\nIf intentional, re-bless with \
+         FLUCTRACE_BLESS=1 and regenerate artifacts/ (see TESTING.md).",
+        path.display(),
+        diff_summary(&expected, actual)
+    );
 }
 
 /// Blessing is deterministic: building the same figure twice yields the

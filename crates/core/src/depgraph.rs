@@ -1,0 +1,473 @@
+//! Waiting-dependency diagnosis (DepGraph) for tail-latency anomalies.
+//!
+//! The paper's tracer attributes cycles to functions within items — it
+//! answers *where* time went. This pass answers *why a core waited*:
+//! following DepGraph (Ezzati-Jivan et al. 2021), it takes the exact
+//! wait decomposition of a bounded-ring pipeline run
+//! ([`fluctrace_rt::bounded`]), detects anomaly episodes, assembles the
+//! per-episode waiting-dependency structure, collapses chains of
+//! ring-full blocking, and walks to the dominant blocking source —
+//! emitting a machine-checkable report per episode of the form *"items
+//! 40..=95 slow on core 2 because ring 1→2 full because stage 2
+//! degraded"*.
+//!
+//! # Exactness guarantee
+//!
+//! Per episode, `wait_by_cause` sums item-attributed wait cycles
+//! (`stage_handoff` = ring queueing, `ring_full` = blocked pushes) and
+//! the telescoping identity of the bounded DP guarantees they sum
+//! *exactly* to `total_wait = Σ (latency − service)` over the
+//! episode's items. [`Diagnosis::accounting_exact`] re-derives the
+//! right-hand side independently from the timing matrix and checks the
+//! identity, the same way the overload experiment proves `LossStats`
+//! exact against injected fault counts.
+//!
+//! # Determinism
+//!
+//! The input run is a pure integer DP and every aggregate here is a
+//! fold over it in index order with `BTreeMap` keying, so
+//! [`Diagnosis::to_canonical_json`] is byte-identical across runs and
+//! `FLUCTRACE_THREADS` settings — CI diffs the exported report across
+//! thread counts.
+
+use fluctrace_rt::bounded::{BoundedRun, StageTiming};
+use fluctrace_rt::WaitCause;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Schema tag stamped into every exported diagnosis report.
+pub const DEPGRAPH_SCHEMA: &str = "fluctrace.depgraph.v1";
+
+/// Thresholds of the walker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepgraphConfig {
+    /// An item is anomalous when `latency * 1000 > baseline_latency *
+    /// anomaly_factor_milli` (default 2000 = 2x the clean latency).
+    pub anomaly_factor_milli: u64,
+    /// A stage is the degraded root when some episode item's service
+    /// reached `service_excess_milli`/1000 times the stage's baseline
+    /// (default 1500 = 1.5x).
+    pub service_excess_milli: u64,
+}
+
+impl DepgraphConfig {
+    /// Default thresholds (2x latency anomaly, 1.5x service excess).
+    pub fn new() -> Self {
+        DepgraphConfig {
+            anomaly_factor_milli: 2000,
+            service_excess_milli: 1500,
+        }
+    }
+}
+
+impl Default for DepgraphConfig {
+    fn default() -> Self {
+        DepgraphConfig::new()
+    }
+}
+
+/// One collapsed link of an episode's blocking chain: stages
+/// `from_stage..=to_stage` were all blocked pushing into full rings
+/// (consecutive single-hop ring-full links are merged; `hops` keeps
+/// the pre-collapse count).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChainLink {
+    /// First blocked stage of the collapsed run.
+    pub from_stage: u32,
+    /// Stage the chain points at (the blocker).
+    pub to_stage: u32,
+    /// Core of the blocking stage.
+    pub to_core: u32,
+    /// Always `"ring_full"` today; typed for future edge kinds.
+    pub cause: String,
+    /// Blocked-push cycles summed over the collapsed hops.
+    pub cycles: u64,
+    /// Single-hop links merged into this one.
+    pub hops: u32,
+}
+
+/// Diagnosis of one anomaly episode.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EpisodeDiagnosis {
+    /// First anomalous item (inclusive).
+    pub first_item: u64,
+    /// Last anomalous item (inclusive).
+    pub last_item: u64,
+    /// Worst latency in the episode (cycles).
+    pub peak_latency: u64,
+    /// Σ (latency − service) over the episode's items.
+    pub total_wait: u64,
+    /// Item-attributed wait cycles per cause label; sums exactly to
+    /// `total_wait` (see module docs).
+    pub wait_by_cause: BTreeMap<String, u64>,
+    /// Stage where the walk started (largest wait concentration).
+    pub start_stage: u32,
+    /// Collapsed ring-full blocking chain from `start_stage` to the
+    /// root (empty when the root is the start stage itself).
+    pub chain: Vec<ChainLink>,
+    /// Root-cause stage.
+    pub root_stage: u32,
+    /// Core of the root-cause stage.
+    pub root_core: u32,
+    /// `"degraded"` or `"arrival_burst"`.
+    pub root_cause: String,
+    /// Human-readable one-liner ("items X..=Y slow on core C because
+    /// ring A→B full because stage B degraded").
+    pub explanation: String,
+}
+
+/// The full diagnosis of one bounded run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnosis {
+    /// Schema tag ([`DEPGRAPH_SCHEMA`]).
+    pub schema: String,
+    /// Items in the run.
+    pub items: u64,
+    /// Items flagged anomalous.
+    pub anomalous_items: u64,
+    /// Clean end-to-end latency (minimum over items, cycles).
+    pub baseline_latency: u64,
+    /// Per-stage clean service cost (minimum over items, cycles).
+    pub baseline_service: Vec<u64>,
+    /// One diagnosis per anomaly episode, in item order.
+    pub episodes: Vec<EpisodeDiagnosis>,
+}
+
+impl Diagnosis {
+    /// Canonical JSON export: struct fields serialize in declaration
+    /// order and all maps are `BTreeMap`, so equal diagnoses render to
+    /// identical bytes.
+    pub fn to_canonical_json(&self) -> String {
+        let mut out = serde_json::to_string_pretty(self).unwrap_or_default();
+        out.push('\n');
+        out
+    }
+
+    /// Re-check the exactness guarantee against the run itself: for
+    /// every episode, `Σ wait_by_cause == total_wait`, and
+    /// `total_wait` equals `Σ (latency − service)` re-derived
+    /// independently from the timing matrix (not from the per-stage
+    /// aggregates the walker used).
+    pub fn accounting_exact(&self, run: &BoundedRun) -> bool {
+        self.episodes.iter().all(|ep| {
+            let by_cause: u64 = ep.wait_by_cause.values().sum();
+            let independent: u64 = (ep.first_item..=ep.last_item)
+                .map(|i| run.wait(i as usize).unwrap_or(0))
+                .sum();
+            by_cause == ep.total_wait && independent == ep.total_wait
+        })
+    }
+}
+
+/// Per-stage aggregates over one episode's items.
+struct StageAgg {
+    /// Σ handoff (queue) wait.
+    handoff: u64,
+    /// Σ blocked-push (ring-full) wait.
+    ringfull: u64,
+    /// Max service cost of a single item at this stage.
+    peak_service: u64,
+}
+
+/// Walk a bounded run into a [`Diagnosis`]. See the module docs for
+/// the algorithm; the run must contain at least one item for episodes
+/// to exist (an empty run yields an empty diagnosis).
+pub fn diagnose(run: &BoundedRun, cfg: &DepgraphConfig) -> Diagnosis {
+    let n_items = run.items();
+    let n_stages = run.cores.len();
+
+    // Baselines: the clean cost is the minimum observed — degradation
+    // and queueing only ever inflate.
+    let baseline_latency = (0..n_items)
+        .filter_map(|i| run.latency(i))
+        .min()
+        .unwrap_or(0);
+    let baseline_service: Vec<u64> = (0..n_stages)
+        .map(|s| {
+            run.timings
+                .iter()
+                .filter_map(|row| row.get(s))
+                .map(StageTiming::service)
+                .min()
+                .unwrap_or(0)
+        })
+        .collect();
+
+    // Episode detection: consecutive anomalous items group together.
+    let anomalous: Vec<usize> = (0..n_items)
+        .filter(|&i| {
+            let latency = run.latency(i).unwrap_or(0);
+            latency.saturating_mul(1000) > baseline_latency.saturating_mul(cfg.anomaly_factor_milli)
+        })
+        .collect();
+    let mut spans: Vec<(usize, usize)> = Vec::new();
+    for &i in &anomalous {
+        match spans.last_mut() {
+            Some((_, last)) if *last + 1 == i => *last = i,
+            _ => spans.push((i, i)),
+        }
+    }
+
+    let episodes = spans
+        .iter()
+        .map(|&(first, last)| diagnose_episode(run, cfg, &baseline_service, first, last))
+        .collect();
+
+    Diagnosis {
+        schema: DEPGRAPH_SCHEMA.to_string(),
+        items: n_items as u64,
+        anomalous_items: anomalous.len() as u64,
+        baseline_latency,
+        baseline_service,
+        episodes,
+    }
+}
+
+fn diagnose_episode(
+    run: &BoundedRun,
+    cfg: &DepgraphConfig,
+    baseline_service: &[u64],
+    first: usize,
+    last: usize,
+) -> EpisodeDiagnosis {
+    let n_stages = run.cores.len();
+
+    // Assemble the episode's waiting-dependency aggregates per stage.
+    let mut aggs: Vec<StageAgg> = (0..n_stages)
+        .map(|_| StageAgg {
+            handoff: 0,
+            ringfull: 0,
+            peak_service: 0,
+        })
+        .collect();
+    let mut total_wait = 0u64;
+    let mut peak_latency = 0u64;
+    for i in first..=last {
+        total_wait += run.wait(i).unwrap_or(0);
+        peak_latency = peak_latency.max(run.latency(i).unwrap_or(0));
+        let Some(row) = run.timings.get(i) else {
+            continue;
+        };
+        for (agg, timing) in aggs.iter_mut().zip(row) {
+            agg.handoff += timing.handoff_wait();
+            agg.ringfull += timing.ringfull_wait();
+            agg.peak_service = agg.peak_service.max(timing.service());
+        }
+    }
+
+    let mut wait_by_cause = BTreeMap::new();
+    let handoff_total: u64 = aggs.iter().map(|a| a.handoff).sum();
+    let ringfull_total: u64 = aggs.iter().map(|a| a.ringfull).sum();
+    if handoff_total > 0 {
+        wait_by_cause.insert(WaitCause::StageHandoff.as_str().to_string(), handoff_total);
+    }
+    if ringfull_total > 0 {
+        wait_by_cause.insert(WaitCause::RingFull.as_str().to_string(), ringfull_total);
+    }
+
+    // A stage is "degraded" when some episode item's service reached
+    // the excess threshold over the stage's clean baseline.
+    let degraded = |s: usize| -> bool {
+        let base = baseline_service.get(s).copied().unwrap_or(0);
+        let peak = aggs.get(s).map(|a| a.peak_service).unwrap_or(0);
+        peak.saturating_mul(1000) >= base.saturating_mul(cfg.service_excess_milli) && base > 0
+    };
+
+    // Start where waiting concentrated, then follow ring-full blocking
+    // downstream: a blocked push is always caused by the next stage.
+    let start_stage = aggs
+        .iter()
+        .enumerate()
+        .max_by_key(|(s, a)| (a.handoff + a.ringfull, std::cmp::Reverse(*s)))
+        .map(|(s, _)| s)
+        .unwrap_or(0);
+    let mut hops: Vec<(usize, u64)> = Vec::new(); // (blocked stage, cycles)
+    let mut s = start_stage;
+    let root_cause = loop {
+        if degraded(s) {
+            break WaitCause::Degraded.as_str();
+        }
+        let blocked = aggs.get(s).map(|a| a.ringfull).unwrap_or(0);
+        if blocked > 0 && s + 1 < n_stages {
+            hops.push((s, blocked));
+            s += 1;
+            continue;
+        }
+        break "arrival_burst";
+    };
+    let root_stage = s;
+    let root_core = run.cores.get(root_stage).copied().unwrap_or(0);
+
+    // Collapse the (always consecutive) single-hop ring-full links
+    // into one chain link pointing at the root.
+    let chain: Vec<ChainLink> = if hops.is_empty() {
+        Vec::new()
+    } else {
+        let from = hops.first().map(|&(s, _)| s).unwrap_or(0) as u32;
+        vec![ChainLink {
+            from_stage: from,
+            to_stage: root_stage as u32,
+            to_core: root_core,
+            cause: WaitCause::RingFull.as_str().to_string(),
+            cycles: hops.iter().map(|&(_, c)| c).sum(),
+            hops: hops.len() as u32,
+        }]
+    };
+
+    let mut explanation = format!(
+        "items {first}..={last} slow on core {root_core}",
+        first = first,
+        last = last,
+    );
+    for link in &chain {
+        let _ = write!(
+            explanation,
+            " because ring {}->{} full",
+            link.from_stage, link.to_stage
+        );
+    }
+    let _ = write!(
+        explanation,
+        " because stage {root_stage} (core {root_core}) {cause}",
+        cause = match root_cause {
+            "degraded" => "degraded".to_string(),
+            _ => "hit an arrival burst".to_string(),
+        }
+    );
+
+    EpisodeDiagnosis {
+        first_item: first as u64,
+        last_item: last as u64,
+        peak_latency,
+        total_wait,
+        wait_by_cause,
+        start_stage: start_stage as u32,
+        chain,
+        root_stage: root_stage as u32,
+        root_core,
+        root_cause: root_cause.to_string(),
+        explanation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fluctrace_rt::bounded::{run_bounded, BoundedSpec, BoundedStage};
+
+    fn spec(capacity: usize, arrivals: Vec<u64>, services: Vec<Vec<u64>>) -> BoundedSpec {
+        BoundedSpec {
+            ring_capacity: capacity,
+            arrivals,
+            stages: services
+                .into_iter()
+                .enumerate()
+                .map(|(s, service)| BoundedStage {
+                    core: s as u32,
+                    service,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn clean_run_has_no_episodes() {
+        let run = run_bounded(&spec(
+            8,
+            (0..20).map(|i| i * 200).collect(),
+            vec![vec![50; 20], vec![50; 20]],
+        ));
+        let d = diagnose(&run, &DepgraphConfig::new());
+        assert_eq!(d.anomalous_items, 0);
+        assert!(d.episodes.is_empty());
+        assert_eq!(d.baseline_latency, 100);
+        assert_eq!(d.baseline_service, vec![50, 50]);
+        assert!(d.accounting_exact(&run));
+    }
+
+    #[test]
+    fn degraded_stage_is_walked_to_through_the_ring_chain() {
+        // Stage 2 serves 6x slower over a mid-run window; with a tiny
+        // ring the backpressure chains upstream, so the walk must hop
+        // ring-full links down to stage 2 and name it degraded.
+        let n = 60;
+        let services: Vec<Vec<u64>> = (0..3)
+            .map(|s| {
+                (0..n)
+                    .map(|i| {
+                        if s == 2 && (20..32).contains(&i) {
+                            600
+                        } else {
+                            100
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let run = run_bounded(&spec(2, (0..n as u64).map(|i| i * 150).collect(), services));
+        let d = diagnose(&run, &DepgraphConfig::new());
+        assert!(!d.episodes.is_empty());
+        for ep in &d.episodes {
+            assert_eq!(ep.root_stage, 2, "{}", ep.explanation);
+            assert_eq!(ep.root_cause, "degraded");
+            assert_eq!(ep.root_core, 2);
+        }
+        // At least one episode reached the root via a collapsed
+        // ring-full chain.
+        let chained = d.episodes.iter().any(|ep| {
+            ep.chain
+                .iter()
+                .any(|l| l.cause == "ring_full" && l.to_stage == 2)
+        });
+        assert!(chained, "backpressure chain never materialized");
+        assert!(d.accounting_exact(&run));
+    }
+
+    #[test]
+    fn arrival_burst_is_blamed_on_the_source_stage() {
+        let n = 40;
+        let mut arrivals = Vec::new();
+        let mut t = 0u64;
+        for i in 0..n {
+            arrivals.push(t);
+            // Items 10..20 arrive together.
+            if !(10..19).contains(&i) {
+                t += 200;
+            }
+        }
+        let run = run_bounded(&spec(8, arrivals, vec![vec![100; 40], vec![100; 40]]));
+        let d = diagnose(&run, &DepgraphConfig::new());
+        assert!(!d.episodes.is_empty());
+        for ep in &d.episodes {
+            assert_eq!(ep.root_cause, "arrival_burst", "{}", ep.explanation);
+            assert_eq!(ep.root_stage, 0);
+        }
+        assert!(d.accounting_exact(&run));
+    }
+
+    #[test]
+    fn canonical_json_is_stable_and_tagged() {
+        let run = run_bounded(&spec(2, vec![0; 8], vec![vec![10; 8], vec![40; 8]]));
+        let d1 = diagnose(&run, &DepgraphConfig::new());
+        let d2 = diagnose(&run, &DepgraphConfig::new());
+        assert_eq!(d1, d2);
+        assert_eq!(d1.to_canonical_json(), d2.to_canonical_json());
+        assert!(d1.to_canonical_json().contains(DEPGRAPH_SCHEMA));
+    }
+
+    #[test]
+    fn per_cause_waits_sum_exactly_per_episode() {
+        let run = run_bounded(&spec(
+            1,
+            (0..30).map(|i| i * 40).collect(),
+            vec![vec![35; 30], vec![90; 30], vec![35; 30]],
+        ));
+        let d = diagnose(&run, &DepgraphConfig::new());
+        assert!(d.accounting_exact(&run));
+        for ep in &d.episodes {
+            let sum: u64 = ep.wait_by_cause.values().sum();
+            assert_eq!(sum, ep.total_wait);
+        }
+    }
+}

@@ -43,6 +43,7 @@
 #![forbid(unsafe_code)]
 
 pub mod batch;
+pub mod depgraph;
 pub mod estimate;
 pub mod export;
 pub mod fluct;
@@ -57,6 +58,7 @@ pub mod report;
 pub mod soa;
 
 pub use batch::{split_batches, split_batches_owned, BatchMap};
+pub use depgraph::{diagnose, ChainLink, DepgraphConfig, Diagnosis, EpisodeDiagnosis};
 pub use estimate::{EstimateTable, FuncEstimate, ItemEstimate};
 pub use export::{anomaly_trace, chrome_trace, chrome_trace_string, ExportOptions};
 pub use fluct::{detect, FluctuationReport, GroupFuncStats, Outlier, TotalOutlier};

@@ -110,12 +110,28 @@ impl Default for AdaptiveConfig {
 /// The adaptive effective-reset state machine (pure: occupancy in,
 /// thinning factor out), exposed so experiments can drive it with a
 /// scripted occupancy waveform and get deterministic episode traces.
+///
+/// The factor is tracked as a float: capping at a non-power-of-two
+/// [`AdaptiveConfig::max_factor`] and then halving produces fractional
+/// values (7 → 3.5 → 1.75), and those must survive into the stats and
+/// the obs gauge — which is why both are in milli-units (1750 = 1.75x)
+/// rather than a truncating `as u64` cast.
 #[derive(Debug, Clone)]
 pub struct AdaptiveR {
     config: AdaptiveConfig,
-    factor: u32,
+    factor: f64,
     episodes: u64,
-    peak_factor: u32,
+    peak_factor: f64,
+    /// Observation count; the logical timestamp of degraded-mode wait
+    /// edges (the policy has no core clock).
+    observations: u64,
+}
+
+/// Render a factor in milli-units (1750 = 1.75x), the fixed-point form
+/// used by [`DegradeStats`] and the `core.online.degrade_factor_peak_milli`
+/// gauge.
+fn factor_milli(factor: f64) -> u64 {
+    (factor * 1000.0).round() as u64
 }
 
 impl AdaptiveR {
@@ -123,45 +139,70 @@ impl AdaptiveR {
     pub fn new(config: AdaptiveConfig) -> Self {
         AdaptiveR {
             config,
-            factor: 1,
+            factor: 1.0,
             episodes: 0,
-            peak_factor: 1,
+            peak_factor: 1.0,
+            observations: 0,
         }
     }
 
     /// Feed one occupancy observation (fraction of channel capacity in
     /// `[0, 1]`) and return the thinning factor to apply: keep every
-    /// `factor`-th sample.
+    /// `factor`-th sample (the fractional factor rounds to the nearest
+    /// whole stride; milli-precision lives in [`AdaptiveR::stats`]).
     pub fn observe(&mut self, occupancy: f64) -> u32 {
         if !self.config.enabled {
             return 1;
         }
-        let max = self.config.max_factor.max(1);
+        self.observations += 1;
+        let max = f64::from(self.config.max_factor.max(1));
         if occupancy >= self.config.high_water {
-            if self.factor == 1 && max > 1 {
+            if self.factor <= 1.0 && max > 1.0 {
                 self.episodes += 1;
                 obs::counter!("core.online.degrade_episodes").inc();
             }
-            self.factor = (self.factor.saturating_mul(2)).min(max);
-        } else if occupancy <= self.config.low_water && self.factor > 1 {
-            self.factor /= 2;
+            self.factor = (self.factor * 2.0).min(max);
+        } else if occupancy <= self.config.low_water && self.factor > 1.0 {
+            self.factor = (self.factor / 2.0).max(1.0);
         }
-        self.peak_factor = self.peak_factor.max(self.factor);
-        obs::gauge!("core.online.degrade_factor_peak").record(self.factor as u64);
-        self.factor
+        if self.factor > self.peak_factor {
+            self.peak_factor = self.factor;
+        }
+        let milli = factor_milli(self.factor);
+        obs::gauge!("core.online.degrade_factor_peak_milli").record(milli);
+        if self.factor > 1.0 {
+            // Degraded-worker wait edge: while the factor is above 1x
+            // the worker is effectively waiting on its own shed
+            // capacity. Logical clock = observation index; `cycles`
+            // carries the excess milli-factor.
+            fluctrace_rt::record_global(fluctrace_rt::WaitEdge {
+                core: 0,
+                tsc: self.observations,
+                cycles: milli.saturating_sub(1000),
+                cause: fluctrace_rt::WaitCause::Degraded,
+                peer: 0,
+            });
+        }
+        self.factor.round().max(1.0) as u32
     }
 
-    /// Current thinning factor (1 = full rate).
+    /// Current thinning stride (1 = full rate), rounded from the
+    /// fractional factor.
     pub fn factor(&self) -> u32 {
-        self.factor
+        self.factor.round().max(1.0) as u32
+    }
+
+    /// Current factor in milli-units (1750 = 1.75x).
+    pub fn factor_milli(&self) -> u64 {
+        factor_milli(self.factor)
     }
 
     /// Snapshot of the degradation counters.
     pub fn stats(&self) -> DegradeStats {
         DegradeStats {
             episodes: self.episodes,
-            peak_factor: self.peak_factor,
-            final_factor: self.factor,
+            peak_factor_milli: factor_milli(self.peak_factor),
+            final_factor_milli: factor_milli(self.factor),
         }
     }
 }
@@ -278,23 +319,28 @@ impl LossStats {
 }
 
 /// Degradation episodes recorded by the adaptive effective-reset policy.
+///
+/// Factors are fixed-point milli-units (1750 = 1.75x): fractional
+/// factors arise whenever a non-power-of-two cap is halved, and a
+/// truncating integer field would collapse them to the floor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DegradeStats {
     /// Times the policy left factor 1 (a new overload episode).
     pub episodes: u64,
-    /// Highest thinning factor reached.
-    pub peak_factor: u32,
-    /// Factor at the end of the run (1 = fully recovered).
-    pub final_factor: u32,
+    /// Highest thinning factor reached, in milli-units.
+    pub peak_factor_milli: u64,
+    /// Factor at the end of the run in milli-units (1000 = fully
+    /// recovered).
+    pub final_factor_milli: u64,
 }
 
 impl Default for DegradeStats {
-    /// No episodes and the factor at its floor of 1 (full sampling rate).
+    /// No episodes and the factor at its floor of 1x (full sampling rate).
     fn default() -> Self {
         DegradeStats {
             episodes: 0,
-            peak_factor: 1,
-            final_factor: 1,
+            peak_factor_milli: 1000,
+            final_factor_milli: 1000,
         }
     }
 }
@@ -392,8 +438,8 @@ impl ObsSection {
             snap.counters.insert(name.to_string(), v);
         }
         snap.gauges.insert(
-            "core.online.degrade_factor_peak".to_string(),
-            report.degrade.peak_factor as u64,
+            "core.online.degrade_factor_peak_milli".to_string(),
+            report.degrade.peak_factor_milli,
         );
         ObsSection { snapshot: snap }
     }
@@ -613,10 +659,21 @@ struct Worker {
 
 impl Worker {
     fn run(mut self, rx: Receiver<TraceBundle>) -> OnlineReport {
+        let mut batch_seq = 0u64;
         while let Ok(batch) = rx.recv() {
             if let Some(inspect) = self.inspector.as_mut() {
+                // Gated-worker wait edge: the inspector may park the
+                // worker arbitrarily long (tests gate it on a channel).
+                // The RAII guard records the edge even when the
+                // inspector panics and the worker unwinds — the wait
+                // graph never holds a dangling open edge for a dead
+                // worker. Logical clock = batch sequence number.
+                let gate =
+                    fluctrace_rt::begin_global(0, batch_seq, fluctrace_rt::WaitCause::Gated, 0);
                 inspect(&batch);
+                gate.close(batch_seq);
             }
+            batch_seq += 1;
             self.process(batch);
         }
         self.finalize();
@@ -1387,8 +1444,8 @@ mod tests {
         assert_eq!(policy.observe(0.1), 1);
         let stats = policy.stats();
         assert_eq!(stats.episodes, 2);
-        assert_eq!(stats.peak_factor, 8);
-        assert_eq!(stats.final_factor, 1);
+        assert_eq!(stats.peak_factor_milli, 8000);
+        assert_eq!(stats.final_factor_milli, 1000);
         // Re-crossing high water while already degraded is NOT a new
         // episode — only the 1→2 transition counts.
         assert_eq!(policy.observe(0.9), 2);
@@ -1506,8 +1563,8 @@ mod tests {
         assert_eq!(policy.observe(0.0), 1, "floor at full rate");
         let stats = policy.stats();
         assert_eq!(stats.episodes, 1);
-        assert_eq!(stats.peak_factor, 4);
-        assert_eq!(stats.final_factor, 1);
+        assert_eq!(stats.peak_factor_milli, 4000);
+        assert_eq!(stats.final_factor_milli, 1000);
         // Factor is capped.
         let mut policy = AdaptiveR::new(AdaptiveConfig {
             max_factor: 8,
@@ -1523,6 +1580,69 @@ mod tests {
             assert_eq!(off.observe(1.0), 1);
         }
         assert_eq!(off.stats().episodes, 0);
+    }
+
+    #[test]
+    fn fractional_peak_factor_survives_stats_and_snapshot() {
+        // Regression: the old gauge recorded `factor as u64`, so a
+        // fractional factor (cap at 7, then halve: 7 -> 3.5 -> 1.75)
+        // truncated (1.75 -> 1). Milli-units must preserve it through
+        // the stats, the ObsSection snapshot, and the serde round-trip.
+        let mut policy = AdaptiveR::new(AdaptiveConfig {
+            max_factor: 7,
+            ..AdaptiveConfig::new()
+        });
+        policy.observe(1.0); // 2
+        policy.observe(1.0); // 4
+        policy.observe(1.0); // 7 (capped at a non-power-of-two)
+        assert_eq!(policy.observe(0.0), 4, "3.5 rounds to stride 4");
+        assert_eq!(policy.factor_milli(), 3500);
+        assert_eq!(policy.observe(0.0), 2, "1.75 rounds to stride 2");
+        let stats = policy.stats();
+        assert_eq!(stats.peak_factor_milli, 7000);
+        assert_eq!(
+            stats.final_factor_milli, 1750,
+            "fractional factor must not truncate"
+        );
+        // The non-integral value survives into the snapshot vocabulary…
+        let report = OnlineReport {
+            degrade: stats,
+            ..OnlineReport::default()
+        };
+        let obs = ObsSection::from_report(&report);
+        assert_eq!(obs.gauge("core.online.degrade_factor_peak_milli"), 7000);
+        // …and a report whose *peak* is fractional round-trips exactly.
+        let mut fractional = report;
+        fractional.degrade.peak_factor_milli = 1750;
+        let obs = ObsSection::from_report(&fractional);
+        assert_eq!(obs.gauge("core.online.degrade_factor_peak_milli"), 1750);
+        let back = ObsSection::from_value(&obs.to_value()).unwrap();
+        assert_eq!(&back, &obs);
+    }
+
+    #[test]
+    fn gated_worker_panic_closes_its_wait_edge() {
+        // S4: the worker parks in the gated-inspector wait; the
+        // inspector panics; the RAII guard must close the edge during
+        // unwind so the wait graph holds no dangling edge.
+        let (symtab, f) = symtab();
+        let before = fluctrace_rt::wait::global_edges()
+            .iter()
+            .filter(|e| e.cause == fluctrace_rt::WaitCause::Gated)
+            .count();
+        let tracer = OnlineTracer::spawn_with_inspector(Arc::clone(&symtab), config(), |_batch| {
+            panic!("die mid-gate");
+        });
+        let _ = tracer.submit(item_batch(&symtab, f, 0, 0, 3_000));
+        assert!(matches!(
+            tracer.finish(),
+            Err(OnlineError::WorkerPanicked(_))
+        ));
+        let after = fluctrace_rt::wait::global_edges()
+            .iter()
+            .filter(|e| e.cause == fluctrace_rt::WaitCause::Gated)
+            .count();
+        assert!(after > before, "panicked gate left no closed wait edge");
     }
 
     #[test]
@@ -1628,8 +1748,8 @@ mod tests {
         assert!(obs.counter("core.online.samples_evicted") > 0);
         assert_eq!(obs.counter("core.online.no_such_metric"), 0);
         assert_eq!(
-            obs.gauge("core.online.degrade_factor_peak"),
-            report.degrade.peak_factor as u64
+            obs.gauge("core.online.degrade_factor_peak_milli"),
+            report.degrade.peak_factor_milli
         );
 
         // The section survives the serde shim round-trip byte-exactly.

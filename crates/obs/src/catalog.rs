@@ -260,9 +260,9 @@ pub const CATALOG: &[MetricDef] = &[
         "Peak pending-sample backlog per core",
     ),
     gauge(
-        "core.online.degrade_factor_peak",
-        "factor",
-        "Peak adaptive effective-reset factor",
+        "core.online.degrade_factor_peak_milli",
+        "milli_factor",
+        "Peak adaptive effective-reset factor in milli-units (1750 = 1.75x)",
     ),
     histogram(
         "core.online.batch_samples",
@@ -306,6 +306,22 @@ pub const CATALOG: &[MetricDef] = &[
         "stages",
         "Stages executed across all pipeline runs",
     ),
+    // --- rt::wait ---------------------------------------------------------
+    counter(
+        "rt.wait.edges",
+        "edges",
+        "Typed wait edges offered to wait logs (DepGraph diagnosis)",
+    ),
+    counter(
+        "rt.wait.dropped",
+        "edges",
+        "Wait edges dropped by a full bounded per-core log",
+    ),
+    histogram(
+        "rt.wait.cycles",
+        "cycles",
+        "Length of each offered wait edge (recording site's clock domain)",
+    ),
     // --- sim::fault -------------------------------------------------------
     counter(
         "sim.fault.schedules",
@@ -331,6 +347,11 @@ pub const CATALOG: &[MetricDef] = &[
         "sim.fault.burst_len",
         "samples",
         "Extra samples per scheduled burst",
+    ),
+    counter(
+        "sim.fault.dep_schedules",
+        "schedules",
+        "Depgraph ground-truth scenarios materialized",
     ),
     // --- bench ------------------------------------------------------------
     counter("bench.sweep.runs", "runs", "run_sweep invocations"),

@@ -1,0 +1,337 @@
+//! Bounded-ring pipeline executor with exact wait attribution.
+//!
+//! [`crate::Pipeline`] runs stages to completion in topological order
+//! over unbounded buffers — convenient for throughput experiments, but
+//! it has no back-pressure, so there is nothing for a wait-dependency
+//! diagnosis to explain. This module models the real deployment shape:
+//! every adjacent stage pair is connected by a bounded SPSC ring of
+//! capacity `C`, a stage's worker is busy until its push completes,
+//! and a push blocks while the downstream ring is full.
+//!
+//! The executor is an item-major dynamic program over four timestamps
+//! per `(item i, stage s)`:
+//!
+//! ```text
+//! ready[s][i] = arrival[i]                      (s = 0)
+//!             = push[s-1][i]                    (s > 0)
+//! pop[s][i]   = max(ready[s][i], push[s][i-1])  (worker busy until prior push)
+//! done[s][i]  = pop[s][i] + service[s][i]
+//! push[s][i]  = max(done[s][i], pop[s+1][i-C])  (ring s→s+1 full until
+//!             = done[s][i]  for the last stage   item i-C was popped)
+//! ```
+//!
+//! `pop[s+1][i-C]` is already final when item `i` reaches stage `s`
+//! because the recurrence is item-major and `i-C < i`. The recurrence
+//! is pure integer arithmetic: byte-identical output on every run and
+//! every `FLUCTRACE_THREADS` setting.
+//!
+//! **Exactness guarantee.** For each item, `ready → pop` is queue wait
+//! (cause [`WaitCause::StageHandoff`]) and `done → push` is blocked
+//! push (cause [`WaitCause::RingFull`]), so the per-stage terms
+//! telescope:
+//!
+//! ```text
+//! latency[i] = push[last][i] - arrival[i]
+//!            = Σ_s (handoff_wait[s][i] + service[s][i] + ringfull_wait[s][i])
+//! ```
+//!
+//! i.e. per-cause wait cycles sum *exactly* to `latency - service` —
+//! the invariant `core::depgraph` re-checks per anomaly episode and
+//! the proptest in `tests/bounded_prop.rs` checks for arbitrary specs.
+//! Worker-idle gaps are additionally recorded as
+//! [`WaitCause::RingEmpty`] poll edges; they describe the *worker's*
+//! idle time, not any item's latency, and are deliberately excluded
+//! from the per-item accounting identity.
+
+use crate::wait::{WaitCause, WaitEdge, WaitLog};
+
+/// One stage of a bounded pipeline: the core it is pinned to and its
+/// per-item service time in cycles.
+#[derive(Debug, Clone)]
+pub struct BoundedStage {
+    /// Core the stage's worker is pinned to.
+    pub core: u32,
+    /// Service cycles per item; items past the end cost 0 cycles.
+    pub service: Vec<u64>,
+}
+
+/// Input to [`run_bounded`]: arrival times, stages, and the capacity
+/// of every inter-stage ring.
+#[derive(Debug, Clone)]
+pub struct BoundedSpec {
+    /// Capacity of each stage-to-stage ring.
+    pub ring_capacity: usize,
+    /// Arrival timestamp (cycles) of each item at the first stage.
+    pub arrivals: Vec<u64>,
+    /// Pipeline stages in order.
+    pub stages: Vec<BoundedStage>,
+}
+
+/// The four DP timestamps for one `(item, stage)` cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageTiming {
+    /// When the item became available to this stage.
+    pub ready: u64,
+    /// When the stage's worker actually popped it.
+    pub pop: u64,
+    /// When service finished.
+    pub done: u64,
+    /// When the push into the next ring completed.
+    pub push: u64,
+}
+
+impl StageTiming {
+    /// Queue wait: item sat in the ring while the worker was busy.
+    pub fn handoff_wait(&self) -> u64 {
+        self.pop.saturating_sub(self.ready)
+    }
+
+    /// Service cycles spent on the item.
+    pub fn service(&self) -> u64 {
+        self.done.saturating_sub(self.pop)
+    }
+
+    /// Blocked-push wait: downstream ring was full after service.
+    pub fn ringfull_wait(&self) -> u64 {
+        self.push.saturating_sub(self.done)
+    }
+}
+
+/// Result of a bounded run: the full timing matrix plus the wait-edge
+/// log it implies.
+#[derive(Debug)]
+pub struct BoundedRun {
+    /// Core of each stage, in stage order.
+    pub cores: Vec<u32>,
+    /// Ring capacity the run was executed with.
+    pub ring_capacity: usize,
+    /// `timings[item][stage]` — the DP matrix.
+    pub timings: Vec<Vec<StageTiming>>,
+    /// Every wait edge the run produced (deterministic order).
+    pub log: WaitLog,
+}
+
+impl BoundedRun {
+    /// Number of items that flowed through the pipeline.
+    pub fn items(&self) -> usize {
+        self.timings.len()
+    }
+
+    /// End-to-end latency of item `i` (last push minus arrival).
+    pub fn latency(&self, i: usize) -> Option<u64> {
+        let row = self.timings.get(i)?;
+        let first = row.first()?;
+        let last = row.last()?;
+        Some(last.push.saturating_sub(first.ready))
+    }
+
+    /// Total service cycles of item `i` across all stages.
+    pub fn service(&self, i: usize) -> Option<u64> {
+        let row = self.timings.get(i)?;
+        Some(row.iter().map(StageTiming::service).sum())
+    }
+
+    /// Total wait of item `i`: latency minus service. By the
+    /// telescoping identity this equals the sum of the item's
+    /// handoff and ring-full waits.
+    pub fn wait(&self, i: usize) -> Option<u64> {
+        Some(self.latency(i)?.saturating_sub(self.service(i)?))
+    }
+}
+
+/// Per-core capacity of a run's edge log. Sized so no workload in the
+/// repo ever drops an item-attributed edge (each (item, stage) cell
+/// records at most 3).
+const RUN_LOG_PER_CORE: usize = 1 << 20;
+
+/// Execute the bounded-ring DP over `spec`.
+///
+/// Panics never: malformed specs (empty stages, short service
+/// vectors) degrade to zero-cost cells instead.
+pub fn run_bounded(spec: &BoundedSpec) -> BoundedRun {
+    let n_stages = spec.stages.len();
+    let mut log = WaitLog::new(RUN_LOG_PER_CORE);
+    let mut timings: Vec<Vec<StageTiming>> = Vec::with_capacity(spec.arrivals.len());
+    // push[s][i-1] per stage: when each worker becomes free again.
+    let mut prev_push: Vec<u64> = vec![0; n_stages];
+
+    for (i, &arrival) in spec.arrivals.iter().enumerate() {
+        let mut row: Vec<StageTiming> = Vec::with_capacity(n_stages);
+        let mut ready = arrival;
+        for (s, stage) in spec.stages.iter().enumerate() {
+            let service = stage.service.get(i).copied().unwrap_or(0);
+            let busy_until = prev_push.get(s).copied().unwrap_or(0);
+            let pop = ready.max(busy_until);
+            let done = pop.saturating_add(service);
+            // Ring s→s+1 has room once item i-C has been popped
+            // downstream; before C items exist it is trivially open.
+            let push = if s + 1 < n_stages {
+                match i
+                    .checked_sub(spec.ring_capacity.max(1))
+                    .and_then(|j| timings.get(j))
+                    .and_then(|r| r.get(s + 1))
+                {
+                    Some(downstream) => done.max(downstream.pop),
+                    None => done,
+                }
+            } else {
+                done
+            };
+
+            let core = stage.core;
+            let upstream = match s.checked_sub(1).and_then(|p| spec.stages.get(p)) {
+                Some(prev) => prev.core,
+                None => core, // self-edge: waiting on the external source
+            };
+            if pop > ready {
+                // Item sat in the inbound ring: handoff from upstream
+                // was delayed by this worker being busy.
+                log.record(WaitEdge {
+                    core,
+                    tsc: ready,
+                    cycles: pop - ready,
+                    cause: WaitCause::StageHandoff,
+                    peer: upstream,
+                });
+            }
+            if push > done {
+                let downstream = match spec.stages.get(s + 1) {
+                    Some(next) => next.core,
+                    None => core,
+                };
+                log.record(WaitEdge {
+                    core,
+                    tsc: done,
+                    cycles: push - done,
+                    cause: WaitCause::RingFull,
+                    peer: downstream,
+                });
+            }
+            if i > 0 && ready > busy_until {
+                // Worker-idle poll gap: informational, not part of any
+                // item's latency (see module docs).
+                log.record(WaitEdge {
+                    core,
+                    tsc: busy_until,
+                    cycles: ready - busy_until,
+                    cause: WaitCause::RingEmpty,
+                    peer: upstream,
+                });
+            }
+
+            row.push(StageTiming {
+                ready,
+                pop,
+                done,
+                push,
+            });
+            if let Some(slot) = prev_push.get_mut(s) {
+                *slot = push;
+            }
+            ready = push;
+        }
+        timings.push(row);
+    }
+
+    BoundedRun {
+        cores: spec.stages.iter().map(|s| s.core).collect(),
+        ring_capacity: spec.ring_capacity,
+        timings,
+        log,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(capacity: usize, arrivals: Vec<u64>, services: Vec<Vec<u64>>) -> BoundedSpec {
+        BoundedSpec {
+            ring_capacity: capacity,
+            arrivals,
+            stages: services
+                .into_iter()
+                .enumerate()
+                .map(|(s, service)| BoundedStage {
+                    core: s as u32,
+                    service,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn unloaded_pipeline_has_zero_wait() {
+        // Items arrive slower than any stage serves: pure service.
+        let run = run_bounded(&spec(4, vec![0, 100, 200], vec![vec![10; 3], vec![10; 3]]));
+        for i in 0..3 {
+            assert_eq!(run.latency(i), Some(20));
+            assert_eq!(run.wait(i), Some(0));
+        }
+        assert!(run
+            .log
+            .edges()
+            .iter()
+            .all(|e| e.cause == WaitCause::RingEmpty));
+    }
+
+    #[test]
+    fn burst_queues_at_the_first_stage() {
+        // All items arrive at t=0; queue wait grows linearly at stage 0
+        // and nowhere else.
+        let run = run_bounded(&spec(8, vec![0; 4], vec![vec![10; 4], vec![10; 4]]));
+        assert_eq!(run.latency(0), Some(20));
+        assert_eq!(run.latency(3), Some(50)); // 3 * 10 queue + 20 service
+        let by_cause = run.log.cycles_by_cause();
+        assert_eq!(by_cause.get("stage_handoff"), Some(&(10 + 20 + 30)));
+        assert_eq!(by_cause.get("ring_full"), None);
+    }
+
+    #[test]
+    fn slow_downstream_blocks_pushes_through_a_small_ring() {
+        // Stage 1 is 4x slower; with a capacity-1 ring stage 0 must
+        // block pushing once the ring holds an unpopped item.
+        let run = run_bounded(&spec(1, vec![0; 6], vec![vec![10; 6], vec![40; 6]]));
+        let by_cause = run.log.cycles_by_cause();
+        assert!(by_cause.get("ring_full").copied().unwrap_or(0) > 0);
+        // Ring-full edges name the downstream stage's core as peer.
+        assert!(run
+            .log
+            .edges()
+            .iter()
+            .filter(|e| e.cause == WaitCause::RingFull)
+            .all(|e| e.core == 0 && e.peer == 1));
+    }
+
+    #[test]
+    fn per_cause_waits_telescope_to_latency_minus_service() {
+        // The exactness identity on a deliberately messy spec.
+        let run = run_bounded(&spec(
+            2,
+            vec![0, 1, 2, 3, 50, 51, 52, 90],
+            vec![
+                vec![7, 7, 7, 7, 7, 7, 7, 7],
+                vec![3, 30, 3, 3, 3, 30, 3, 3],
+                vec![5, 5, 5, 5, 5, 5, 5, 5],
+            ],
+        ));
+        let total_wait: u64 = (0..run.items()).filter_map(|i| run.wait(i)).sum();
+        let by_cause = run.log.cycles_by_cause();
+        let attributed = by_cause.get("stage_handoff").copied().unwrap_or(0)
+            + by_cause.get("ring_full").copied().unwrap_or(0);
+        assert_eq!(attributed, total_wait, "wait attribution must be exact");
+    }
+
+    #[test]
+    fn reruns_are_byte_identical() {
+        let s = spec(
+            2,
+            vec![0, 5, 9, 14, 20],
+            vec![vec![6; 5], vec![9; 5], vec![4; 5]],
+        );
+        let a = run_bounded(&s);
+        let b = run_bounded(&s);
+        assert_eq!(a.timings, b.timings);
+        assert_eq!(a.log.edges(), b.log.edges());
+    }
+}

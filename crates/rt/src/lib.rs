@@ -24,18 +24,28 @@
 //! throughput benchmarks — the same data structure a DPDK-style pipeline
 //! uses between its pinned threads, implemented with acquire/release
 //! atomics.
+//!
+//! For *why a core waited* (not just where time went), every blocking
+//! structure records typed wait/wakeup edges ([`wait`]) and the
+//! bounded-ring executor ([`bounded`]) produces an exact, deterministic
+//! wait decomposition that `core::depgraph` walks to the root-cause
+//! stage of a tail-latency anomaly (see DIAGNOSIS.md).
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod bounded;
 pub mod pipeline;
 pub mod spsc;
 pub mod stage;
 pub mod timed;
 pub mod ult;
+pub mod wait;
 
+pub use bounded::{run_bounded, BoundedRun, BoundedSpec, BoundedStage, StageTiming};
 pub use pipeline::{Pipeline, PipelineReport};
 pub use spsc::{spsc_ring, RingConsumer, RingProducer};
 pub use stage::{run_stage, spin_until, StageOpts};
 pub use timed::Timed;
 pub use ult::{UltJob, UltScheduler, UltSchedulerConfig};
+pub use wait::{begin_global, record_global, OpenWait, WaitCause, WaitEdge, WaitLog};

@@ -1,0 +1,110 @@
+//! Property tests for the bounded-ring DP's exactness guarantee.
+//!
+//! The DepGraph diagnosis leans on one identity: for every item,
+//! `latency == stage-handoff wait + service + ring-full wait` summed
+//! over stages, so per-cause wait cycles always sum to
+//! `latency − service` — exactly, for *any* arrival pattern, service
+//! matrix and ring capacity, not just the curated sweep scenarios.
+//! These properties pin the identity (and the run's determinism) over
+//! arbitrary inputs.
+
+use fluctrace_rt::bounded::{run_bounded, BoundedSpec, BoundedStage};
+use proptest::prelude::*;
+
+/// Assemble a spec from flat sampled inputs: `gaps` become cumulative
+/// arrival times (covering idle through saturated regimes), and the
+/// flat `services` pool is sliced into `stages` rows of `items` cells.
+fn build_spec(stages: usize, capacity: usize, gaps: &[u64], services: &[u64]) -> BoundedSpec {
+    let items = gaps.len();
+    let mut t = 0u64;
+    let arrivals = gaps
+        .iter()
+        .map(|g| {
+            t += g;
+            t
+        })
+        .collect();
+    BoundedSpec {
+        ring_capacity: capacity,
+        arrivals,
+        stages: (0..stages)
+            .map(|s| BoundedStage {
+                core: s as u32,
+                service: (0..items)
+                    .map(|i| services[(s * items + i) % services.len()])
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
+proptest! {
+    /// Per-cause wait cycles sum exactly to total observed wait,
+    /// per item and in aggregate.
+    #[test]
+    fn per_cause_waits_sum_to_observed_wait(
+        stages in 1usize..=5,
+        capacity in 1usize..=6,
+        gaps in proptest::collection::vec(0u64..400, 1..41),
+        services in proptest::collection::vec(0u64..300, 200..201),
+    ) {
+        let spec = build_spec(stages, capacity, &gaps, &services);
+        let run = run_bounded(&spec);
+        let mut handoff_total = 0u64;
+        let mut ringfull_total = 0u64;
+        for (i, row) in run.timings.iter().enumerate() {
+            let handoff: u64 = row.iter().map(|t| t.handoff_wait()).sum();
+            let ringfull: u64 = row.iter().map(|t| t.ringfull_wait()).sum();
+            let latency = run.latency(i).unwrap_or(0);
+            let service = run.service(i).unwrap_or(0);
+            prop_assert_eq!(
+                handoff + ringfull,
+                latency - service,
+                "item {} wait decomposition drifted",
+                i
+            );
+            prop_assert_eq!(run.wait(i), Some(latency - service));
+            handoff_total += handoff;
+            ringfull_total += ringfull;
+        }
+        let observed: u64 = (0..run.items()).filter_map(|i| run.wait(i)).sum();
+        prop_assert_eq!(handoff_total + ringfull_total, observed);
+    }
+
+    /// The DP is a pure function of the spec: timings and the offered
+    /// edge log are identical across reruns.
+    #[test]
+    fn reruns_are_identical(
+        stages in 1usize..=5,
+        capacity in 1usize..=6,
+        gaps in proptest::collection::vec(0u64..400, 1..41),
+        services in proptest::collection::vec(0u64..300, 200..201),
+    ) {
+        let spec = build_spec(stages, capacity, &gaps, &services);
+        let a = run_bounded(&spec);
+        let b = run_bounded(&spec);
+        prop_assert_eq!(a.timings, b.timings);
+        prop_assert_eq!(a.log.edges(), b.log.edges());
+    }
+
+    /// Stage timestamps are internally ordered: ready <= pop <= done <=
+    /// push, and the next stage's ready equals this stage's push.
+    #[test]
+    fn timestamps_are_monotone_through_stages(
+        stages in 1usize..=5,
+        capacity in 1usize..=6,
+        gaps in proptest::collection::vec(0u64..400, 1..41),
+        services in proptest::collection::vec(0u64..300, 200..201),
+    ) {
+        let spec = build_spec(stages, capacity, &gaps, &services);
+        let run = run_bounded(&spec);
+        for row in &run.timings {
+            for (s, t) in row.iter().enumerate() {
+                prop_assert!(t.ready <= t.pop && t.pop <= t.done && t.done <= t.push);
+                if let Some(next) = row.get(s + 1) {
+                    prop_assert_eq!(next.ready, t.push);
+                }
+            }
+        }
+    }
+}

@@ -140,6 +140,60 @@ fn bursty_interleaving_accounts_for_every_item() {
 }
 
 #[test]
+fn occupancy_stays_in_unit_interval_under_interleaving() {
+    // `occupancy()` reads head and tail as two separate relaxed loads,
+    // so a torn read can observe a consumer-advanced head next to a
+    // stale tail (or vice versa). The documented contract is that the
+    // quotient is still always inside [0, 1] — both handles check it on
+    // every iteration while the threads interleave under the seeded
+    // yield schedule.
+    const N: u64 = 4_000;
+    for capacity in CAPACITIES {
+        for seed in SEEDS {
+            let (mut tx, mut rx) = spsc_ring(capacity);
+            let producer = thread::spawn(move || {
+                let mut sched = seed ^ 0x0f0f_f0f0_0f0f_f0f0;
+                for i in 0..N {
+                    maybe_yield(&mut sched, 3);
+                    loop {
+                        let occ = tx.occupancy();
+                        assert!(
+                            (0.0..=1.0).contains(&occ),
+                            "producer saw occupancy {occ} at capacity {capacity}, seed {seed:#x}"
+                        );
+                        match tx.push(i) {
+                            Ok(()) => break,
+                            Err(_) => thread::yield_now(),
+                        }
+                    }
+                }
+            });
+            let consumer = thread::spawn(move || {
+                let mut sched = seed;
+                let mut expected = 0u64;
+                while expected < N {
+                    maybe_yield(&mut sched, 3);
+                    let occ = rx.occupancy();
+                    assert!(
+                        (0.0..=1.0).contains(&occ),
+                        "consumer saw occupancy {occ} at capacity {capacity}, seed {seed:#x}"
+                    );
+                    match rx.pop() {
+                        Some(v) => {
+                            assert_eq!(v, expected);
+                            expected += 1;
+                        }
+                        None => thread::yield_now(),
+                    }
+                }
+            });
+            producer.join().unwrap();
+            consumer.join().unwrap();
+        }
+    }
+}
+
+#[test]
 fn capacity_one_ring_alternates_strictly() {
     // With capacity 1 the ring degenerates to a rendezvous slot: the
     // producer can never be more than one item ahead, so the observed

@@ -182,6 +182,174 @@ pub fn occupancy_wave(steps: usize, period: usize, peak: f64) -> Vec<f64> {
         .collect()
 }
 
+/// Which root cause a depgraph scenario injects. Every schedule built
+/// by [`DepPlan::schedule`] *carries* its cause, so the DepGraph
+/// walker can be verified against injected ground truth the same way
+/// the overload experiment proves `LossStats` exact against
+/// [`FaultSchedule`] counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DeclaredCause {
+    /// A stage's service time was inflated over a window of items.
+    DegradedStage,
+    /// A burst of items arrived (nearly) simultaneously at the source.
+    ArrivalBurst,
+}
+
+impl DeclaredCause {
+    /// Stable lowercase label matching the walker's diagnosis vocabulary.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DeclaredCause::DegradedStage => "degraded",
+            DeclaredCause::ArrivalBurst => "arrival_burst",
+        }
+    }
+}
+
+/// The injected root cause of a depgraph scenario: which stage and why.
+/// For [`DeclaredCause::ArrivalBurst`] the stage is always 0 (the
+/// source fronts the first stage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeclaredRootCause {
+    /// Stage index the anomaly originates at.
+    pub stage: u32,
+    /// Why.
+    pub cause: DeclaredCause,
+}
+
+/// The scenario a [`DepPlan`] injects into an otherwise-clean pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepScenario {
+    /// Stage `stage` serves items `from..to` at `factor_milli`/1000
+    /// times its base service cost (the bounded-pipeline analogue of
+    /// the [`occupancy_wave`]-driven adaptive degradation).
+    DegradedStage {
+        /// Degraded stage index.
+        stage: u32,
+        /// Service inflation in milli-units (4000 = 4x).
+        factor_milli: u32,
+        /// First degraded item (inclusive).
+        from: usize,
+        /// Past-the-end degraded item.
+        to: usize,
+    },
+    /// Items `from..to` arrive back-to-back (gap 0) instead of at the
+    /// plan's steady arrival gap — the bounded-pipeline analogue of
+    /// [`Fault::Burst`].
+    ArrivalBurst {
+        /// First burst item (inclusive).
+        from: usize,
+        /// Past-the-end burst item.
+        to: usize,
+    },
+}
+
+/// Plan for a bounded-pipeline wait-diagnosis scenario: a clean
+/// steady-state pipeline plus exactly one injected root cause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepPlan {
+    /// Number of pipeline stages.
+    pub stages: u32,
+    /// Number of items.
+    pub items: usize,
+    /// Base service cycles per item, every stage.
+    pub base_service: u64,
+    /// Steady-state arrival gap in cycles (> base_service keeps the
+    /// clean pipeline wait-free).
+    pub arrival_gap: u64,
+    /// Capacity of each inter-stage ring.
+    pub ring_capacity: usize,
+    /// The injected anomaly.
+    pub scenario: DepScenario,
+}
+
+/// A fully materialized depgraph scenario: arrival times, the
+/// per-stage per-item service matrix, and the ground-truth root cause
+/// the walker must recover.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DepSchedule {
+    /// Arrival cycle of each item at the source.
+    pub arrivals: Vec<u64>,
+    /// `services[stage][item]` service cycles.
+    pub services: Vec<Vec<u64>>,
+    /// The injected ground truth.
+    pub declared: DeclaredRootCause,
+}
+
+impl DepPlan {
+    /// The ground-truth root cause this plan injects.
+    pub fn declared(&self) -> DeclaredRootCause {
+        match self.scenario {
+            DepScenario::DegradedStage { stage, .. } => DeclaredRootCause {
+                stage,
+                cause: DeclaredCause::DegradedStage,
+            },
+            DepScenario::ArrivalBurst { .. } => DeclaredRootCause {
+                stage: 0,
+                cause: DeclaredCause::ArrivalBurst,
+            },
+        }
+    }
+
+    /// Materialize the plan into a schedule. Pure function of
+    /// `(self, seed)`: the seed shifts the anomaly window inside the
+    /// item range so a seeded sweep exercises different alignments
+    /// without disturbing the exact integer timing model.
+    pub fn schedule(&self, seed: u64) -> DepSchedule {
+        let items = self.items;
+        let shift = if items > 0 { (seed % 8) as usize } else { 0 };
+        let window = |from: usize, to: usize| {
+            let len = to.saturating_sub(from);
+            let from = (from + shift).min(items);
+            (from, (from + len).min(items))
+        };
+
+        let mut arrivals = Vec::with_capacity(items);
+        let mut services: Vec<Vec<u64>> =
+            vec![vec![self.base_service; items]; self.stages.max(1) as usize];
+        let mut t = 0u64;
+        match self.scenario {
+            DepScenario::DegradedStage {
+                stage,
+                factor_milli,
+                from,
+                to,
+            } => {
+                let (from, to) = window(from, to);
+                for i in 0..items {
+                    arrivals.push(t);
+                    t += self.arrival_gap;
+                    if (from..to).contains(&i) {
+                        if let Some(row) = services.get_mut(stage as usize) {
+                            if let Some(cell) = row.get_mut(i) {
+                                *cell = self.base_service * factor_milli as u64 / 1000;
+                            }
+                        }
+                    }
+                }
+            }
+            DepScenario::ArrivalBurst { from, to } => {
+                let (from, to) = window(from, to);
+                for i in 0..items {
+                    arrivals.push(t);
+                    // Burst items arrive back-to-back: the *next* item
+                    // gets no gap while inside the window.
+                    if !(from..to.saturating_sub(1)).contains(&i) {
+                        t += self.arrival_gap;
+                    }
+                }
+            }
+        }
+        if fluctrace_obs::recording() {
+            fluctrace_obs::counter!("sim.fault.dep_schedules").inc();
+        }
+        DepSchedule {
+            arrivals,
+            services,
+            declared: self.declared(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,6 +405,62 @@ mod tests {
             burst_len: 0,
         }
         .schedule(10, 0);
+    }
+
+    #[test]
+    fn dep_schedule_is_pure_and_carries_its_cause() {
+        let plan = DepPlan {
+            stages: 3,
+            items: 64,
+            base_service: 100,
+            arrival_gap: 150,
+            ring_capacity: 4,
+            scenario: DepScenario::DegradedStage {
+                stage: 2,
+                factor_milli: 4000,
+                from: 16,
+                to: 32,
+            },
+        };
+        let a = plan.schedule(9);
+        let b = plan.schedule(9);
+        assert_eq!(a, b, "same seed, same schedule");
+        let c = plan.schedule(10);
+        assert_ne!(a, c, "seed shifts the window");
+        assert_eq!(
+            a.declared,
+            DeclaredRootCause {
+                stage: 2,
+                cause: DeclaredCause::DegradedStage
+            }
+        );
+        // Degraded window inflates exactly stage 2, 4x, 16 items.
+        let degraded = a.services[2].iter().filter(|&&s| s == 400).count();
+        assert_eq!(degraded, 16);
+        assert!(a.services[0].iter().all(|&s| s == 100));
+        assert!(a.services[1].iter().all(|&s| s == 100));
+    }
+
+    #[test]
+    fn burst_schedule_collapses_arrival_gaps() {
+        let plan = DepPlan {
+            stages: 2,
+            items: 20,
+            base_service: 50,
+            arrival_gap: 100,
+            ring_capacity: 8,
+            scenario: DepScenario::ArrivalBurst { from: 5, to: 10 },
+        };
+        let sched = plan.schedule(0); // shift 0: window stays 5..10
+        assert_eq!(sched.declared.cause, DeclaredCause::ArrivalBurst);
+        assert_eq!(sched.declared.stage, 0);
+        // Items 5..=9 share one arrival instant; everyone else is
+        // spaced by the steady gap.
+        assert_eq!(sched.arrivals[5], sched.arrivals[9]);
+        assert_eq!(sched.arrivals[5] - sched.arrivals[4], 100);
+        assert_eq!(sched.arrivals[10] - sched.arrivals[9], 100);
+        // Services stay clean: the burst is purely an arrival anomaly.
+        assert!(sched.services.iter().flatten().all(|&s| s == 50));
     }
 
     #[test]

@@ -45,7 +45,10 @@ pub mod stats;
 pub mod time;
 
 pub use event::{EventHandle, EventQueue, Scheduler};
-pub use fault::{occupancy_wave, Fault, FaultCounts, FaultPlan, FaultSchedule};
+pub use fault::{
+    occupancy_wave, DeclaredCause, DeclaredRootCause, DepPlan, DepScenario, DepSchedule, Fault,
+    FaultCounts, FaultPlan, FaultSchedule,
+};
 pub use rng::Rng;
 pub use stats::{Histogram, RunningStats, Summary};
 pub use time::{Freq, SimDuration, SimTime};
