@@ -21,6 +21,10 @@ pub struct AclRunConfig {
     pub drain: DrainMode,
     /// RNG seed.
     pub seed: u64,
+    /// Keep the raw [`TraceBundle`] on the result (for `--store`
+    /// spill). Off by default: bundles are large and the figures only
+    /// need the reduced statistics.
+    pub keep_bundle: bool,
 }
 
 impl AclRunConfig {
@@ -37,6 +41,7 @@ impl AclRunConfig {
             table3,
             drain: DrainMode::DoubleBuffered,
             seed: 0xAC10,
+            keep_bundle: false,
         }
     }
 }
@@ -73,6 +78,8 @@ pub struct AclRunResult {
     /// Analysis-pipeline wall-time/throughput counters (profiled runs
     /// only; baselines run no integration).
     pub pipeline: Option<PipelineStats>,
+    /// The raw trace (only when [`AclRunConfig::keep_bundle`] was set).
+    pub bundle: Option<fluctrace_cpu::TraceBundle>,
 }
 
 /// Run the firewall once under `config`.
@@ -190,6 +197,7 @@ pub fn run_acl(config: AclRunConfig) -> AclRunResult {
         acl_core_busy,
         mean_latency_us: all_latency.mean(),
         pipeline,
+        bundle: config.keep_bundle.then_some(bundle),
     }
 }
 

@@ -12,12 +12,35 @@
 use fluctrace_analysis::{assert_flattens, Table};
 use fluctrace_apps::Kernel;
 use fluctrace_bench::figures::fig4_data;
-use fluctrace_bench::sampling_experiment::Sampler;
+use fluctrace_bench::sampling_experiment::{measure_interval_capture, Sampler};
+use fluctrace_bench::store_support;
 use fluctrace_bench::{emit, Scale};
+
+/// Reset value of the `--store` capture pass (one segment per
+/// `(kernel, sampler)` pair — sweeping every reset would spill the
+/// same streams at different densities for no extra coverage).
+const STORE_CAPTURE_RESET: u64 = 4_096;
 
 fn main() {
     fluctrace_bench::obs_support::init();
     let scale = Scale::from_env();
+    let store = store_support::store_args();
+
+    if let Some(path) = &store.from_store {
+        match store_support::replay(path) {
+            Ok(bundle) => println!(
+                "replayed fig4 raw trace: {} samples, {} marks",
+                bundle.samples.len(),
+                bundle.marks.len()
+            ),
+            Err(e) => {
+                eprintln!("fig4 --from-store: {e}");
+                std::process::exit(1);
+            }
+        }
+        fluctrace_bench::obs_support::finish();
+        return;
+    }
 
     println!("Fig. 4 — sample interval vs reset value (event: UOPS_RETIRED.ALL)\n");
     let data = fig4_data(scale);
@@ -83,6 +106,27 @@ fn main() {
     for n in notes {
         println!("  - {n}");
     }
+
+    if let Some(path) = &store.store {
+        let captures: Vec<_> = [Sampler::Pebs, Sampler::Software]
+            .into_iter()
+            .flat_map(|sampler| {
+                Kernel::ALL.into_iter().map(move |kernel| {
+                    measure_interval_capture(
+                        kernel,
+                        sampler,
+                        STORE_CAPTURE_RESET,
+                        scale.kernel_uops(),
+                        7,
+                    )
+                    .1
+                })
+            })
+            .collect();
+        let refs: Vec<_> = captures.iter().collect();
+        store_support::spill(path, &refs);
+    }
+
     emit(&data.figure);
     fluctrace_bench::obs_support::finish();
 }

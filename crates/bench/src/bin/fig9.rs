@@ -13,19 +13,45 @@
 use fluctrace_analysis::Table;
 use fluctrace_apps::PacketType;
 use fluctrace_bench::acl_experiment::PAPER_RESETS;
-use fluctrace_bench::figures::fig9_data;
+use fluctrace_bench::figures::fig9_data_with;
+use fluctrace_bench::store_support;
 use fluctrace_bench::{emit, print_pipeline_throughput, Scale};
 
 fn main() {
     fluctrace_bench::obs_support::init();
     let scale = Scale::from_env();
     let per_type = scale.packets_per_type();
+    let store = store_support::store_args();
+
+    if let Some(path) = &store.from_store {
+        // Replay a previously spilled run instead of re-simulating.
+        match store_support::replay(path) {
+            Ok(bundle) => println!(
+                "replayed fig9 raw trace: {} samples, {} marks",
+                bundle.samples.len(),
+                bundle.marks.len()
+            ),
+            Err(e) => {
+                eprintln!("fig9 --from-store: {e}");
+                std::process::exit(1);
+            }
+        }
+        fluctrace_bench::obs_support::finish();
+        return;
+    }
 
     println!(
         "Fig. 9 — per-packet rte_acl_classify elapsed time ({} packets/type)\n",
         per_type
     );
-    let data = fig9_data(scale);
+    let data = fig9_data_with(scale, store.store.is_some());
+    if let Some(path) = &store.store {
+        // One segment per run: baseline first, then the reset sweep.
+        let mut bundles = Vec::new();
+        bundles.extend(data.baseline.bundle.as_ref());
+        bundles.extend(data.results.iter().filter_map(|r| r.bundle.as_ref()));
+        store_support::spill(path, &bundles);
+    }
     let (baseline, results, fig) = (&data.baseline, &data.results, &data.figure);
     println!(
         "rule set: {} rules in {} tries",

@@ -24,9 +24,40 @@
 
 use fluctrace_analysis::{accounting_exact, loss_table, LossRow};
 use fluctrace_bench::depgraph_experiment::{depgraph_data, explanations};
-use fluctrace_bench::figures::overload_data;
-use fluctrace_bench::overload_experiment::run_stall;
+use fluctrace_bench::figures::{overload_data_with, OVERLOAD_MAX_PENDING};
+use fluctrace_bench::overload_experiment::{overload_symtab, run_stall};
+use fluctrace_bench::store_support;
 use fluctrace_bench::{artifact_dir, emit, Scale};
+use fluctrace_core::online::{OnlineConfig, OnlineTracer};
+use fluctrace_sim::Freq;
+
+/// Replay a spilled faulted stream through a fresh online tracer: the
+/// store round-trip is bit-exact, so the replayed report reproduces the
+/// loss ledger of the original run (batch cuts aside).
+fn replay_main(path: &std::path::Path) {
+    let bundle = match store_support::replay(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("overload --from-store: {e}");
+            std::process::exit(1);
+        }
+    };
+    let (symtab, _f) = overload_symtab();
+    let mut cfg = OnlineConfig::new(Freq::ghz(3));
+    cfg.max_pending = OVERLOAD_MAX_PENDING;
+    let tracer = OnlineTracer::spawn(symtab, cfg);
+    tracer.submit(bundle).expect("worker alive");
+    let report = tracer.finish().expect("no worker panic in replay");
+    println!(
+        "replayed through the online tracer: {} items, {} samples seen, \
+         {} attributed, {} lost",
+        report.items_processed,
+        report.samples_seen,
+        report.samples_attributed,
+        report.loss.samples_lost()
+    );
+    fluctrace_bench::obs_support::finish();
+}
 
 fn diagnose_main(scale: Scale) {
     println!("DepGraph wait-dependency diagnosis — ground-truth recovery sweep\n");
@@ -66,13 +97,27 @@ fn main() {
         diagnose_main(scale);
         return;
     }
+    let store = store_support::store_args();
+    if let Some(path) = &store.from_store {
+        replay_main(path);
+        return;
+    }
     let items = match scale {
         Scale::Quick => 2_000,
         Scale::Paper => 20_000,
     };
 
     println!("§IV.C.3 under fault injection — online loss accounting ({items} items)\n");
-    let data = overload_data(scale);
+    let data = overload_data_with(scale, store.store.is_some());
+    if let Some(path) = &store.store {
+        // One segment per fault-rate sweep point.
+        let bundles: Vec<_> = data
+            .results
+            .iter()
+            .filter_map(|r| r.bundle.as_ref())
+            .collect();
+        store_support::spill(path, &bundles);
+    }
 
     // Ledger for the harshest sweep point. The observed side reads the
     // report's unified obs snapshot, so the ledger, the `--obs` export,

@@ -99,6 +99,13 @@ pub struct Fig9Data {
 /// `rte_acl_classify` vs reset value, against the instrumented
 /// baseline.
 pub fn fig9_data(scale: Scale) -> Fig9Data {
+    fig9_data_with(scale, false)
+}
+
+/// [`fig9_data`] with optional raw-bundle capture on every run (for
+/// `--store` spill). `keep_bundles` does not enter any computation, so
+/// the emitted figure stays byte-identical either way.
+pub fn fig9_data_with(scale: Scale, keep_bundles: bool) -> Fig9Data {
     let per_type = scale.packets_per_type();
     let table3 = scale.table3_params();
     let mut fig = Figure::new(
@@ -117,6 +124,9 @@ pub fn fig9_data(scale: Scale) -> Fig9Data {
             .iter()
             .map(|&r| AclRunConfig::new(Some(r), per_type, table3)),
     );
+    for c in &mut configs {
+        c.keep_bundle = keep_bundles;
+    }
     let mut results = run_sweep(configs, run_acl);
     let baseline = results.remove(0);
     let mut baseline_series = Series::new("baseline");
@@ -235,6 +245,13 @@ pub struct OverloadData {
 /// fault rate, and the adaptive effective-reset factor trace under a
 /// scripted occupancy wave.
 pub fn overload_data(scale: Scale) -> OverloadData {
+    overload_data_with(scale, false)
+}
+
+/// [`overload_data`] with optional raw-bundle capture on every sweep
+/// point (for `--store` spill). `keep_bundles` does not enter any
+/// computation, so the emitted figures stay byte-identical either way.
+pub fn overload_data_with(scale: Scale, keep_bundles: bool) -> OverloadData {
     let items = match scale {
         Scale::Quick => 2_000,
         Scale::Paper => 20_000,
@@ -254,6 +271,7 @@ pub fn overload_data(scale: Scale) -> OverloadData {
                 items,
                 schedule: plan.schedule(items, OVERLOAD_SEED),
                 max_pending: OVERLOAD_MAX_PENDING,
+                keep_bundle: keep_bundles,
             }
         })
         .collect();

@@ -64,6 +64,7 @@ pub fn obs_probe() {
         items: 200,
         schedule: plan.schedule(200, PROBE_SEED),
         max_pending: 16,
+        keep_bundle: false,
     };
     let r = run_overload(&cfg);
     assert!(r.accounting_exact(), "probe replay must account exactly");

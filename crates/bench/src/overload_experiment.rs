@@ -44,6 +44,9 @@ pub struct OverloadConfig {
     /// `pending` bound handed to the tracer (small values force
     /// eviction under bursts).
     pub max_pending: usize,
+    /// Keep the merged faulted stream on the result (for `--store`
+    /// spill). Off by default: the sweep only needs the loss counts.
+    pub keep_bundle: bool,
 }
 
 /// Ground-truth loss totals implied by a fault schedule — computed from
@@ -81,6 +84,9 @@ pub struct OverloadResult {
     pub report: OnlineReport,
     /// Ground truth from the schedule.
     pub expected: ExpectedLosses,
+    /// The merged faulted stream (only when
+    /// [`OverloadConfig::keep_bundle`] was set).
+    pub bundle: Option<TraceBundle>,
 }
 
 impl OverloadResult {
@@ -211,13 +217,21 @@ pub fn run_overload(cfg: &OverloadConfig) -> OverloadResult {
     let mut online_cfg = OnlineConfig::new(Freq::ghz(3));
     online_cfg.max_pending = cfg.max_pending;
     let tracer = OnlineTracer::spawn(Arc::clone(&symtab), online_cfg);
+    let mut kept = cfg.keep_bundle.then(TraceBundle::default);
     for i in 0..cfg.items {
         let batch = faulted_batch(&symtab, f, i, cfg.schedule.get(i));
+        if let Some(b) = kept.as_mut() {
+            b.merge(batch.clone());
+        }
         tracer.submit(batch).expect("worker alive");
     }
     let report = tracer.finish().expect("no worker panic in replay");
     let expected = expected_losses(&cfg.schedule, cfg.max_pending);
-    OverloadResult { report, expected }
+    OverloadResult {
+        report,
+        expected,
+        bundle: kept,
+    }
 }
 
 /// Result of the slow-consumer stall scenario.
@@ -298,6 +312,7 @@ mod tests {
             items: 200,
             schedule: FaultPlan::none().schedule(200, 1),
             max_pending: 1 << 16,
+            keep_bundle: false,
         };
         let r = run_overload(&cfg);
         assert!(
@@ -322,6 +337,7 @@ mod tests {
             items: 500,
             schedule: plan.schedule(500, 99),
             max_pending: 16, // force eviction on 42-sample bursts
+            keep_bundle: false,
         };
         let r = run_overload(&cfg);
         assert!(

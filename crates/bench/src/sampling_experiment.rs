@@ -45,6 +45,18 @@ pub fn measure_interval(
     total_uops: u64,
     seed: u64,
 ) -> IntervalMeasurement {
+    measure_interval_capture(kernel, sampler, reset, total_uops, seed).0
+}
+
+/// [`measure_interval`], also returning the raw trace bundle (for
+/// `--store` spill in the Fig. 4 bin).
+pub fn measure_interval_capture(
+    kernel: Kernel,
+    sampler: Sampler,
+    reset: u64,
+    total_uops: u64,
+    seed: u64,
+) -> (IntervalMeasurement, fluctrace_cpu::TraceBundle) {
     let (symtab, funcs) = KernelFuncs::symtab();
     let mut core_cfg = CoreConfig::bare();
     match sampler {
@@ -66,11 +78,12 @@ pub fn measure_interval(
         f64::NAN
     };
     let ideal_us = reset as f64 / kernel.uops_per_sec(Freq::ghz(3).as_hz()) * 1e6;
-    IntervalMeasurement {
+    let m = IntervalMeasurement {
         mean_interval_us,
         samples,
         ideal_us,
-    }
+    };
+    (m, bundle)
 }
 
 /// The reset-value sweep of Fig. 4 (powers of two, 2⁹..2¹⁶).

@@ -20,11 +20,14 @@
 
 use crate::gen::Workload;
 use crate::oracle::{self, OracleOffline, OracleOnline};
-use fluctrace_core::online::{OnlineConfig, OnlineTracer};
+use fluctrace_core::online::{OnlineConfig, OnlineReport, OnlineTracer};
 use fluctrace_core::{
     integrate_soa_with_threads, integrate_with_threads, EstimateTable, IntervalError, MappingMode,
 };
+use fluctrace_cpu::{PebsRecord, TraceBundle};
+use fluctrace_store::{write_bundle_to_vec, SharedBuf, StoreConfig, TraceReader, TraceWriter};
 use serde::Serialize;
+use std::io::Cursor;
 
 /// A canonical, order-stable projection of an estimate table. Both the
 /// pipeline's `EstimateTable` and the oracle's rows map onto this; the
@@ -110,6 +113,11 @@ pub struct DiffSummary {
     /// True when the online/offline anomaly cross-check applied (no
     /// eviction or discard, unique item ids).
     pub cross_checked: bool,
+    /// Store bytes the suppressed on-disk round-trip produced.
+    pub store_bytes: u64,
+    /// Sample rows the store's redundancy suppression elided (and the
+    /// ledger replayed) across the store legs of this workload.
+    pub store_elided: u64,
 }
 
 /// One divergence between two executions of the same workload.
@@ -183,7 +191,327 @@ pub fn check_workload(w: &Workload) -> Result<DiffSummary, Disagreement> {
 
     check_offline(w, &oracle_off, &mut summary)?;
     check_online(w, &oracle_on, &oracle_off, &mut summary)?;
+    check_store(w, &oracle_off, &mut summary)?;
     Ok(summary)
+}
+
+/// The 11-counter loss ledger plus attribution totals, as one
+/// comparable tuple.
+type AccountingKey = (u64, u64, u64, u64, u64, u64, u64, u64, u64, u64, u64);
+
+fn accounting_key(report: &OnlineReport) -> AccountingKey {
+    (
+        report.items_processed,
+        report.samples_seen,
+        report.samples_attributed,
+        report.loss.samples_evicted,
+        report.loss.samples_discarded,
+        report.loss.samples_spin,
+        report.loss.marks_orphaned,
+        report.loss.marks_mismatched,
+        report.loss.starts_abandoned,
+        report.loss.starts_truncated,
+        report.loss.boundary_samples,
+    )
+}
+
+fn anomaly_keys(report: &OnlineReport) -> Vec<AnomalyKey> {
+    let mut keys: Vec<AnomalyKey> = report
+        .anomalies
+        .iter()
+        .map(|a| (a.item.0, a.func.0, a.elapsed.as_ps(), a.raw_samples.len()))
+        .collect();
+    keys.sort_unstable();
+    keys
+}
+
+/// Run a bundle through the flag-everything online tracer as a single
+/// batch and return the finished report.
+fn online_single_batch(w: &Workload, bundle: &TraceBundle) -> Result<OnlineReport, Disagreement> {
+    let seed = w.spec.seed;
+    let mut config = OnlineConfig::new(w.freq);
+    config.divergence_factor = 0.0;
+    config.warmup = 0;
+    config.max_pending = w.spec.max_pending;
+    let tracer = OnlineTracer::spawn(std::sync::Arc::clone(&w.symtab), config);
+    if tracer.submit(bundle.clone()).is_err() {
+        return Err(fail(seed, "store-online-submit", "worker gone".into()));
+    }
+    tracer
+        .finish()
+        .map_err(|e| fail(seed, "store-online-finish", e.to_string()))
+}
+
+/// The on-disk columnar store must be a transparent layer: writing the
+/// workload through `fluctrace-store` and reading it back — with and
+/// without redundancy suppression — must reproduce bit-exact rows, and
+/// everything downstream of the read (canonical estimate rows, the
+/// online loss ledger, the anomaly set) must match the in-memory
+/// pipeline byte for byte. The suppression ledger must account for the
+/// exact input row count, and the written files must be byte-identical
+/// across repeated writes.
+fn check_store(
+    w: &Workload,
+    oracle_off: &OracleOffline,
+    summary: &mut DiffSummary,
+) -> Result<(), Disagreement> {
+    let seed = w.spec.seed;
+    // Small chunks so every workload spans several chunks per stream.
+    let configs = [
+        StoreConfig {
+            chunk_rows: 512,
+            ..StoreConfig::default()
+        },
+        StoreConfig {
+            chunk_rows: 512,
+            ..StoreConfig::suppressed(1 << 30)
+        },
+    ];
+    for config in configs {
+        // Double-write determinism: same rows, same bytes.
+        let (bytes, stats) = write_bundle_to_vec(&w.bundle, config)
+            .map_err(|e| fail(seed, "store-write", e.to_string()))?;
+        let (again, _) = write_bundle_to_vec(&w.bundle, config)
+            .map_err(|e| fail(seed, "store-rewrite", e.to_string()))?;
+        if bytes != again {
+            return Err(fail(
+                seed,
+                "store-determinism",
+                format!(
+                    "two writes of the same bundle differ ({} vs {} bytes, suppress={})",
+                    bytes.len(),
+                    again.len(),
+                    config.suppress
+                ),
+            ));
+        }
+        if config.suppress {
+            summary.store_bytes = bytes.len() as u64;
+            summary.store_elided += stats.elided;
+        }
+
+        // Bit-exact replay (ledger applied when suppressing).
+        let mut reader = TraceReader::open(Cursor::new(bytes))
+            .map_err(|e| fail(seed, "store-open", e.to_string()))?;
+        let got = reader
+            .read_bundle()
+            .map_err(|e| fail(seed, "store-read", e.to_string()))?;
+        if got.samples != w.bundle.samples || got.marks != w.bundle.marks {
+            return Err(fail(
+                seed,
+                "store-roundtrip",
+                format!(
+                    "read-back differs (suppress={}): {}/{} samples, {}/{} marks equal lengths {}",
+                    config.suppress,
+                    got.samples.len(),
+                    w.bundle.samples.len(),
+                    got.marks.len(),
+                    w.bundle.marks.len(),
+                    got.samples.len() == w.bundle.samples.len()
+                ),
+            ));
+        }
+
+        // Ledger identity: retained + elided == the exact input row count.
+        let (retained, elision) = reader
+            .read_retained()
+            .map_err(|e| fail(seed, "store-retained", e.to_string()))?;
+        if retained.samples.len() as u64 + elision.elided != w.bundle.samples.len() as u64 {
+            return Err(fail(
+                seed,
+                "store-ledger",
+                format!(
+                    "retained {} + elided {} != input rows {} (suppress={})",
+                    retained.samples.len(),
+                    elision.elided,
+                    w.bundle.samples.len(),
+                    config.suppress
+                ),
+            ));
+        }
+        if !config.suppress && elision.elided != 0 {
+            return Err(fail(
+                seed,
+                "store-ledger",
+                format!("unsuppressed store elided {} rows", elision.elided),
+            ));
+        }
+        if elision.elided != stats.elided {
+            return Err(fail(
+                seed,
+                "store-ledger",
+                format!(
+                    "reader ledger {} != writer stats {}",
+                    elision.elided, stats.elided
+                ),
+            ));
+        }
+
+        // Canonical estimate rows from the store-read bundle must equal
+        // the oracle golden, exactly as the in-memory pipeline does.
+        let mut sorted = got.clone();
+        sorted.sort();
+        let it = integrate_with_threads(&sorted, &w.symtab, w.freq, MappingMode::Intervals, 1);
+        let json = CanonicalTable::from_pipeline(&EstimateTable::from_integrated(&it)).to_json();
+        let golden = CanonicalTable::from_oracle(oracle_off).to_json();
+        if json != golden {
+            return Err(fail(
+                seed,
+                "store-table",
+                format!(
+                    "suppress={}:\n  store:  {json}\n  oracle: {golden}",
+                    config.suppress
+                ),
+            ));
+        }
+
+        // Online loss ledger + anomaly set: store-read bundle vs the
+        // in-memory bundle through the identical tracer.
+        let from_store = online_single_batch(w, &got)?;
+        let in_memory = online_single_batch(w, &w.bundle)?;
+        if accounting_key(&from_store) != accounting_key(&in_memory) {
+            return Err(fail(
+                seed,
+                "store-accounting",
+                format!(
+                    "suppress={}:\n  store:  {:?}\n  memory: {:?}",
+                    config.suppress,
+                    accounting_key(&from_store),
+                    accounting_key(&in_memory)
+                ),
+            ));
+        }
+        if anomaly_keys(&from_store) != anomaly_keys(&in_memory) {
+            return Err(fail(
+                seed,
+                "store-anomalies",
+                format!(
+                    "suppress={}:\n  store:  {:?}\n  memory: {:?}",
+                    config.suppress,
+                    anomaly_keys(&from_store),
+                    anomaly_keys(&in_memory)
+                ),
+            ));
+        }
+    }
+
+    check_store_suppressible(w, summary)?;
+    check_store_spill(w)
+}
+
+/// Conformance workloads rarely repeat exact IPs, so the suppressed leg
+/// above mostly retains everything. Derive a *suppressible* twin —
+/// every second sample copies its stream predecessor's `(ip, r13,
+/// event)` when on the same core — and prove the ledger replays that
+/// bundle bit-exactly too, with real elisions on every seed.
+fn check_store_suppressible(w: &Workload, summary: &mut DiffSummary) -> Result<(), Disagreement> {
+    let seed = w.spec.seed;
+    let mut twin = w.bundle.clone();
+    let mut prev: Option<PebsRecord> = None;
+    for (i, s) in twin.samples.iter_mut().enumerate() {
+        if let Some(p) = prev {
+            if i % 2 == 1 && p.core == s.core {
+                s.ip = p.ip;
+                s.r13 = p.r13;
+                s.event = p.event;
+            }
+        }
+        prev = Some(*s);
+    }
+    let config = StoreConfig {
+        chunk_rows: 512,
+        ..StoreConfig::suppressed(1 << 30)
+    };
+    let (bytes, stats) = write_bundle_to_vec(&twin, config)
+        .map_err(|e| fail(seed, "store-twin-write", e.to_string()))?;
+    let got = TraceReader::open(Cursor::new(bytes))
+        .and_then(|mut r| r.read_bundle())
+        .map_err(|e| fail(seed, "store-twin-read", e.to_string()))?;
+    if got.samples != twin.samples || got.marks != twin.marks {
+        return Err(fail(
+            seed,
+            "store-twin-roundtrip",
+            "suppressible twin did not replay bit-exactly".into(),
+        ));
+    }
+    summary.store_elided += stats.elided;
+    Ok(())
+}
+
+/// The online tracer's spill-on-flush seam: submitting the workload's
+/// batches with a spill writer attached must leave a store whose
+/// read-back equals the concatenated batches bit-exactly, with spill
+/// accounting matching the ledger.
+fn check_store_spill(w: &Workload) -> Result<(), Disagreement> {
+    let seed = w.spec.seed;
+    let mut config = OnlineConfig::new(w.freq);
+    config.divergence_factor = 0.0;
+    config.warmup = 0;
+    config.max_pending = w.spec.max_pending;
+
+    let buf = SharedBuf::new();
+    let store_config = StoreConfig {
+        chunk_rows: 512,
+        ..StoreConfig::suppressed(1 << 30)
+    };
+    let writer = TraceWriter::new(buf.clone(), store_config)
+        .map_err(|e| fail(seed, "store-spill-writer", e.to_string()))?;
+    let tracer = OnlineTracer::spawn_with_spill(std::sync::Arc::clone(&w.symtab), config, writer);
+    let mut expect = TraceBundle::default();
+    for batch in &w.batches {
+        expect.merge(batch.clone());
+        if tracer.submit(batch.clone()).is_err() {
+            return Err(fail(seed, "store-spill-submit", "worker gone".into()));
+        }
+    }
+    let report = match tracer.finish() {
+        Ok(r) => r,
+        Err(e) => return Err(fail(seed, "store-spill-finish", e.to_string())),
+    };
+    if report.spill.errors != 0 || report.spill.batches != w.batches.len() as u64 {
+        return Err(fail(
+            seed,
+            "store-spill-accounting",
+            format!(
+                "errors {} batches {}/{}",
+                report.spill.errors,
+                report.spill.batches,
+                w.batches.len()
+            ),
+        ));
+    }
+    let got = TraceReader::open(Cursor::new(buf.contents()))
+        .and_then(|mut r| r.read_bundle())
+        .map_err(|e| fail(seed, "store-spill-read", e.to_string()))?;
+    if got.samples != expect.samples || got.marks != expect.marks {
+        return Err(fail(
+            seed,
+            "store-spill-roundtrip",
+            format!(
+                "spilled store: {}/{} samples, {}/{} marks",
+                got.samples.len(),
+                expect.samples.len(),
+                got.marks.len(),
+                expect.marks.len()
+            ),
+        ));
+    }
+    if report.spill.samples != expect.samples.len() as u64
+        || report.spill.marks != expect.marks.len() as u64
+    {
+        return Err(fail(
+            seed,
+            "store-spill-accounting",
+            format!(
+                "spill stats ({}, {}) != submitted ({}, {})",
+                report.spill.samples,
+                report.spill.marks,
+                expect.samples.len(),
+                expect.marks.len()
+            ),
+        ));
+    }
+    Ok(())
 }
 
 /// Offline pipeline (all thread counts + reference estimator) vs the

@@ -53,6 +53,8 @@ fn sweep_seeds_agree_with_shape_coverage() {
     let mut boundaryful = 0u32;
     let mut lossy = 0u32;
     let mut multibatch = 0u32;
+    let mut store_bytes = 0u64;
+    let mut store_elided = 0u64;
     for seed in 0..SWEEP_SEEDS {
         let spec = spec_from_seed(seed);
         let summary = check_seed(seed);
@@ -74,6 +76,8 @@ fn sweep_seeds_agree_with_shape_coverage() {
         if summary.batches > 4 {
             multibatch += 1;
         }
+        store_bytes += summary.store_bytes;
+        store_elided += summary.store_elided;
     }
     // Shape-coverage floor: each hard family appears many times.
     assert!(wrap >= 30, "only {wrap} near-wrap workloads");
@@ -87,6 +91,14 @@ fn sweep_seeds_agree_with_shape_coverage() {
     assert!(
         multibatch >= 100,
         "only {multibatch} with >4 online batches"
+    );
+    // The store leg must actually exercise the on-disk format: every
+    // sweep writes real bytes, and the suppressible-twin pass must
+    // elide (and ledger-replay) a large number of rows overall.
+    assert!(store_bytes > 0, "store leg wrote no bytes");
+    assert!(
+        store_elided >= 1000,
+        "only {store_elided} rows elided across the sweep"
     );
 }
 

@@ -70,7 +70,7 @@ pub use interval::{build_intervals, IntervalError, ItemInterval};
 pub use metrics::{effective_reset, metric_counts, MetricTable};
 pub use online::{
     AdaptiveConfig, AdaptiveR, DegradeStats, LiveStats, LossStats, ObsSection, OnlineAnomaly,
-    OnlineConfig, OnlineError, OnlineReport, OnlineTracer, SubmitError, SubmitOutcome,
+    OnlineConfig, OnlineError, OnlineReport, OnlineTracer, SpillStats, SubmitError, SubmitOutcome,
 };
 pub use overhead::{
     fit_instrumentation, fit_instrumentation_ci, fit_inverse_reset, InstrumentationFit,

@@ -375,6 +375,67 @@ pub const CATALOG: &[MetricDef] = &[
         "samples_per_s",
         "perf-hunt fast-path estimate throughput (wall-derived)",
     ),
+    gauge(
+        "bench.store.write_mb_per_s",
+        "mb_per_s",
+        "store-bench columnar write throughput (wall-derived)",
+    ),
+    gauge(
+        "bench.store.read_mb_per_s",
+        "mb_per_s",
+        "store-bench columnar read throughput (wall-derived)",
+    ),
+    // --- store ------------------------------------------------------------
+    counter(
+        "store.writer.segments",
+        "segments",
+        "Store segments finished (footer + tail written)",
+    ),
+    counter(
+        "store.writer.samples",
+        "samples",
+        "Logical sample rows appended to trace stores",
+    ),
+    counter(
+        "store.writer.marks",
+        "marks",
+        "Mark rows appended to trace stores",
+    ),
+    counter(
+        "store.writer.elided",
+        "samples",
+        "Sample rows elided by redundancy suppression (ledgered)",
+    ),
+    counter(
+        "store.writer.chunks",
+        "chunks",
+        "Column chunks written across both streams",
+    ),
+    counter(
+        "store.writer.bytes",
+        "bytes",
+        "Store bytes written, magic/footer/tail included",
+    ),
+    counter(
+        "store.reader.segments",
+        "segments",
+        "Store segments opened by full reads",
+    ),
+    counter(
+        "store.reader.samples",
+        "samples",
+        "Sample rows materialized by store reads",
+    ),
+    counter(
+        "store.reader.marks",
+        "marks",
+        "Mark rows materialized by store reads",
+    ),
+    counter(
+        "store.reader.bytes",
+        "bytes",
+        "Chunk bytes fetched by store reads",
+    ),
 ];
 
 /// Look up a catalog entry by name.

@@ -1,0 +1,291 @@
+//! Per-column integer codecs: LEB128 varints, zigzag, and four
+//! self-delimiting column encodings (raw, delta, dictionary, RLE).
+//!
+//! Every encoding starts with a varint row count and is decodable
+//! without knowing its byte length; [`encode_column`] tries all four
+//! and keeps the smallest (ties broken by a fixed candidate order, so
+//! the chosen bytes depend only on the column's contents). Decoders
+//! take the row count the footer promised and fail with a
+//! [`StoreError`] on any disagreement — a corrupt count can never
+//! cause a silent short read or an unbounded allocation.
+
+use crate::error::StoreError;
+
+/// Codec tag byte: varints, one per value.
+pub const TAG_RAW: u8 = 0;
+/// Codec tag byte: first value + zigzag varint deltas (wrapping).
+pub const TAG_DELTA: u8 = 1;
+/// Codec tag byte: sorted distinct dictionary + varint indices.
+pub const TAG_DICT: u8 = 2;
+/// Codec tag byte: (value, run-length) pairs.
+pub const TAG_RLE: u8 = 3;
+
+/// Append `v` as an LEB128 varint.
+pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read an LEB128 varint at `*pos`, advancing it.
+pub fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64, StoreError> {
+    let mut v: u64 = 0;
+    let mut shift: u32 = 0;
+    loop {
+        let byte = *buf.get(*pos).ok_or(StoreError::Truncated("varint"))?;
+        *pos = pos.saturating_add(1);
+        let low = u64::from(byte & 0x7f);
+        if shift >= 64 || (shift == 63 && low > 1) {
+            return Err(StoreError::Corrupt("varint wider than 64 bits"));
+        }
+        v |= low << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Zigzag-map a signed delta into a small unsigned varint.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Read the leading row count and check it against the footer's.
+fn read_count(buf: &[u8], pos: &mut usize, expect: usize) -> Result<usize, StoreError> {
+    let n = read_varint(buf, pos)?;
+    if n != expect as u64 {
+        return Err(StoreError::Corrupt("column row count != footer row count"));
+    }
+    Ok(expect)
+}
+
+/// Pre-allocation bound: each encoded value costs at least one byte, so
+/// a column can never decode to more rows than it has bytes left.
+fn capacity_hint(buf: &[u8], pos: usize, expect: usize) -> usize {
+    expect.min(buf.len().saturating_sub(pos))
+}
+
+/// Encode as plain varints, one per value.
+pub fn encode_raw(values: &[u64]) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_varint(&mut out, values.len() as u64);
+    for &v in values {
+        write_varint(&mut out, v);
+    }
+    out
+}
+
+/// Decode a [`TAG_RAW`] payload of exactly `expect` rows.
+pub fn decode_raw(buf: &[u8], pos: &mut usize, expect: usize) -> Result<Vec<u64>, StoreError> {
+    let n = read_count(buf, pos, expect)?;
+    let mut out = Vec::with_capacity(capacity_hint(buf, *pos, n));
+    for _ in 0..n {
+        out.push(read_varint(buf, pos)?);
+    }
+    Ok(out)
+}
+
+/// Encode as first value + zigzag deltas. Deltas use `wrapping_sub`, so
+/// a TSC column that wraps past `u64::MAX` still yields small deltas
+/// and round-trips exactly.
+pub fn encode_delta(values: &[u64]) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_varint(&mut out, values.len() as u64);
+    let mut prev: u64 = 0;
+    for (i, &v) in values.iter().enumerate() {
+        if i == 0 {
+            write_varint(&mut out, v);
+        } else {
+            write_varint(&mut out, zigzag(v.wrapping_sub(prev) as i64));
+        }
+        prev = v;
+    }
+    out
+}
+
+/// Decode a [`TAG_DELTA`] payload of exactly `expect` rows.
+pub fn decode_delta(buf: &[u8], pos: &mut usize, expect: usize) -> Result<Vec<u64>, StoreError> {
+    let n = read_count(buf, pos, expect)?;
+    let mut out = Vec::with_capacity(capacity_hint(buf, *pos, n));
+    let mut prev: u64 = 0;
+    for i in 0..n {
+        let v = if i == 0 {
+            read_varint(buf, pos)?
+        } else {
+            prev.wrapping_add(unzigzag(read_varint(buf, pos)?) as u64)
+        };
+        out.push(v);
+        prev = v;
+    }
+    Ok(out)
+}
+
+/// Encode as a sorted distinct-value dictionary (delta-coded, strictly
+/// ascending) followed by varint indices. Wins on low-cardinality
+/// columns with values too far apart for delta coding (instruction
+/// pointers hopping between a few functions).
+pub fn encode_dict(values: &[u64]) -> Vec<u8> {
+    let mut distinct: Vec<u64> = values.to_vec();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let index: std::collections::BTreeMap<u64, u64> = distinct
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| (d, i as u64))
+        .collect();
+    let mut out = Vec::new();
+    write_varint(&mut out, values.len() as u64);
+    write_varint(&mut out, distinct.len() as u64);
+    let mut prev: u64 = 0;
+    for (i, &d) in distinct.iter().enumerate() {
+        if i == 0 {
+            write_varint(&mut out, d);
+        } else {
+            // Strictly ascending, so the plain difference is exact.
+            write_varint(&mut out, d.wrapping_sub(prev));
+        }
+        prev = d;
+    }
+    for v in values {
+        // Present by construction; 0 is unreachable dead fallback.
+        write_varint(&mut out, index.get(v).copied().unwrap_or(0));
+    }
+    out
+}
+
+/// Decode a [`TAG_DICT`] payload of exactly `expect` rows.
+pub fn decode_dict(buf: &[u8], pos: &mut usize, expect: usize) -> Result<Vec<u64>, StoreError> {
+    let n = read_count(buf, pos, expect)?;
+    let dict_len = read_varint(buf, pos)?;
+    if n > 0 && dict_len == 0 {
+        return Err(StoreError::Corrupt("dictionary empty for non-empty column"));
+    }
+    let dict_cap = usize::try_from(dict_len)
+        .ok()
+        .map(|l| capacity_hint(buf, *pos, l))
+        .ok_or(StoreError::Corrupt("dictionary longer than addressable"))?;
+    let mut dict = Vec::with_capacity(dict_cap);
+    let mut prev: u64 = 0;
+    for i in 0..dict_len {
+        let d = if i == 0 {
+            read_varint(buf, pos)?
+        } else {
+            let step = read_varint(buf, pos)?;
+            if step == 0 {
+                return Err(StoreError::Corrupt("dictionary not strictly ascending"));
+            }
+            let next = prev.wrapping_add(step);
+            if next <= prev {
+                return Err(StoreError::Corrupt("dictionary wrapped past u64::MAX"));
+            }
+            next
+        };
+        dict.push(d);
+        prev = d;
+    }
+    let mut out = Vec::with_capacity(capacity_hint(buf, *pos, n));
+    for _ in 0..n {
+        let idx = read_varint(buf, pos)?;
+        let v = usize::try_from(idx)
+            .ok()
+            .and_then(|i| dict.get(i))
+            .copied()
+            .ok_or(StoreError::Corrupt("dictionary index out of range"))?;
+        out.push(v);
+    }
+    Ok(out)
+}
+
+/// Encode as (value, run-length) pairs. Wins on constant and
+/// near-constant columns (core ids, event kinds, mark kinds).
+pub fn encode_rle(values: &[u64]) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_varint(&mut out, values.len() as u64);
+    let mut iter = values.iter().copied();
+    let Some(mut run_value) = iter.next() else {
+        return out;
+    };
+    let mut run_len: u64 = 1;
+    for v in iter {
+        if v == run_value {
+            run_len += 1;
+        } else {
+            write_varint(&mut out, run_value);
+            write_varint(&mut out, run_len);
+            run_value = v;
+            run_len = 1;
+        }
+    }
+    write_varint(&mut out, run_value);
+    write_varint(&mut out, run_len);
+    out
+}
+
+/// Decode a [`TAG_RLE`] payload of exactly `expect` rows. Runs are read
+/// until exactly `expect` rows are produced; a run overshooting the
+/// count is corruption, never an over-allocation.
+pub fn decode_rle(buf: &[u8], pos: &mut usize, expect: usize) -> Result<Vec<u64>, StoreError> {
+    let n = read_count(buf, pos, expect)?;
+    let mut out = Vec::with_capacity(n.min(crate::format::MAX_CHUNK_ROWS as usize));
+    while out.len() < n {
+        let value = read_varint(buf, pos)?;
+        let len = read_varint(buf, pos)?;
+        if len == 0 {
+            return Err(StoreError::Corrupt("zero-length RLE run"));
+        }
+        let remaining = (n - out.len()) as u64;
+        if len > remaining {
+            return Err(StoreError::Corrupt("RLE run overshoots row count"));
+        }
+        for _ in 0..len {
+            out.push(value);
+        }
+    }
+    Ok(out)
+}
+
+/// Encode a column under the smallest of the four codecs, prefixed by
+/// its tag byte. Candidates are tried in a fixed order and ties keep
+/// the earliest, so the output is a pure function of `values`.
+pub fn encode_column(values: &[u64]) -> Vec<u8> {
+    let candidates = [
+        (TAG_DELTA, encode_delta(values)),
+        (TAG_DICT, encode_dict(values)),
+        (TAG_RLE, encode_rle(values)),
+        (TAG_RAW, encode_raw(values)),
+    ];
+    let (tag, payload) = candidates
+        .into_iter()
+        .min_by_key(|(_, p)| p.len())
+        // Unreachable: the candidate array is non-empty.
+        .unwrap_or_else(|| (TAG_RAW, encode_raw(values)));
+    let mut out = Vec::with_capacity(payload.len() + 1);
+    out.push(tag);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decode one tagged column of exactly `expect` rows at `*pos`.
+pub fn decode_column(buf: &[u8], pos: &mut usize, expect: usize) -> Result<Vec<u64>, StoreError> {
+    let tag = *buf.get(*pos).ok_or(StoreError::Truncated("column tag"))?;
+    *pos = pos.saturating_add(1);
+    match tag {
+        TAG_RAW => decode_raw(buf, pos, expect),
+        TAG_DELTA => decode_delta(buf, pos, expect),
+        TAG_DICT => decode_dict(buf, pos, expect),
+        TAG_RLE => decode_rle(buf, pos, expect),
+        _ => Err(StoreError::Corrupt("unknown codec tag")),
+    }
+}

@@ -1,0 +1,45 @@
+//! The store's single error type. Every malformed input — truncated
+//! file, corrupt footer, impossible ledger — surfaces as a
+//! [`StoreError`]; the crate never panics and never silently
+//! short-reads.
+
+/// Why a store operation failed.
+///
+/// `Truncated` vs `Corrupt`: truncation means the input *ended* before
+/// a structure was complete (every strict prefix of a valid store is
+/// `Truncated` or `BadMagic`); corruption means the bytes were present
+/// but inconsistent (counts disagree, indices out of range, unknown
+/// codec tags).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// An underlying I/O operation failed.
+    Io(String),
+    /// The segment head or tail magic was wrong — not a fluctrace store.
+    BadMagic,
+    /// The footer declares a format version this reader does not speak.
+    BadVersion(u64),
+    /// The input ended mid-structure; the field names what was being read.
+    Truncated(&'static str),
+    /// The bytes were present but internally inconsistent.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store i/o error: {e}"),
+            StoreError::BadMagic => write!(f, "not a fluctrace store (bad magic)"),
+            StoreError::BadVersion(v) => write!(f, "unsupported store version {v}"),
+            StoreError::Truncated(what) => write!(f, "store truncated while reading {what}"),
+            StoreError::Corrupt(what) => write!(f, "store corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,184 @@
+//! The on-disk segment layout and footer metadata.
+//!
+//! ```text
+//! segment := MAGIC(8) chunk* footer footer_len(u64 LE) TAIL_MAGIC(8)
+//! store   := segment+        (byte concatenation of stores is a store)
+//! ```
+//!
+//! Segments are parsed **back to front**: the tail magic and footer
+//! length sit at a fixed offset from the end, the footer records the
+//! body length, and the body length locates the segment's head — so a
+//! reader finds every chunk without scanning (or deserializing) the
+//! chunk bytes themselves, and appending a segment never rewrites
+//! earlier ones. Chunk offsets are relative to the segment head; the
+//! footer carries per-chunk row counts and TSC min/max so readers can
+//! prune chunks from the footer alone.
+
+use crate::codec::{read_varint, write_varint};
+use crate::error::StoreError;
+
+/// Segment head magic.
+pub const MAGIC: &[u8; 8] = b"FLTSTOR1";
+/// Segment tail magic (distinct, so head/tail confusion is detected).
+pub const TAIL_MAGIC: &[u8; 8] = b"FLTSEND1";
+/// Current format version.
+pub const VERSION: u64 = 1;
+/// Stream id of PEBS sample chunks.
+pub const STREAM_SAMPLES: u64 = 0;
+/// Stream id of mark chunks.
+pub const STREAM_MARKS: u64 = 1;
+/// Upper bound on rows per chunk, enforced on both write and read — a
+/// corrupt footer can never make the reader allocate unboundedly.
+pub const MAX_CHUNK_ROWS: u64 = 1 << 24;
+/// Fixed bytes after the footer: footer length (u64 LE) + tail magic.
+pub const TAIL_BYTES: u64 = 16;
+
+/// Footer entry describing one column chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkDesc {
+    /// [`STREAM_SAMPLES`] or [`STREAM_MARKS`].
+    pub stream: u64,
+    /// Byte offset of the chunk, relative to the segment head.
+    pub offset: u64,
+    /// Encoded byte length of the chunk.
+    pub byte_len: u64,
+    /// Logical rows the chunk represents (elided rows included).
+    pub rows: u64,
+    /// Rows physically encoded (`rows` minus suppressed rows).
+    pub retained: u64,
+    /// Minimum TSC over the chunk's logical rows (0 when empty).
+    pub tsc_min: u64,
+    /// Maximum TSC over the chunk's logical rows (0 when empty).
+    pub tsc_max: u64,
+}
+
+/// Decoded segment footer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Footer {
+    /// Format version ([`VERSION`]).
+    pub version: u64,
+    /// 1 when redundancy suppression was enabled for this segment.
+    pub suppress: u64,
+    /// Declared TSC tolerance suppression was allowed to elide within.
+    pub tolerance: u64,
+    /// Chunk-size knob the writer used (informational; decode does not
+    /// depend on it).
+    pub chunk_rows: u64,
+    /// Bytes from the segment head up to (not including) the footer.
+    pub body_len: u64,
+    /// Chunk descriptors, in file order.
+    pub chunks: Vec<ChunkDesc>,
+}
+
+impl Footer {
+    /// Logical (sample, mark) row totals, from the footer alone.
+    pub fn logical_rows(&self) -> (u64, u64) {
+        let mut samples = 0u64;
+        let mut marks = 0u64;
+        for c in &self.chunks {
+            if c.stream == STREAM_SAMPLES {
+                samples = samples.saturating_add(c.rows);
+            } else {
+                marks = marks.saturating_add(c.rows);
+            }
+        }
+        (samples, marks)
+    }
+
+    /// Serialize the footer body (everything between the last chunk and
+    /// the trailing footer-length word).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_varint(&mut out, self.version);
+        write_varint(&mut out, self.suppress);
+        write_varint(&mut out, self.tolerance);
+        write_varint(&mut out, self.chunk_rows);
+        write_varint(&mut out, self.body_len);
+        write_varint(&mut out, self.chunks.len() as u64);
+        for c in &self.chunks {
+            write_varint(&mut out, c.stream);
+            write_varint(&mut out, c.offset);
+            write_varint(&mut out, c.byte_len);
+            write_varint(&mut out, c.rows);
+            write_varint(&mut out, c.retained);
+            write_varint(&mut out, c.tsc_min);
+            write_varint(&mut out, c.tsc_max);
+        }
+        out
+    }
+
+    /// Parse and validate a footer body. Every structural invariant is
+    /// checked here so chunk reads can trust the descriptors.
+    pub fn decode(buf: &[u8]) -> Result<Footer, StoreError> {
+        let mut pos = 0usize;
+        let version = read_varint(buf, &mut pos)?;
+        if version != VERSION {
+            return Err(StoreError::BadVersion(version));
+        }
+        let suppress = read_varint(buf, &mut pos)?;
+        if suppress > 1 {
+            return Err(StoreError::Corrupt("suppress flag not 0/1"));
+        }
+        let tolerance = read_varint(buf, &mut pos)?;
+        let chunk_rows = read_varint(buf, &mut pos)?;
+        let body_len = read_varint(buf, &mut pos)?;
+        if body_len < MAGIC.len() as u64 {
+            return Err(StoreError::Corrupt("body shorter than magic"));
+        }
+        let chunk_count = read_varint(buf, &mut pos)?;
+        // Each descriptor costs ≥ 7 bytes encoded; a count claiming more
+        // than the footer could hold is corrupt, not an allocation.
+        if chunk_count > buf.len() as u64 {
+            return Err(StoreError::Corrupt("chunk count exceeds footer size"));
+        }
+        let mut chunks = Vec::with_capacity(chunk_count as usize);
+        for _ in 0..chunk_count {
+            let c = ChunkDesc {
+                stream: read_varint(buf, &mut pos)?,
+                offset: read_varint(buf, &mut pos)?,
+                byte_len: read_varint(buf, &mut pos)?,
+                rows: read_varint(buf, &mut pos)?,
+                retained: read_varint(buf, &mut pos)?,
+                tsc_min: read_varint(buf, &mut pos)?,
+                tsc_max: read_varint(buf, &mut pos)?,
+            };
+            if c.stream != STREAM_SAMPLES && c.stream != STREAM_MARKS {
+                return Err(StoreError::Corrupt("unknown chunk stream"));
+            }
+            if c.rows > MAX_CHUNK_ROWS {
+                return Err(StoreError::Corrupt("chunk rows exceed MAX_CHUNK_ROWS"));
+            }
+            if c.retained > c.rows {
+                return Err(StoreError::Corrupt("retained rows exceed logical rows"));
+            }
+            if c.stream == STREAM_MARKS && c.retained != c.rows {
+                return Err(StoreError::Corrupt("mark chunk claims suppression"));
+            }
+            if c.rows > 0 && c.retained == 0 {
+                return Err(StoreError::Corrupt("chunk with rows but nothing retained"));
+            }
+            if c.offset < MAGIC.len() as u64 {
+                return Err(StoreError::Corrupt("chunk offset inside magic"));
+            }
+            let end = c
+                .offset
+                .checked_add(c.byte_len)
+                .ok_or(StoreError::Corrupt("chunk extent overflows"))?;
+            if end > body_len {
+                return Err(StoreError::Corrupt("chunk extends past segment body"));
+            }
+            chunks.push(c);
+        }
+        if pos != buf.len() {
+            return Err(StoreError::Corrupt("trailing bytes after footer"));
+        }
+        Ok(Footer {
+            version,
+            suppress,
+            tolerance,
+            chunk_rows,
+            body_len,
+            chunks,
+        })
+    }
+}

@@ -1,0 +1,424 @@
+//! Store reader: parses segment footers back-to-front at open (no
+//! chunk bytes touched), then decodes chunks on demand. Suppressed
+//! segments replay their ledgers into bit-exact logical rows by
+//! default; [`TraceReader::read_retained`] instead keeps the physical
+//! rows and reports precisely what was dropped.
+
+use std::io::{Read, Seek, SeekFrom};
+
+use fluctrace_cpu::{
+    CoreId, HwEvent, ItemId, MarkKind, MarkRecord, PebsRecord, TraceBundle, VirtAddr,
+};
+use fluctrace_obs as obs;
+
+use crate::codec::{decode_column, read_varint};
+use crate::error::StoreError;
+use crate::format::{ChunkDesc, Footer, MAGIC, STREAM_SAMPLES, TAIL_BYTES, TAIL_MAGIC};
+use crate::writer::LedgerGroup;
+
+/// One parsed segment: its footer plus the absolute offset of its head.
+#[derive(Debug, Clone)]
+pub struct SegmentMeta {
+    /// Decoded footer.
+    pub footer: Footer,
+    /// Absolute byte offset of the segment's head magic.
+    pub start: u64,
+}
+
+/// What a ledger-aware retained read dropped, per elision site.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ElisionReport {
+    /// Total sample rows elided across all segments.
+    pub elided: u64,
+    /// `(segment, global retained sample index, TSC deltas)` for every
+    /// elision site, in stream order — exactly the rows suppression
+    /// dropped and where they belong.
+    pub sites: Vec<(usize, u64, Vec<u64>)>,
+}
+
+/// Columnar reader over any [`Read`]`+`[`Seek`] source.
+pub struct TraceReader<R: Read + Seek> {
+    src: R,
+    segments: Vec<SegmentMeta>,
+}
+
+impl<R: Read + Seek> TraceReader<R> {
+    /// Open a store: locate and validate every segment footer, newest
+    /// last. No chunk data is read or decoded here.
+    pub fn open(mut src: R) -> Result<Self, StoreError> {
+        let len = src.seek(SeekFrom::End(0))?;
+        let mut segments: Vec<SegmentMeta> = Vec::new();
+        let mut end = len;
+        if end == 0 {
+            return Err(StoreError::Truncated("empty store"));
+        }
+        while end > 0 {
+            if end < MAGIC.len() as u64 + TAIL_BYTES {
+                return Err(StoreError::Truncated("segment tail"));
+            }
+            let tail = read_at(&mut src, end - TAIL_BYTES, TAIL_BYTES as usize)?;
+            let (len_bytes, magic_bytes) = tail.split_at(8);
+            if magic_bytes != TAIL_MAGIC {
+                return Err(StoreError::BadMagic);
+            }
+            let footer_len = u64::from_le_bytes(
+                len_bytes
+                    .try_into()
+                    .map_err(|_| StoreError::Truncated("footer length"))?,
+            );
+            let footer_start = end
+                .checked_sub(TAIL_BYTES)
+                .and_then(|p| p.checked_sub(footer_len))
+                .ok_or(StoreError::Truncated("footer"))?;
+            let footer_bytes = read_at(&mut src, footer_start, footer_len as usize)?;
+            let footer = Footer::decode(&footer_bytes)?;
+            let start = footer_start
+                .checked_sub(footer.body_len)
+                .ok_or(StoreError::Corrupt("body length exceeds file"))?;
+            let head = read_at(&mut src, start, MAGIC.len())?;
+            if head != MAGIC {
+                return Err(StoreError::BadMagic);
+            }
+            segments.push(SegmentMeta { footer, start });
+            end = start;
+        }
+        segments.reverse();
+        Ok(TraceReader { src, segments })
+    }
+
+    /// Number of segments in the store.
+    pub fn segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Per-segment metadata, in file order.
+    pub fn segment_meta(&self) -> &[SegmentMeta] {
+        &self.segments
+    }
+
+    /// Logical `(samples, marks)` row totals, from footers alone.
+    pub fn logical_rows(&self) -> (u64, u64) {
+        let mut samples = 0u64;
+        let mut marks = 0u64;
+        for s in &self.segments {
+            let (sm, mk) = s.footer.logical_rows();
+            samples = samples.saturating_add(sm);
+            marks = marks.saturating_add(mk);
+        }
+        (samples, marks)
+    }
+
+    /// Min/max TSC over all sample chunks, from footers alone. `None`
+    /// when the store holds no samples.
+    pub fn sample_tsc_bounds(&self) -> Option<(u64, u64)> {
+        let mut bounds: Option<(u64, u64)> = None;
+        for s in &self.segments {
+            for c in &s.footer.chunks {
+                if c.stream == STREAM_SAMPLES && c.rows > 0 {
+                    bounds = Some(match bounds {
+                        None => (c.tsc_min, c.tsc_max),
+                        Some((lo, hi)) => (lo.min(c.tsc_min), hi.max(c.tsc_max)),
+                    });
+                }
+            }
+        }
+        bounds
+    }
+
+    /// Read every segment and replay ledgers: the returned bundle is
+    /// bit-exact equal to what was appended, elided rows included.
+    pub fn read_bundle(&mut self) -> Result<TraceBundle, StoreError> {
+        let mut out = TraceBundle::default();
+        for i in 0..self.segments.len() {
+            let seg = self.read_segment(i)?;
+            out.merge(seg);
+        }
+        self.record_read(&out);
+        Ok(out)
+    }
+
+    /// Read one segment (ledger replayed), by index in file order.
+    pub fn read_segment(&mut self, index: usize) -> Result<TraceBundle, StoreError> {
+        let meta = self
+            .segments
+            .get(index)
+            .cloned()
+            .ok_or(StoreError::Corrupt("segment index out of range"))?;
+        let mut out = TraceBundle::default();
+        for c in &meta.footer.chunks {
+            if c.stream == STREAM_SAMPLES {
+                let (retained, ledger) = self.read_sample_chunk(meta.start, c)?;
+                out.samples.extend(replay_ledger(&retained, &ledger, c)?);
+            } else {
+                out.marks.extend(self.read_mark_chunk(meta.start, c)?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Read every segment but keep only the physically retained rows,
+    /// reporting exactly which rows suppression dropped and where.
+    pub fn read_retained(&mut self) -> Result<(TraceBundle, ElisionReport), StoreError> {
+        let mut out = TraceBundle::default();
+        let mut report = ElisionReport::default();
+        for i in 0..self.segments.len() {
+            let meta = self
+                .segments
+                .get(i)
+                .cloned()
+                .ok_or(StoreError::Corrupt("segment index out of range"))?;
+            let mut seg_retained_base = 0u64;
+            for c in &meta.footer.chunks {
+                if c.stream == STREAM_SAMPLES {
+                    let (retained, ledger) = self.read_sample_chunk(meta.start, c)?;
+                    for g in &ledger {
+                        report.elided += g.deltas.len() as u64;
+                        report
+                            .sites
+                            .push((i, seg_retained_base + g.index, g.deltas.clone()));
+                    }
+                    seg_retained_base += retained.len() as u64;
+                    out.samples.extend(retained);
+                } else {
+                    out.marks.extend(self.read_mark_chunk(meta.start, c)?);
+                }
+            }
+        }
+        self.record_read(&out);
+        Ok((out, report))
+    }
+
+    /// Chunk-pruned sample scan: decode only chunks whose footer
+    /// `[tsc_min, tsc_max]` overlaps `[lo, hi]`, then filter rows. This
+    /// is the "read without deserializing the whole file" path — on a
+    /// narrow window most chunks are skipped from the footer alone.
+    /// Bounds are plain u64 comparisons (a wrapping trace spans the
+    /// whole axis and defeats pruning, never correctness).
+    pub fn read_samples_in(&mut self, lo: u64, hi: u64) -> Result<Vec<PebsRecord>, StoreError> {
+        let mut out = Vec::new();
+        for i in 0..self.segments.len() {
+            let meta = self
+                .segments
+                .get(i)
+                .cloned()
+                .ok_or(StoreError::Corrupt("segment index out of range"))?;
+            for c in &meta.footer.chunks {
+                if c.stream != STREAM_SAMPLES || c.rows == 0 {
+                    continue;
+                }
+                if c.tsc_max < lo || c.tsc_min > hi {
+                    continue;
+                }
+                let (retained, ledger) = self.read_sample_chunk(meta.start, c)?;
+                let rows = replay_ledger(&retained, &ledger, c)?;
+                out.extend(rows.into_iter().filter(|r| r.tsc >= lo && r.tsc <= hi));
+            }
+        }
+        Ok(out)
+    }
+
+    fn record_read(&self, bundle: &TraceBundle) {
+        if obs::recording() {
+            obs::counter!("store.reader.segments").add(self.segments.len() as u64);
+            obs::counter!("store.reader.samples").add(bundle.samples.len() as u64);
+            obs::counter!("store.reader.marks").add(bundle.marks.len() as u64);
+        }
+    }
+
+    fn read_sample_chunk(
+        &mut self,
+        seg_start: u64,
+        c: &ChunkDesc,
+    ) -> Result<(Vec<PebsRecord>, Vec<LedgerGroup>), StoreError> {
+        let buf = read_at(
+            &mut self.src,
+            seg_start
+                .checked_add(c.offset)
+                .ok_or(StoreError::Corrupt("chunk offset overflows"))?,
+            c.byte_len as usize,
+        )?;
+        if obs::recording() {
+            obs::counter!("store.reader.bytes").add(buf.len() as u64);
+        }
+        let retained = c.retained as usize;
+        let mut pos = 0usize;
+        let tsc = decode_column(&buf, &mut pos, retained)?;
+        let ip = decode_column(&buf, &mut pos, retained)?;
+        let core = decode_column(&buf, &mut pos, retained)?;
+        let r13 = decode_column(&buf, &mut pos, retained)?;
+        let event = decode_column(&buf, &mut pos, retained)?;
+        let mut rows = Vec::with_capacity(retained);
+        for i in 0..retained {
+            rows.push(PebsRecord {
+                core: decode_core(core.get(i))?,
+                tsc: copied(tsc.get(i))?,
+                ip: VirtAddr(copied(ip.get(i))?),
+                r13: copied(r13.get(i))?,
+                event: decode_event(event.get(i))?,
+            });
+        }
+        let ledger = decode_ledger(&buf, &mut pos, c)?;
+        if pos != buf.len() {
+            return Err(StoreError::Corrupt("trailing bytes after sample chunk"));
+        }
+        Ok((rows, ledger))
+    }
+
+    fn read_mark_chunk(
+        &mut self,
+        seg_start: u64,
+        c: &ChunkDesc,
+    ) -> Result<Vec<MarkRecord>, StoreError> {
+        let buf = read_at(
+            &mut self.src,
+            seg_start
+                .checked_add(c.offset)
+                .ok_or(StoreError::Corrupt("chunk offset overflows"))?,
+            c.byte_len as usize,
+        )?;
+        if obs::recording() {
+            obs::counter!("store.reader.bytes").add(buf.len() as u64);
+        }
+        let rows_n = c.rows as usize;
+        let mut pos = 0usize;
+        let tsc = decode_column(&buf, &mut pos, rows_n)?;
+        let core = decode_column(&buf, &mut pos, rows_n)?;
+        let item = decode_column(&buf, &mut pos, rows_n)?;
+        let kind = decode_column(&buf, &mut pos, rows_n)?;
+        if pos != buf.len() {
+            return Err(StoreError::Corrupt("trailing bytes after mark chunk"));
+        }
+        let mut rows = Vec::with_capacity(rows_n);
+        for i in 0..rows_n {
+            rows.push(MarkRecord {
+                core: decode_core(core.get(i))?,
+                tsc: copied(tsc.get(i))?,
+                item: ItemId(copied(item.get(i))?),
+                kind: match copied(kind.get(i))? {
+                    0 => MarkKind::Start,
+                    1 => MarkKind::End,
+                    _ => return Err(StoreError::Corrupt("unknown mark kind")),
+                },
+            });
+        }
+        Ok(rows)
+    }
+}
+
+/// `Option<&u64> -> u64` with a truncation error (column shorter than
+/// promised — unreachable after `decode_column` validated counts, but
+/// never a panic).
+fn copied(v: Option<&u64>) -> Result<u64, StoreError> {
+    v.copied()
+        .ok_or(StoreError::Corrupt("column shorter than rows"))
+}
+
+fn decode_core(v: Option<&u64>) -> Result<CoreId, StoreError> {
+    let raw = copied(v)?;
+    u32::try_from(raw)
+        .map(CoreId)
+        .map_err(|_| StoreError::Corrupt("core id exceeds u32"))
+}
+
+fn decode_event(v: Option<&u64>) -> Result<HwEvent, StoreError> {
+    let raw = copied(v)?;
+    usize::try_from(raw)
+        .ok()
+        .and_then(|i| HwEvent::ALL.get(i))
+        .copied()
+        .ok_or(StoreError::Corrupt("hw event index out of range"))
+}
+
+/// Parse a sample chunk's elision ledger and validate it against the
+/// footer's row accounting.
+fn decode_ledger(
+    buf: &[u8],
+    pos: &mut usize,
+    c: &ChunkDesc,
+) -> Result<Vec<LedgerGroup>, StoreError> {
+    let group_count = read_varint(buf, pos)?;
+    if group_count > c.rows {
+        return Err(StoreError::Corrupt("more ledger groups than rows"));
+    }
+    let mut ledger = Vec::with_capacity(group_count as usize);
+    let mut prev_index = 0u64;
+    let mut elided_total = 0u64;
+    for i in 0..group_count {
+        let gap = read_varint(buf, pos)?;
+        if i > 0 && gap == 0 {
+            return Err(StoreError::Corrupt("ledger indices not increasing"));
+        }
+        let index = if i == 0 {
+            gap
+        } else {
+            prev_index.wrapping_add(gap)
+        };
+        if index >= c.retained {
+            return Err(StoreError::Corrupt("ledger index past retained rows"));
+        }
+        let count = read_varint(buf, pos)?;
+        if count == 0 {
+            return Err(StoreError::Corrupt("empty ledger group"));
+        }
+        elided_total = elided_total.saturating_add(count);
+        if elided_total > c.rows.wrapping_sub(c.retained) {
+            return Err(StoreError::Corrupt(
+                "ledger elides more than rows - retained",
+            ));
+        }
+        let mut deltas = Vec::with_capacity(count.min(c.rows) as usize);
+        for _ in 0..count {
+            deltas.push(read_varint(buf, pos)?);
+        }
+        ledger.push(LedgerGroup { index, deltas });
+        prev_index = index;
+    }
+    if elided_total != c.rows.wrapping_sub(c.retained) {
+        return Err(StoreError::Corrupt("ledger total != rows - retained"));
+    }
+    Ok(ledger)
+}
+
+/// Replay an elision ledger: re-insert each elided row after its
+/// retained anchor, chaining TSCs through the wrapping deltas. The
+/// result reproduces the chunk's logical rows bit-exactly.
+fn replay_ledger(
+    retained: &[PebsRecord],
+    ledger: &[LedgerGroup],
+    c: &ChunkDesc,
+) -> Result<Vec<PebsRecord>, StoreError> {
+    if ledger.is_empty() {
+        return Ok(retained.to_vec());
+    }
+    let mut out: Vec<PebsRecord> = Vec::with_capacity(c.rows as usize);
+    let mut groups = ledger.iter().peekable();
+    for (i, &r) in retained.iter().enumerate() {
+        out.push(r);
+        if let Some(g) = groups.peek() {
+            if g.index == i as u64 {
+                let mut last = r;
+                for &d in &g.deltas {
+                    last.tsc = last.tsc.wrapping_add(d);
+                    out.push(last);
+                }
+                groups.next();
+            }
+        }
+    }
+    if groups.next().is_some() {
+        return Err(StoreError::Corrupt("ledger anchor past retained rows"));
+    }
+    if out.len() as u64 != c.rows {
+        return Err(StoreError::Corrupt("replayed rows != footer rows"));
+    }
+    Ok(out)
+}
+
+/// Seek + exact read of `len` bytes at absolute `offset`.
+fn read_at<R: Read + Seek>(src: &mut R, offset: u64, len: usize) -> Result<Vec<u8>, StoreError> {
+    src.seek(SeekFrom::Start(offset))?;
+    let mut buf = vec![0u8; len];
+    src.read_exact(&mut buf)
+        .map_err(|_| StoreError::Truncated("chunk or footer bytes"))?;
+    Ok(buf)
+}

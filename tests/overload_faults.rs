@@ -36,6 +36,7 @@ proptest::proptest! {
             items,
             schedule: plan.schedule(items, seed),
             max_pending,
+            keep_bundle: false,
         };
         let r = run_overload(&cfg);
         proptest::prop_assert!(
@@ -88,6 +89,7 @@ fn consecutive_drop_open_eviction_accounting() {
         items,
         schedule: plan.schedule(items, 1),
         max_pending: 4,
+        keep_bundle: false,
     };
     let r = run_overload(&cfg);
     assert!(
