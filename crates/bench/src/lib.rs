@@ -21,6 +21,7 @@ pub mod obs_support;
 pub mod overload_experiment;
 pub mod perf_hunt;
 pub mod sampling_experiment;
+pub mod serve_experiment;
 pub mod store_experiment;
 pub mod store_support;
 

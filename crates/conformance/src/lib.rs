@@ -32,7 +32,9 @@
 pub mod driver;
 pub mod gen;
 pub mod oracle;
+pub mod windowed;
 
 pub use driver::{check_workload, CanonicalTable, DiffSummary, Disagreement};
 pub use gen::{generate, spec_from_seed, Workload, WorkloadSpec};
 pub use oracle::{OracleLoss, OracleOffline, OracleOnline};
+pub use windowed::{check_windowed, WindowedSummary};

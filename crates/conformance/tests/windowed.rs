@@ -1,0 +1,86 @@
+//! Windowed-integration conformance sweep: the incremental daemon path
+//! vs the oracles, across seeds AND window sizes.
+//!
+//! The window-size axis is the load-bearing one: for a fixed seed,
+//! every W must leave a byte-identical cumulative table and ledger —
+//! W = u64::MAX closes no intermediate window at all, so this is the
+//! proof that W-window incremental integration equals the one-shot
+//! batch run. A failure prints the seed; reproduce with
+//! `generate(&spec_from_seed(seed))` (see `TESTING.md`).
+
+use fluctrace_conformance::{check_windowed, generate, spec_from_seed};
+
+/// Window sizes each seed is swept across. 1 closes a window per item,
+/// primes stagger window boundaries against batch cuts, and `u64::MAX`
+/// degenerates to the one-shot batch shape.
+const WINDOW_SIZES: [u64; 6] = [1, 2, 5, 19, 64, u64::MAX];
+
+/// Seed range; kept smaller than the differential sweep because every
+/// seed runs |WINDOW_SIZES| + 1 integrations (the Folded twin rides
+/// along inside `check_windowed`).
+const SWEEP_SEEDS: u64 = 96;
+
+#[test]
+fn windowed_integration_is_window_size_invariant() {
+    let mut table_checked = 0u32;
+    let mut evicting = 0u32;
+    let mut episodic = 0u32;
+    for seed in 0..SWEEP_SEEDS {
+        let w = generate(&spec_from_seed(seed));
+        let mut reference: Option<(String, u64)> = None;
+        for window_items in WINDOW_SIZES {
+            let summary = match check_windowed(&w, window_items) {
+                Ok(s) => s,
+                Err(d) => panic!("windowed disagreement: {d}"),
+            };
+            if summary.windows_evicted > 0 {
+                evicting += 1;
+            }
+            if summary.episodes > 0 {
+                episodic += 1;
+            }
+            if summary.table_checked {
+                table_checked += 1;
+            }
+            // Byte-identical cumulative table and episode count across
+            // every window size, including the no-intermediate-close
+            // degenerate case.
+            match &reference {
+                None => reference = Some((summary.table_json, summary.episodes)),
+                Some((json, episodes)) => {
+                    assert_eq!(
+                        json, &summary.table_json,
+                        "seed {seed}: cumulative table differs at W={window_items}"
+                    );
+                    assert_eq!(
+                        *episodes, summary.episodes,
+                        "seed {seed}: episode count differs at W={window_items}"
+                    );
+                }
+            }
+        }
+    }
+    // Shape coverage: the sweep must actually exercise the interesting
+    // paths, or a generator regression trivializes it silently.
+    assert!(
+        table_checked >= 40,
+        "only {table_checked} runs were table-comparable"
+    );
+    assert!(evicting >= 40, "only {evicting} runs evicted windows");
+    assert!(episodic >= 40, "only {episodic} runs recorded episodes");
+}
+
+/// Tiny windows on a faulted, eviction-heavy workload: the ledger must
+/// stay conserved and window-size-invariant even when the stream sheds.
+#[test]
+fn lossy_workloads_keep_the_ledger_window_size_invariant() {
+    // seed % 7 == 0 forces max_pending eviction; % 3 == 0 heavy faults.
+    for seed in [0u64, 21, 42, 63] {
+        let w = generate(&spec_from_seed(seed));
+        for window_items in [1u64, 7, 1 << 40] {
+            if let Err(d) = check_windowed(&w, window_items) {
+                panic!("lossy windowed disagreement: {d}");
+            }
+        }
+    }
+}

@@ -505,7 +505,11 @@ fn flush_span_cols(
 /// structurally guarantees the AoS and SoA scans produce the same table
 /// whenever they produce the same flat spans — the differential sweep
 /// then pins that the scans agree too.
-fn assemble_table(
+///
+/// `pub(crate)` for [`crate::window`]: the windowed integrator feeds its
+/// per-window and cumulative span folds through this exact assembly so
+/// window tables are structurally the same artifact as batch tables.
+pub(crate) fn assemble_table(
     mut flat: Vec<(ItemId, FuncId, u64, u64, u32)>,
     unknown: BTreeMap<ItemId, u32>,
     samples_missing_span: u64,

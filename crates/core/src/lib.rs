@@ -56,6 +56,7 @@ pub mod parallel;
 pub mod profile;
 pub mod report;
 pub mod soa;
+pub mod window;
 
 pub use batch::{split_batches, split_batches_owned, BatchMap};
 pub use depgraph::{diagnose, ChainLink, DepgraphConfig, Diagnosis, EpisodeDiagnosis};
@@ -80,3 +81,7 @@ pub use parallel::{configured_threads, run_indexed, run_parts};
 pub use profile::{FlatProfile, ProfileEntry};
 pub use report::{diagnosis, item_breakdown, item_breakdown_with_trace};
 pub use soa::{integrate_soa, integrate_soa_with_threads, SampleColumns, SoaTrace};
+pub use window::{
+    CumulativeMode, Episode, FoldedTotals, WindowConfig, WindowReport, WindowSummary,
+    WindowedIntegrator,
+};

@@ -385,6 +385,11 @@ pub const CATALOG: &[MetricDef] = &[
         "mb_per_s",
         "store-bench columnar read throughput (wall-derived)",
     ),
+    gauge(
+        "bench.serve.items_per_sec",
+        "items_per_s",
+        "serve-bench sustained daemon throughput (wall-derived)",
+    ),
     // --- store ------------------------------------------------------------
     counter(
         "store.writer.segments",
@@ -435,6 +440,52 @@ pub const CATALOG: &[MetricDef] = &[
         "store.reader.bytes",
         "bytes",
         "Chunk bytes fetched by store reads",
+    ),
+    // --- serve ------------------------------------------------------------
+    counter(
+        "serve.traffic.batches",
+        "batches",
+        "Traffic batches submitted to shard pipelines",
+    ),
+    counter(
+        "serve.traffic.items",
+        "items",
+        "Work items completed by shard integrators",
+    ),
+    counter(
+        "serve.windows.closed",
+        "windows",
+        "Integration windows closed across all shards",
+    ),
+    counter(
+        "serve.windows.evicted",
+        "windows",
+        "Closed windows evicted by the retention ring",
+    ),
+    counter(
+        "serve.windows.evicted_bytes",
+        "bytes",
+        "Approximate bytes reclaimed by window eviction",
+    ),
+    counter(
+        "serve.anomaly.episodes",
+        "episodes",
+        "Divergence episodes recorded by shard integrators",
+    ),
+    // Utilization/occupancy gauges derive from consumer busy/idle tick
+    // counts; under the daemon binary ticks come from the wall clock,
+    // so like the bench throughput gauges above these are exempt from
+    // the "no clock-derived values" rule. Library tests leave the tick
+    // clock deterministic, keeping snapshots stable.
+    gauge(
+        "serve.queue.occupancy_milli",
+        "milli",
+        "Producer-observed shard channel occupancy (0-1000)",
+    ),
+    gauge(
+        "serve.worker.utilization_milli",
+        "milli",
+        "Consumer busy-tick share incl. ring_empty idle (0-1000)",
     ),
 ];
 

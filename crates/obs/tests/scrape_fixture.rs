@@ -1,0 +1,73 @@
+//! Golden-pinned Prometheus scrape: the full text exposition of a
+//! constructed snapshot, compared byte-for-byte against a committed
+//! fixture. Pins the scrape contract end to end — HELP/TYPE headers
+//! from the catalog, identifier mangling, and the cumulative
+//! `_bucket{le=}` / `_sum` / `_count` histogram series — so format
+//! drift shows up as a fixture diff, not a broken dashboard.
+//!
+//! Bless with:
+//!
+//! ```text
+//! FLUCTRACE_BLESS=1 cargo test -p fluctrace-obs --test scrape_fixture
+//! ```
+
+use fluctrace_obs::Registry;
+use std::path::PathBuf;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("scrape.prom")
+}
+
+fn blessing() -> bool {
+    std::env::var_os("FLUCTRACE_BLESS").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+/// A local registry exercising every exposition shape: catalogued
+/// counter/gauge/histogram (HELP + TYPE), an uncatalogued counter
+/// (TYPE only), and a histogram spanning several log-buckets so the
+/// cumulative `le=` ladder is non-trivial.
+fn constructed_snapshot() -> fluctrace_obs::Snapshot {
+    let r = Registry::with_shards(2);
+    r.counter("core.online.items_processed").add(12345);
+    r.counter("serve.windows.closed").add(64);
+    r.counter("t.uncatalogued.ops").add(3);
+    r.gauge("serve.worker.utilization_milli").record(875);
+    let h = r.histogram("rt.wait.cycles");
+    for v in [0, 1, 3, 3, 100, 100, 100, 4096, 1 << 20] {
+        h.record(v);
+    }
+    r.snapshot()
+}
+
+#[test]
+fn prometheus_scrape_matches_pinned_fixture() {
+    let actual = constructed_snapshot().to_prometheus();
+
+    let path = fixture_path();
+    if blessing() {
+        std::fs::write(&path, &actual).expect("write fixture");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); bless it with FLUCTRACE_BLESS=1",
+            path.display()
+        )
+    });
+    assert!(
+        expected == actual,
+        "Prometheus exposition drift against {}:\n--- expected ---\n{expected}\n\
+         --- actual ---\n{actual}\nIf intentional, re-bless with FLUCTRACE_BLESS=1.",
+        path.display()
+    );
+}
+
+#[test]
+fn scrape_is_byte_stable_across_renders() {
+    let snap = constructed_snapshot();
+    assert_eq!(snap.to_prometheus(), snap.to_prometheus());
+}

@@ -1,0 +1,434 @@
+//! The line-delimited request protocol and its JSON renderings.
+//!
+//! One request per connection: the client sends a single line, the
+//! daemon answers with one JSON document (newline-terminated) and
+//! closes. Grammar (see `SERVE.md`):
+//!
+//! ```text
+//! request  = "snapshot" | "windows" SP count | "episodes" | "loss"
+//!          | "table" | "drained" | "quiesce"
+//! count    = 1*DIGIT
+//! ```
+//!
+//! `snapshot` renders through the obs exporter ([`Snapshot::to_json`])
+//! so its bytes are canonical: ordered keys, stable formatting — two
+//! queries against a drained daemon compare byte-equal. An HTTP `GET`
+//! on the same listener is answered with the Prometheus rendering of
+//! the **global** obs registry (`/metrics`), full pinned catalog plus
+//! the live `serve.*` series.
+
+use crate::daemon::ShardView;
+use fluctrace_core::{Episode, EstimateTable, FoldedTotals, LossStats};
+use fluctrace_obs::Snapshot;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+
+/// A parsed protocol request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// Full counter/gauge snapshot, canonical JSON.
+    Snapshot,
+    /// Metadata of the most recent `k` retained windows per shard.
+    Windows(usize),
+    /// Retained anomaly episodes per shard.
+    Episodes,
+    /// The composed 11-counter loss ledger, per shard and total.
+    Loss,
+    /// Cumulative tables (exact) or folded totals per shard.
+    Table,
+    /// Whether every shard has drained (bounded runs).
+    Drained,
+    /// Stop traffic, drain all shards, answer with the final state,
+    /// and shut the daemon down.
+    Quiesce,
+}
+
+/// Parse one request line.
+pub fn parse(line: &str) -> Result<Request, String> {
+    let mut words = line.split_whitespace();
+    let cmd = words.next().unwrap_or("");
+    let arg = words.next();
+    if words.next().is_some() {
+        return Err(format!("trailing arguments after {cmd:?}"));
+    }
+    match (cmd, arg) {
+        ("snapshot", None) => Ok(Request::Snapshot),
+        ("windows", Some(k)) => k
+            .parse::<usize>()
+            .map(Request::Windows)
+            .map_err(|_| format!("windows: bad count {k:?}")),
+        ("windows", None) => Err("windows: missing count".to_string()),
+        ("episodes", None) => Ok(Request::Episodes),
+        ("loss", None) => Ok(Request::Loss),
+        ("table", None) => Ok(Request::Table),
+        ("drained", None) => Ok(Request::Drained),
+        ("quiesce", None) => Ok(Request::Quiesce),
+        _ => Err(format!(
+            "unknown request {line:?} (expected snapshot | windows <k> | episodes | loss | table | drained | quiesce)"
+        )),
+    }
+}
+
+/// Render a protocol error as the error document.
+pub fn error_doc(detail: &str) -> String {
+    // Hand-escaped: the derive shim does not serialize borrowed
+    // fields, and the detail string may quote client input.
+    let mut escaped = String::with_capacity(detail.len());
+    for c in detail.chars() {
+        match c {
+            '"' => escaped.push_str("\\\""),
+            '\\' => escaped.push_str("\\\\"),
+            '\n' => escaped.push_str("\\n"),
+            '\r' => escaped.push_str("\\r"),
+            '\t' => escaped.push_str("\\t"),
+            c if (c as u32) < 0x20 => escaped.push_str(&format!("\\u{:04x}", c as u32)),
+            c => escaped.push(c),
+        }
+    }
+    format!("{{\"error\":\"{escaped}\"}}")
+}
+
+fn shard_prefix(id: u32) -> String {
+    format!("serve.shard{id:03}")
+}
+
+/// Build the local snapshot document: `serve.total.*` aggregates plus
+/// per-shard `serve.shardNNN.*` entries, rendered through the obs
+/// exporter. Local — not the global registry — so the bytes depend
+/// only on this daemon's state and freeze once the shards drain.
+pub fn snapshot_doc(shards: &[ShardView]) -> Snapshot {
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    let mut gauges: BTreeMap<String, u64> = BTreeMap::new();
+
+    let mut total_loss = LossStats::default();
+    let mut busy_total = 0u64;
+    let mut idle_total = 0u64;
+    let mut occ_max = 0u64;
+    let mut totals: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for view in shards {
+        let c = &view.counters;
+        let loss = c.fold_producer_loss(view.integrator.lock().loss());
+        let prefix = shard_prefix(view.id);
+        let fields: [(&'static str, u64); 8] = [
+            (
+                "batches_ingested",
+                c.batches_ingested.load(Ordering::Acquire),
+            ),
+            (
+                "batches_produced",
+                c.batches_produced.load(Ordering::Acquire),
+            ),
+            ("items", c.items.load(Ordering::Acquire)),
+            (
+                "samples_attributed",
+                c.samples_attributed.load(Ordering::Acquire),
+            ),
+            ("samples_seen", c.samples_seen.load(Ordering::Acquire)),
+            ("episodes", c.episodes.load(Ordering::Acquire)),
+            ("windows_closed", c.windows_closed.load(Ordering::Acquire)),
+            ("windows_evicted", c.windows_evicted.load(Ordering::Acquire)),
+        ];
+        for (name, value) in fields {
+            counters.insert(format!("{prefix}.{name}"), value);
+            *totals.entry(name).or_insert(0) += value;
+        }
+        let loss_fields: [(&'static str, u64); 11] = [
+            ("batches_dropped", loss.batches_dropped),
+            ("boundary_samples", loss.boundary_samples),
+            ("marks_mismatched", loss.marks_mismatched),
+            ("marks_orphaned", loss.marks_orphaned),
+            ("samples_discarded", loss.samples_discarded),
+            ("samples_dropped", loss.samples_dropped),
+            ("samples_evicted", loss.samples_evicted),
+            ("samples_spin", loss.samples_spin),
+            ("samples_thinned", loss.samples_thinned),
+            ("starts_abandoned", loss.starts_abandoned),
+            ("starts_truncated", loss.starts_truncated),
+        ];
+        for (name, value) in loss_fields {
+            counters.insert(format!("{prefix}.loss.{name}"), value);
+        }
+        total_loss.batches_dropped += loss.batches_dropped;
+        total_loss.boundary_samples += loss.boundary_samples;
+        total_loss.marks_mismatched += loss.marks_mismatched;
+        total_loss.marks_orphaned += loss.marks_orphaned;
+        total_loss.samples_discarded += loss.samples_discarded;
+        total_loss.samples_dropped += loss.samples_dropped;
+        total_loss.samples_evicted += loss.samples_evicted;
+        total_loss.samples_spin += loss.samples_spin;
+        total_loss.samples_thinned += loss.samples_thinned;
+        total_loss.starts_abandoned += loss.starts_abandoned;
+        total_loss.starts_truncated += loss.starts_truncated;
+
+        // Satellite: the `ring_empty` WaitLog folded into utilization.
+        let (edges, ring_cycles, dropped) = {
+            let log = view.wait.lock();
+            let cycles = log
+                .cycles_by_cause()
+                .get("ring_empty")
+                .copied()
+                .unwrap_or(0);
+            (log.len() as u64, cycles, log.dropped())
+        };
+        counters.insert(format!("{prefix}.wait.ring_empty_edges"), edges);
+        counters.insert(format!("{prefix}.wait.ring_empty_cycles"), ring_cycles);
+        counters.insert(format!("{prefix}.wait.dropped"), dropped);
+
+        let busy = c.busy_ticks.load(Ordering::Acquire);
+        let idle = c.idle_ticks.load(Ordering::Acquire);
+        busy_total += busy;
+        idle_total += idle;
+        gauges.insert(
+            format!("{prefix}.worker.utilization_milli"),
+            c.utilization_milli(),
+        );
+        let occ = c.occupancy_milli.load(Ordering::Acquire);
+        occ_max = occ_max.max(occ);
+        gauges.insert(format!("{prefix}.queue.occupancy_milli"), occ);
+    }
+
+    for (name, value) in totals {
+        counters.insert(format!("serve.total.{name}"), value);
+    }
+    let total_loss_fields: [(&'static str, u64); 11] = [
+        ("batches_dropped", total_loss.batches_dropped),
+        ("boundary_samples", total_loss.boundary_samples),
+        ("marks_mismatched", total_loss.marks_mismatched),
+        ("marks_orphaned", total_loss.marks_orphaned),
+        ("samples_discarded", total_loss.samples_discarded),
+        ("samples_dropped", total_loss.samples_dropped),
+        ("samples_evicted", total_loss.samples_evicted),
+        ("samples_spin", total_loss.samples_spin),
+        ("samples_thinned", total_loss.samples_thinned),
+        ("starts_abandoned", total_loss.starts_abandoned),
+        ("starts_truncated", total_loss.starts_truncated),
+    ];
+    for (name, value) in total_loss_fields {
+        counters.insert(format!("serve.total.loss.{name}"), value);
+    }
+    counters.insert("serve.total.shards".to_string(), shards.len() as u64);
+
+    let total_ticks = busy_total.saturating_add(idle_total);
+    gauges.insert(
+        "serve.total.worker.utilization_milli".to_string(),
+        busy_total
+            .saturating_mul(1000)
+            .checked_div(total_ticks)
+            .unwrap_or(0),
+    );
+    gauges.insert("serve.total.queue.occupancy_milli".to_string(), occ_max);
+
+    Snapshot {
+        counters,
+        gauges,
+        histograms: BTreeMap::new(),
+    }
+}
+
+#[derive(Serialize)]
+struct WindowMeta {
+    index: u64,
+    items: u64,
+    samples: u64,
+    anomalies: u64,
+}
+
+#[derive(Serialize)]
+struct ShardWindows {
+    shard: u32,
+    windows_closed: u64,
+    windows_evicted: u64,
+    retained: Vec<WindowMeta>,
+}
+
+#[derive(Serialize)]
+struct WindowsDoc {
+    shards: Vec<ShardWindows>,
+}
+
+/// Render the `windows <k>` document: the newest `k` retained window
+/// summaries of every shard, metadata only (the raw per-window tables
+/// stay inside the daemon; `table` serves the cumulative artifact).
+pub fn windows_doc(shards: &[ShardView], k: usize) -> String {
+    let doc = WindowsDoc {
+        shards: shards
+            .iter()
+            .map(|view| {
+                let wi = view.integrator.lock();
+                let retained: Vec<WindowMeta> = wi
+                    .windows()
+                    .map(|w| WindowMeta {
+                        index: w.index,
+                        items: w.items,
+                        samples: w.samples,
+                        anomalies: w.anomalies,
+                    })
+                    .collect();
+                let skip = retained.len().saturating_sub(k);
+                ShardWindows {
+                    shard: view.id,
+                    windows_closed: wi.windows_closed(),
+                    windows_evicted: wi.report().windows_evicted,
+                    retained: retained.into_iter().skip(skip).collect(),
+                }
+            })
+            .collect(),
+    };
+    render(&doc)
+}
+
+#[derive(Serialize)]
+struct ShardEpisodes {
+    shard: u32,
+    total: u64,
+    retained: Vec<Episode>,
+}
+
+#[derive(Serialize)]
+struct EpisodesDoc {
+    shards: Vec<ShardEpisodes>,
+}
+
+/// Render the `episodes` document.
+pub fn episodes_doc(shards: &[ShardView]) -> String {
+    let doc = EpisodesDoc {
+        shards: shards
+            .iter()
+            .map(|view| {
+                let wi = view.integrator.lock();
+                ShardEpisodes {
+                    shard: view.id,
+                    total: wi.report().episodes,
+                    retained: wi.episodes().copied().collect(),
+                }
+            })
+            .collect(),
+    };
+    render(&doc)
+}
+
+#[derive(Serialize)]
+struct ShardLoss {
+    shard: u32,
+    loss: LossStats,
+    conserves_samples: bool,
+}
+
+#[derive(Serialize)]
+struct LossDoc {
+    total: LossStats,
+    shards: Vec<ShardLoss>,
+}
+
+/// Render the `loss` document: the integrator ledger composed with the
+/// producer-side shed counters, per shard and summed.
+pub fn loss_doc(shards: &[ShardView]) -> String {
+    let mut total = LossStats::default();
+    let rows: Vec<ShardLoss> = shards
+        .iter()
+        .map(|view| {
+            let (loss, conserves) = {
+                let wi = view.integrator.lock();
+                (
+                    view.counters.fold_producer_loss(wi.loss()),
+                    wi.report().conserves_samples(),
+                )
+            };
+            total.batches_dropped += loss.batches_dropped;
+            total.boundary_samples += loss.boundary_samples;
+            total.marks_mismatched += loss.marks_mismatched;
+            total.marks_orphaned += loss.marks_orphaned;
+            total.samples_discarded += loss.samples_discarded;
+            total.samples_dropped += loss.samples_dropped;
+            total.samples_evicted += loss.samples_evicted;
+            total.samples_spin += loss.samples_spin;
+            total.samples_thinned += loss.samples_thinned;
+            total.starts_abandoned += loss.starts_abandoned;
+            total.starts_truncated += loss.starts_truncated;
+            ShardLoss {
+                shard: view.id,
+                loss,
+                conserves_samples: conserves,
+            }
+        })
+        .collect();
+    render(&LossDoc {
+        total,
+        shards: rows,
+    })
+}
+
+#[derive(Serialize)]
+struct ShardTable {
+    shard: u32,
+    mode: &'static str,
+    table: Option<EstimateTable>,
+    folded: FoldedTotals,
+}
+
+#[derive(Serialize)]
+struct TablesDoc {
+    shards: Vec<ShardTable>,
+}
+
+/// Render the `table` document: per shard, the exact cumulative
+/// [`EstimateTable`] (the drain-equality surface — byte-identical to
+/// the batch pipeline on the same stream) or, in folded mode, `null`
+/// plus the per-function totals. `folded` is present in both modes so
+/// the two can be cross-checked.
+pub fn tables_doc(shards: &[ShardView]) -> String {
+    let doc = TablesDoc {
+        shards: shards
+            .iter()
+            .map(|view| {
+                let wi = view.integrator.lock();
+                let table = wi.cumulative_table();
+                ShardTable {
+                    shard: view.id,
+                    mode: if table.is_some() { "exact" } else { "folded" },
+                    table,
+                    folded: wi.folded_totals(),
+                }
+            })
+            .collect(),
+    };
+    render(&doc)
+}
+
+/// Render the `drained` document.
+pub fn drained_doc(shards: &[ShardView]) -> String {
+    let drained = shards
+        .iter()
+        .all(|v| v.counters.drained.load(Ordering::Acquire));
+    format!("{{\"drained\":{drained}}}")
+}
+
+fn render<T: Serialize>(doc: &T) -> String {
+    serde_json::to_string(doc).unwrap_or_else(|e| error_doc(&format!("render: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_the_grammar() {
+        assert_eq!(parse("snapshot"), Ok(Request::Snapshot));
+        assert_eq!(parse("  windows 5 "), Ok(Request::Windows(5)));
+        assert_eq!(parse("episodes"), Ok(Request::Episodes));
+        assert_eq!(parse("loss"), Ok(Request::Loss));
+        assert_eq!(parse("table"), Ok(Request::Table));
+        assert_eq!(parse("drained"), Ok(Request::Drained));
+        assert_eq!(parse("quiesce"), Ok(Request::Quiesce));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_requests() {
+        assert!(parse("").is_err());
+        assert!(parse("windows").is_err());
+        assert!(parse("windows x").is_err());
+        assert!(parse("snapshot extra").is_err());
+        assert!(parse("nonsense").is_err());
+    }
+}

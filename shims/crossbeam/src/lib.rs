@@ -170,6 +170,16 @@ pub mod channel {
     }
 
     impl<T> Receiver<T> {
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            lock_ok(&self.inner.state).queue.len()
+        }
+
+        /// True when no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
         /// Block until a message arrives or all senders disconnect.
         pub fn recv(&self) -> Result<T, RecvError> {
             let mut state = lock_ok(&self.inner.state);
